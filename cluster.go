@@ -1,0 +1,138 @@
+package kaas
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cluster federates several platforms (hosts) behind one invocation API —
+// the paper's federated-deployment setting (§1, §3.3): kernels are
+// registered across nodes, clients invoke by name, and the cluster routes
+// each invocation to the least-loaded host that serves the kernel. If one
+// host cannot absorb the concurrent demand, additional hosts do (the
+// horizontal-scalability story of §3.3).
+type Cluster struct {
+	mu        sync.Mutex
+	platforms []*Platform
+	inflight  []int
+}
+
+// NewCluster builds a cluster over the given platforms. Platforms should
+// share a time scale so modeled durations are comparable.
+func NewCluster(platforms ...*Platform) (*Cluster, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("kaas: cluster needs at least one platform")
+	}
+	for i, p := range platforms {
+		if p == nil {
+			return nil, fmt.Errorf("kaas: cluster platform %d is nil", i)
+		}
+	}
+	copied := make([]*Platform, len(platforms))
+	copy(copied, platforms)
+	return &Cluster{
+		platforms: copied,
+		inflight:  make([]int, len(copied)),
+	}, nil
+}
+
+// Size returns the number of federated hosts.
+func (c *Cluster) Size() int { return len(c.platforms) }
+
+// Register deploys a kernel on every host that has a device of its kind.
+// It succeeds if at least one host accepted the kernel.
+func (c *Cluster) Register(k Kernel) error {
+	var registered int
+	var lastErr error
+	for _, p := range c.platforms {
+		if err := p.Register(k); err != nil {
+			lastErr = err
+			continue
+		}
+		registered++
+	}
+	if registered == 0 {
+		return fmt.Errorf("kaas: no host accepted kernel %q: %w", k.Name(), lastErr)
+	}
+	return nil
+}
+
+// RegisterByName deploys a built-in kernel across the cluster.
+func (c *Cluster) RegisterByName(name string) error {
+	k, err := KernelByName(name)
+	if err != nil {
+		return err
+	}
+	return c.Register(k)
+}
+
+// Invoke routes one invocation to the least-loaded host serving the
+// kernel and returns its result, the report, and the index of the host
+// that served it.
+func (c *Cluster) Invoke(ctx context.Context, name string, params Params, data []byte) (*Response, *Report, int, error) {
+	idx, err := c.pick(name)
+	if err != nil {
+		return nil, nil, -1, err
+	}
+	c.mu.Lock()
+	c.inflight[idx]++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.inflight[idx]--
+		c.mu.Unlock()
+	}()
+
+	resp, report, err := c.platforms[idx].Invoke(ctx, name, params, data)
+	if err != nil {
+		return nil, nil, idx, fmt.Errorf("kaas: host %d: %w", idx, err)
+	}
+	return resp, report, idx, nil
+}
+
+// pick selects the host with the fewest cluster-routed in-flight
+// invocations among those that serve the kernel.
+func (c *Cluster) pick(name string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := -1
+	for i, p := range c.platforms {
+		if !platformServes(p, name) {
+			continue
+		}
+		if best == -1 || c.inflight[i] < c.inflight[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("kaas: no host serves kernel %q", name)
+	}
+	return best, nil
+}
+
+// platformServes reports whether the platform has the kernel registered.
+func platformServes(p *Platform, name string) bool {
+	for _, n := range p.Kernels() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns per-host statistics.
+func (c *Cluster) Stats() []Stats {
+	out := make([]Stats, len(c.platforms))
+	for i, p := range c.platforms {
+		out[i] = p.Stats()
+	}
+	return out
+}
+
+// Close shuts down every host.
+func (c *Cluster) Close() {
+	for _, p := range c.platforms {
+		p.Close()
+	}
+}

@@ -1,0 +1,119 @@
+package kaas
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func newCluster(t *testing.T) *Cluster {
+	t.Helper()
+	gpuHost, err := New(WithHostName("gpu-node"), WithAccelerators(TeslaP100))
+	if err != nil {
+		t.Fatalf("New gpu host: %v", err)
+	}
+	fpgaHost, err := New(WithHostName("fpga-node"), WithAccelerators(AlveoU250))
+	if err != nil {
+		t.Fatalf("New fpga host: %v", err)
+	}
+	mixedHost, err := New(WithHostName("mixed-node"), WithAccelerators(TeslaP100, AlveoU250))
+	if err != nil {
+		t.Fatalf("New mixed host: %v", err)
+	}
+	c, err := NewCluster(gpuHost, fpgaHost, mixedHost)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(); err == nil {
+		t.Error("empty cluster succeeded")
+	}
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("nil platform succeeded")
+	}
+}
+
+func TestClusterRegisterByKindAvailability(t *testing.T) {
+	c := newCluster(t)
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", c.Size())
+	}
+	// matmul (GPU) lands on hosts 0 and 2; histogram (FPGA) on 1 and 2.
+	if err := c.RegisterByName("matmul"); err != nil {
+		t.Fatalf("RegisterByName matmul: %v", err)
+	}
+	if err := c.RegisterByName("histogram"); err != nil {
+		t.Fatalf("RegisterByName histogram: %v", err)
+	}
+	stats := c.Stats()
+	if stats[0].Kernels != 1 || stats[1].Kernels != 1 || stats[2].Kernels != 2 {
+		t.Errorf("kernels per host = %d/%d/%d, want 1/1/2",
+			stats[0].Kernels, stats[1].Kernels, stats[2].Kernels)
+	}
+	if err := c.RegisterByName("nope"); err == nil {
+		t.Error("unknown kernel succeeded")
+	}
+}
+
+func TestClusterRoutesToServingHost(t *testing.T) {
+	c := newCluster(t)
+	if err := c.RegisterByName("histogram"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	resp, report, host, err := c.Invoke(context.Background(), "histogram", Params{"n": 10000}, nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if host != 1 && host != 2 {
+		t.Errorf("histogram routed to host %d, want an FPGA host (1 or 2)", host)
+	}
+	if resp.Values["total"] != 10000 {
+		t.Errorf("total = %v", resp.Values["total"])
+	}
+	if report == nil || report.Device == "" {
+		t.Error("missing report")
+	}
+}
+
+func TestClusterUnknownKernel(t *testing.T) {
+	c := newCluster(t)
+	if _, _, _, err := c.Invoke(context.Background(), "ghost", nil, nil); err == nil {
+		t.Error("unregistered kernel succeeded")
+	}
+}
+
+func TestClusterSpreadsConcurrentLoad(t *testing.T) {
+	c := newCluster(t)
+	if err := c.RegisterByName("matmul"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var mu sync.Mutex
+	hosts := make(map[int]int)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, host, err := c.Invoke(context.Background(), "matmul", Params{"n": 4000}, nil)
+			if err != nil {
+				t.Errorf("Invoke: %v", err)
+				return
+			}
+			mu.Lock()
+			hosts[host]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Both GPU-bearing hosts (0 and 2) should have served work.
+	if hosts[0] == 0 || hosts[2] == 0 {
+		t.Errorf("load not spread across GPU hosts: %v", hosts)
+	}
+	if hosts[1] != 0 {
+		t.Errorf("FPGA-only host served %d matmul invocations", hosts[1])
+	}
+}

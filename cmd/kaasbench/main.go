@@ -1,0 +1,68 @@
+// Command kaasbench regenerates the paper's evaluation figures against
+// the simulated accelerator testbeds and prints each as a text table.
+//
+// Usage:
+//
+//	kaasbench -fig 6a            # one figure
+//	kaasbench -fig all           # every figure, in paper order
+//	kaasbench -fig 14 -quick     # reduced sweep
+//	kaasbench -list              # available figure IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kaas/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kaasbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kaasbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure ID to regenerate (2, 6a, 6b, 7, 8, 9, 10, 11, 12a, 12b, 13, 14, 15, 16a, 16b, 17, or all)")
+	quick := fs.Bool("quick", false, "run reduced sweeps")
+	samples := fs.Int("samples", 3, "samples per measurement (the paper uses 10)")
+	scale := fs.Float64("scale", 2000, "modeled seconds per wall second")
+	list := fs.Bool("list", false, "list available figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.ID)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Quick: *quick, Samples: *samples, Scale: *scale}
+
+	if *fig == "all" {
+		for _, e := range experiments.Registry() {
+			table, err := e.Run(opts)
+			if err != nil {
+				return fmt.Errorf("figure %s: %w", e.ID, err)
+			}
+			fmt.Println(table.String())
+		}
+		return nil
+	}
+
+	runner, err := experiments.ByID(*fig)
+	if err != nil {
+		return err
+	}
+	table, err := runner(opts)
+	if err != nil {
+		return fmt.Errorf("figure %s: %w", *fig, err)
+	}
+	fmt.Println(table.String())
+	return nil
+}

@@ -1,0 +1,190 @@
+// Command kaasctl is the KaaS client CLI: register kernels on a KaaS
+// server, invoke them, and inspect server state.
+//
+// Usage:
+//
+//	kaasctl -server 127.0.0.1:7070 register matmul
+//	kaasctl -server 127.0.0.1:7070 invoke matmul n=500 seed=7
+//	kaasctl -server 127.0.0.1:7070 list
+//	kaasctl -server 127.0.0.1:7070 stats
+//	kaasctl simulate circuit.qasm       # local quantum-circuit simulation
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kaas/internal/client"
+	"kaas/internal/kernels"
+	"kaas/internal/qsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kaasctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kaasctl", flag.ContinueOnError)
+	server := fs.String("server", "127.0.0.1:7070", "KaaS server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: kaasctl [-server addr] <register|invoke|list|stats> ...")
+	}
+
+	c := client.Dial(*server)
+	defer c.Close()
+
+	switch rest[0] {
+	case "register":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: kaasctl register <kernel>")
+		}
+		if err := c.Register(rest[1]); err != nil {
+			return err
+		}
+		fmt.Printf("registered %s\n", rest[1])
+		return nil
+
+	case "invoke":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: kaasctl invoke <kernel> [key=value ...]")
+		}
+		params, err := parseParams(rest[2:])
+		if err != nil {
+			return err
+		}
+		res, err := c.Invoke(rest[1], params, nil)
+		if err != nil {
+			return err
+		}
+		start := "warm"
+		if res.Cold {
+			start = "cold"
+		}
+		fmt.Printf("%s start, server time %v\n", start, res.ServerTime)
+		keys := make([]string, 0, len(res.Values))
+		for k := range res.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s = %g\n", k, res.Values[k])
+		}
+		if len(res.Data) > 0 {
+			fmt.Printf("  payload: %d bytes\n", len(res.Data))
+		}
+		return nil
+
+	case "list":
+		names, err := c.List()
+		if err != nil {
+			return err
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "stats":
+		var stats json.RawMessage
+		if err := c.Stats(&stats); err != nil {
+			return err
+		}
+		var pretty map[string]any
+		if err := json.Unmarshal(stats, &pretty); err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(pretty, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+
+	case "kernels":
+		// Offline helper: list the built-in kernel library.
+		for _, k := range kernels.Suite() {
+			fmt.Printf("%-12s %s\n", k.Name(), k.Kind())
+		}
+		return nil
+
+	case "simulate":
+		// Offline helper: simulate an OpenQASM-subset circuit locally.
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: kaasctl simulate <circuit.qasm>")
+		}
+		return simulate(rest[1])
+
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+// simulate parses and runs a circuit file, printing the top basis-state
+// probabilities.
+func simulate(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	circuit, err := qsim.ParseCircuit(string(src))
+	if err != nil {
+		return err
+	}
+	state, err := circuit.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d qubits, %d gates\n", circuit.NumQubits, len(circuit.Gates))
+	type outcome struct {
+		idx int
+		p   float64
+	}
+	outcomes := make([]outcome, 0, len(state.Amplitudes()))
+	for i := range state.Amplitudes() {
+		if p := state.Probability(i); p > 1e-12 {
+			outcomes = append(outcomes, outcome{i, p})
+		}
+	}
+	sort.Slice(outcomes, func(a, b int) bool { return outcomes[a].p > outcomes[b].p })
+	limit := 16
+	if len(outcomes) < limit {
+		limit = len(outcomes)
+	}
+	for _, o := range outcomes[:limit] {
+		fmt.Printf("  |%0*b⟩  %.6f\n", circuit.NumQubits, o.idx, o.p)
+	}
+	if len(outcomes) > limit {
+		fmt.Printf("  ... %d more states\n", len(outcomes)-limit)
+	}
+	return nil
+}
+
+// parseParams converts key=value arguments to kernel params.
+func parseParams(args []string) (kernels.Params, error) {
+	params := make(kernels.Params, len(args))
+	for _, a := range args {
+		key, value, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad parameter %q, want key=value", a)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", a, err)
+		}
+		params[key] = v
+	}
+	return params, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"kaas"
+)
+
+// startServer brings up a platform with a TCP endpoint for CLI tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	p, err := kaas.New(
+		kaas.WithAccelerators(kaas.TeslaP100),
+		kaas.WithListenAddr("127.0.0.1:0"),
+	)
+	if err != nil {
+		t.Fatalf("kaas.New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p.Addr()
+}
+
+func TestParseParams(t *testing.T) {
+	params, err := parseParams([]string{"n=500", "seed=7", "gamma=0.5"})
+	if err != nil {
+		t.Fatalf("parseParams: %v", err)
+	}
+	if params["n"] != 500 || params["seed"] != 7 || params["gamma"] != 0.5 {
+		t.Errorf("params = %v", params)
+	}
+	if _, err := parseParams([]string{"n"}); err == nil {
+		t.Error("missing '=' succeeded")
+	}
+	if _, err := parseParams([]string{"n=abc"}); err == nil {
+		t.Error("non-numeric value succeeded")
+	}
+}
+
+func TestCLIRegisterInvokeListStats(t *testing.T) {
+	addr := startServer(t)
+	steps := [][]string{
+		{"-server", addr, "register", "matmul"},
+		{"-server", addr, "invoke", "matmul", "n=64", "seed=3"},
+		{"-server", addr, "list"},
+		{"-server", addr, "stats"},
+		{"-server", addr, "kernels"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr := startServer(t)
+	for _, args := range [][]string{
+		{},
+		{"-server", addr, "register"},
+		{"-server", addr, "register", "not-a-kernel"},
+		{"-server", addr, "invoke"},
+		{"-server", addr, "invoke", "matmul", "n"},
+		{"-server", addr, "invoke", "unregistered-kernel", "n=4"},
+		{"-server", addr, "frobnicate"},
+		{"-server", "127.0.0.1:1", "list"}, // nothing listening
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestCLISimulate(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bell.qasm"
+	src := "qreg q[2];\nh q[0];\ncx q[0], q[1];\n"
+	if err := writeFile(path, src); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run([]string{"simulate", path}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run([]string{"simulate"}); err == nil {
+		t.Error("missing path succeeded")
+	}
+	if err := run([]string{"simulate", dir + "/missing.qasm"}); err == nil {
+		t.Error("missing file succeeded")
+	}
+	bad := dir + "/bad.qasm"
+	if err := writeFile(bad, "frob q[0];"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run([]string{"simulate", bad}); err == nil {
+		t.Error("bad circuit succeeded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,84 @@
+// Command kaasd runs a KaaS server: a simulated accelerator host with the
+// KaaS control plane, serving the KaaS wire protocol over TCP.
+//
+// Usage:
+//
+//	kaasd -listen 127.0.0.1:7070 -gpus 4 -fpgas 1 -scale 1
+//
+// With -scale 1 the device cost models run in real time; larger scales
+// compress modeled time for demonstrations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"kaas"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kaasd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kaasd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "TCP listen address")
+	gpus := fs.Int("gpus", 4, "number of simulated Tesla P100 GPUs")
+	fpgas := fs.Int("fpgas", 1, "number of simulated Alveo U250 FPGAs")
+	tpus := fs.Int("tpus", 0, "number of simulated TPU v3 chips")
+	qpus := fs.Int("qpus", 0, "number of simulated QPU backends")
+	scale := fs.Float64("scale", 1, "modeled seconds per wall second")
+	idle := fs.Duration("idle-timeout", 0, "reap task runners idle this long (0 = never)")
+	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var profiles []kaas.DeviceProfile
+	for i := 0; i < *gpus; i++ {
+		profiles = append(profiles, kaas.TeslaP100)
+	}
+	for i := 0; i < *fpgas; i++ {
+		profiles = append(profiles, kaas.AlveoU250)
+	}
+	for i := 0; i < *tpus; i++ {
+		profiles = append(profiles, kaas.TPUv3Chip)
+	}
+	for i := 0; i < *qpus; i++ {
+		profiles = append(profiles, kaas.AerSimulatorHost)
+	}
+
+	p, err := kaas.New(
+		kaas.WithListenAddr(*listen),
+		kaas.WithTimeScale(*scale),
+		kaas.WithAccelerators(profiles...),
+		kaas.WithIdleTimeout(*idle),
+	)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	if *register {
+		for _, k := range kaas.KernelSuite() {
+			if err := p.Register(k); err != nil {
+				fmt.Fprintf(os.Stderr, "kaasd: skip %s: %v\n", k.Name(), err)
+			}
+		}
+	}
+
+	fmt.Printf("kaasd listening on %s (%d devices, scale %.0fx)\n",
+		p.Addr(), len(profiles), *scale)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("kaasd: shutting down")
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag succeeded")
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	if err := run([]string{"-listen", "256.256.256.256:99999"}); err == nil {
+		t.Error("bad listen address succeeded")
+	}
+}
+
+// TestRunServesUntilSignal starts the daemon on an ephemeral port and
+// shuts it down with SIGTERM.
+func TestRunServesUntilSignal(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-gpus", "1", "-fpgas", "1",
+			"-scale", "1000",
+			"-register-suite",
+		})
+	}()
+	// Give the daemon time to come up and register kernels, then stop it.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}

@@ -1,0 +1,87 @@
+package kaas_test
+
+import (
+	"context"
+	"fmt"
+
+	"kaas"
+)
+
+// ExampleNew shows the minimal KaaS session: register a kernel, watch the
+// first invocation pay the cold start, and the second run warm.
+func ExampleNew() {
+	p, err := kaas.New(kaas.WithAccelerators(kaas.TeslaP100))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer p.Close()
+
+	if err := p.RegisterByName("mci"); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 2; i++ {
+		_, report, err := p.Invoke(context.Background(), "mci", kaas.Params{"n": 1000}, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("invocation %d cold=%v\n", i+1, report.Cold)
+	}
+	// Output:
+	// invocation 1 cold=true
+	// invocation 2 cold=false
+}
+
+// ExampleFuse composes two FPGA kernels into one device-resident pipeline.
+func ExampleFuse() {
+	bitmap, _ := kaas.KernelByName("bitmap")
+	histogram, _ := kaas.KernelByName("histogram")
+	fused, err := kaas.Fuse("bitmap+histogram", bitmap, histogram)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(fused.Name(), "on", fused.Kind())
+	// Output:
+	// bitmap+histogram on FPGA
+}
+
+// ExamplePlatform_NewWorkflow chains heterogeneous kernels into the
+// paper's image pipeline.
+func ExamplePlatform_NewWorkflow() {
+	p, err := kaas.New(kaas.WithAccelerators(kaas.NvidiaA100, kaas.AlveoU250))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer p.Close()
+	for _, name := range []string{"preprocess", "bitmap", "resnet"} {
+		if err := p.RegisterByName(name); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	w, err := p.NewWorkflow(
+		kaas.WorkflowStage{Kernel: "preprocess", Params: kaas.Params{"height": 64, "width": 64, "crop": 32}},
+		kaas.WorkflowStage{Kernel: "bitmap", Params: kaas.Params{"height": 32, "width": 32, "factor": 2}},
+		kaas.WorkflowStage{Kernel: "resnet", Params: kaas.Params{"batch": 1}},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := w.Run(context.Background(), nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, st := range res.Stages {
+		fmt.Println(st.Kernel)
+	}
+	// Output:
+	// preprocess
+	// bitmap
+	// resnet
+}

@@ -1,0 +1,80 @@
+// Autoscale demonstrates KaaS elasticity (§5.5): a growing closed-loop
+// client population issues matrix multiplications against an eight-GPU
+// host, and the platform starts task runners on fresh GPUs as existing
+// ones saturate their in-flight threshold.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"kaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gpus := make([]kaas.DeviceProfile, 8)
+	for i := range gpus {
+		gpus[i] = kaas.TeslaV100
+	}
+	platform, err := kaas.New(
+		kaas.WithAccelerators(gpus...),
+		kaas.WithMaxInFlight(4),
+		kaas.WithTimeScale(2000),
+	)
+	if err != nil {
+		return err
+	}
+	defer platform.Close()
+	if err := platform.RegisterByName("matmul"); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	startClient := func(id int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				_, _, err := platform.Invoke(ctx, "matmul", kaas.Params{"n": 10000}, nil)
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Ramp: add four clients every wall 50 ms (modeled 100 s per step is
+	// compressed by the time scale), observing the runner pool.
+	const steps = 6
+	for step := 1; step <= steps; step++ {
+		for i := 0; i < 4; i++ {
+			startClient((step-1)*4 + i)
+		}
+		time.Sleep(50 * time.Millisecond)
+		st := platform.Stats()
+		fmt.Printf("clients=%2d  runners=%d  in-flight=%2d  runners-per-device=%v\n",
+			step*4, st.Runners, st.InFlight, st.RunnersPerDevice)
+	}
+	cancel()
+	wg.Wait()
+
+	final := platform.Stats()
+	fmt.Printf("\nfinal: %d runners across %d devices after %d cold starts\n",
+		final.Runners, len(final.RunnersPerDevice), final.ColdStarts)
+	return nil
+}

@@ -1,0 +1,5 @@
+// Bell pair: maximally entangled two-qubit state.
+// Run with: go run ./cmd/kaasctl simulate examples/circuits/bell.qasm
+qreg q[2];
+h q[0];
+cx q[0], q[1];

@@ -1,0 +1,7 @@
+// Four-qubit GHZ state.
+// Run with: go run ./cmd/kaasctl simulate examples/circuits/ghz.qasm
+qreg q[4];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];

@@ -1,0 +1,10 @@
+// Preparation half of quantum teleportation: an arbitrary payload state
+// on q[0] plus an entangled resource pair on q[1], q[2], followed by the
+// sender's Bell-basis rotation.
+qreg q[3];
+ry(0.7) q[0];
+rz(pi/3) q[0];
+h q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];

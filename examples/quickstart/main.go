@@ -1,0 +1,59 @@
+// Quickstart: stand up a KaaS platform with one simulated GPU, register
+// the matrix-multiplication kernel, and watch a cold start turn into warm
+// invocations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"kaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One Tesla P100; modeled time runs 1000x wall time.
+	platform, err := kaas.New(kaas.WithAccelerators(kaas.TeslaP100))
+	if err != nil {
+		return err
+	}
+	defer platform.Close()
+
+	// Register the kernel once; this also warms the host framework, so
+	// even the first runner start skips the library import.
+	if err := platform.RegisterByName("matmul"); err != nil {
+		return err
+	}
+
+	for i := 1; i <= 5; i++ {
+		resp, report, err := platform.Invoke(context.Background(), "matmul",
+			kaas.Params{"n": 500, "seed": float64(i)}, nil)
+		if err != nil {
+			return err
+		}
+		start := "warm"
+		if report.Cold {
+			start = "cold"
+		}
+		fmt.Printf("invocation %d: %-4s total=%8.3fs  (runtime init %.3fs, kernel %.3fs)  checksum=%.2f\n",
+			i, start,
+			report.Total().Seconds(),
+			report.Breakdown.RuntimeInit.Seconds(),
+			report.Breakdown.KernelTime().Seconds(),
+			resp.Values["checksum"])
+	}
+
+	stats := platform.Stats()
+	fmt.Printf("\nserver: %d kernel(s), %d runner(s), %d cold start(s)\n",
+		stats.Kernels, stats.Runners, stats.ColdStarts)
+	return nil
+}

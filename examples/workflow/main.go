@@ -1,0 +1,99 @@
+// Workflow demonstrates composing heterogeneous kernels into a pipeline
+// with the Workflow API (§3.4's usability story), and the kernel-fusion
+// optimization (§6): two adjacent FPGA stages fused into one kernel so
+// the intermediate payload never leaves the device.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"kaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "workflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	platform, err := kaas.New(kaas.WithAccelerators(kaas.NvidiaA100, kaas.AlveoU250))
+	if err != nil {
+		return err
+	}
+	defer platform.Close()
+
+	// --- Part 1: a three-stage heterogeneous workflow ------------------
+	for _, name := range []string{"preprocess", "bitmap", "resnet"} {
+		if err := platform.RegisterByName(name); err != nil {
+			return err
+		}
+	}
+	pipeline, err := platform.NewWorkflow(
+		kaas.WorkflowStage{Kernel: "preprocess", Params: kaas.Params{"height": 128, "width": 128, "crop": 64}},
+		kaas.WorkflowStage{Kernel: "bitmap", Params: kaas.Params{"height": 64, "width": 64, "factor": 2}},
+		kaas.WorkflowStage{Kernel: "resnet", Params: kaas.Params{"batch": 1}},
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("heterogeneous workflow (CPU -> FPGA -> GPU):")
+	for round := 1; round <= 2; round++ {
+		res, err := pipeline.Run(context.Background(), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  round %d: total %.3fs", round, res.Total.Seconds())
+		for _, st := range res.Stages {
+			mode := "warm"
+			if st.Report.Cold {
+				mode = "cold"
+			}
+			fmt.Printf("  [%s %s %.3fs]", st.Kernel, mode, st.Report.Total().Seconds())
+		}
+		fmt.Printf("  class=%d\n", int(res.Output().Values["first_class"]))
+	}
+
+	// --- Part 2: kernel fusion on the FPGA -----------------------------
+	bitmap, err := kaas.KernelByName("bitmap")
+	if err != nil {
+		return err
+	}
+	histogram, err := kaas.KernelByName("histogram")
+	if err != nil {
+		return err
+	}
+	fusedKernel, err := kaas.Fuse("bitmap+histogram", bitmap, histogram)
+	if err != nil {
+		return err
+	}
+	if err := platform.Register(fusedKernel); err != nil {
+		return err
+	}
+
+	params := kaas.Params{"height": 1080, "width": 1920, "n": 2097504}
+	fmt.Println("\nfused FPGA pipeline (bitmap -> histogram, intermediate stays on device):")
+	for round := 1; round <= 2; round++ {
+		resp, report, err := platform.Invoke(context.Background(), "bitmap+histogram", params, nil)
+		if err != nil {
+			return err
+		}
+		mode := "warm"
+		if report.Cold {
+			mode = "cold"
+		}
+		fmt.Printf("  round %d: %s total %.3fs (copy-in %.3fs, exec %.3fs, copy-out %.3fs), histogram total %.0f\n",
+			round, mode, report.Total().Seconds(),
+			report.Breakdown.CopyIn.Seconds(),
+			report.Breakdown.Exec.Seconds(),
+			report.Breakdown.CopyOut.Seconds(),
+			resp.Values["histogram.total"])
+	}
+	return nil
+}

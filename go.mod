@@ -1,0 +1,3 @@
+module kaas
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package baseline implements the accelerator delivery models KaaS is
+// evaluated against: the conventional one-process-per-task pattern in
+// which every task imports the host framework, creates a fresh device
+// context, and tears everything down afterwards.
+//
+//   - Time sharing (the paper's "exclusive" model): run against a host
+//     whose device profiles have Slots=1, so context acquisition
+//     serializes tasks on the device.
+//   - Space sharing (MPS): the same executor against devices with
+//     Slots=N, so contexts coexist and kernels share the fabric.
+//
+// The executor is deliberately the same code for both: the sharing level
+// is a property of the device, exactly as in Fig. 4.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+)
+
+// ErrNoDevice indicates the host lacks a device of the kernel's kind.
+var ErrNoDevice = errors.New("baseline: no device of required kind")
+
+// Config configures an Executor.
+type Config struct {
+	// Clock is the time source (required).
+	Clock vclock.Clock
+	// Host supplies the devices (required).
+	Host *accel.Host
+	// HostPrepCost is the modeled per-task host-side preparation (memory
+	// allocation, argument staging). Default 150 ms, matching the
+	// overhead split of Fig. 7.
+	HostPrepCost time.Duration
+	// SpreadDevices places tasks on the least-busy device instead of the
+	// first one (the numba default always uses the first GPU, which the
+	// paper's baseline does).
+	SpreadDevices bool
+	// DisableCompute skips the real host computation, as in core.Config.
+	DisableCompute bool
+}
+
+// Executor runs kernels the conventional way: everything initialized per
+// task. It is safe for concurrent use.
+type Executor struct {
+	cfg   Config
+	clock vclock.Clock
+
+	mu   sync.Mutex
+	next int
+}
+
+// New creates an executor.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("baseline: config needs a clock")
+	}
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("baseline: config needs a host")
+	}
+	if cfg.HostPrepCost == 0 {
+		cfg.HostPrepCost = 150 * time.Millisecond
+	}
+	return &Executor{cfg: cfg, clock: cfg.Clock}, nil
+}
+
+// Run executes one task end to end, paying all initialization costs, and
+// returns the kernel response with a phase report. Every Run models a
+// fresh application process.
+func (e *Executor) Run(ctx context.Context, k kernels.Kernel, req *kernels.Request) (*kernels.Response, *core.Report, error) {
+	if req == nil {
+		req = &kernels.Request{}
+	}
+	if req.Params == nil {
+		req.Params = kernels.Params{}
+	}
+	devs := e.cfg.Host.DevicesByKind(k.Kind())
+	if len(devs) == 0 {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoDevice, k.Kind())
+	}
+	dev := e.pick(devs)
+	prof := dev.Profile()
+
+	report := &core.Report{Kernel: k.Name(), Device: dev.ID(), Cold: true}
+
+	// Host framework import: paid on every task in the baseline model.
+	e.clock.Sleep(prof.LibraryInit)
+	report.Breakdown.LibraryInit += prof.LibraryInit
+
+	// Host-side preparation.
+	e.clock.Sleep(e.cfg.HostPrepCost)
+	report.Breakdown.Other += e.cfg.HostPrepCost
+
+	cost, err := k.Cost(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("baseline: cost model: %w", err)
+	}
+
+	// Device context creation: queues behind other tasks when the device
+	// has a single slot (time sharing).
+	acqStart := e.clock.Now()
+	dctx, err := dev.Acquire(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer dctx.Release()
+	acq := e.clock.Now().Sub(acqStart)
+	report.Breakdown.RuntimeInit += prof.RuntimeInit
+	if q := acq - prof.RuntimeInit; q > 0 {
+		report.Breakdown.Queue += q
+	}
+
+	// Kernel setup: also per task here (nothing is cached).
+	if cost.SetupTime > 0 {
+		e.clock.Sleep(cost.SetupTime)
+		report.Breakdown.Setup += cost.SetupTime
+	}
+
+	if cost.DeviceMemory > 0 {
+		if err := dctx.Alloc(cost.DeviceMemory); err != nil {
+			return nil, nil, fmt.Errorf("baseline: %w", err)
+		}
+		defer dctx.Free(cost.DeviceMemory)
+	}
+
+	copyIn, err := dctx.Copy(ctx, cost.BytesIn)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Breakdown.CopyIn += copyIn
+
+	execTime, err := dctx.Exec(ctx, cost.Work)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Breakdown.Exec += execTime
+
+	var resp *kernels.Response
+	if e.cfg.DisableCompute {
+		resp = &kernels.Response{Values: map[string]float64{"computed": 0}}
+	} else {
+		resp, err = k.Execute(req)
+		if err != nil {
+			return nil, nil, fmt.Errorf("baseline: execute: %w", err)
+		}
+	}
+
+	copyOut, err := dctx.Copy(ctx, cost.BytesOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Breakdown.CopyOut += copyOut
+	return resp, report, nil
+}
+
+// pick selects the target device.
+func (e *Executor) pick(devs []*accel.Device) *accel.Device {
+	if !e.cfg.SpreadDevices || len(devs) == 1 {
+		return devs[0]
+	}
+	// Least busy by active contexts; ties broken round-robin.
+	e.mu.Lock()
+	best := devs[e.next%len(devs)]
+	e.next++
+	e.mu.Unlock()
+	for _, d := range devs {
+		if d.Stats().ActiveContexts < best.Stats().ActiveContexts {
+			best = d
+		}
+	}
+	return best
+}

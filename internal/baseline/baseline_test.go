@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+)
+
+func gpuProfile(slots int) accel.Profile {
+	return accel.Profile{
+		Name:           "test GPU",
+		Kind:           accel.GPU,
+		RuntimeInit:    400 * time.Millisecond,
+		LibraryInit:    500 * time.Millisecond,
+		LaunchOverhead: time.Millisecond,
+		ComputeRate:    1e9,
+		CopyBandwidth:  1e9,
+		Slots:          slots,
+		MemoryBytes:    1 << 30,
+		IdlePower:      30,
+		BusyPower:      250,
+	}
+}
+
+func newExec(t *testing.T, slots int, mutate func(*Config)) (*Executor, vclock.Clock) {
+	t.Helper()
+	clock := vclock.Scaled(1000)
+	host, err := accel.NewHost(clock, "t", accel.XeonE52698, gpuProfile(slots), gpuProfile(slots))
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(host.Close)
+	cfg := Config{Clock: clock, Host: host}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without clock succeeded")
+	}
+	if _, err := New(Config{Clock: vclock.Real()}); err == nil {
+		t.Error("New without host succeeded")
+	}
+}
+
+func TestEveryTaskPaysFullInit(t *testing.T) {
+	e, _ := newExec(t, 8, nil)
+	k := kernels.NewMatMul(accel.GPU)
+	req := &kernels.Request{Params: kernels.Params{"n": 64}}
+
+	for i := 0; i < 2; i++ {
+		_, rep, err := e.Run(context.Background(), k, req)
+		if err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+		if !rep.Cold {
+			t.Errorf("run %d not cold", i)
+		}
+		if rep.Breakdown.LibraryInit < 400*time.Millisecond {
+			t.Errorf("run %d LibraryInit = %v, want >= 400ms", i, rep.Breakdown.LibraryInit)
+		}
+		if rep.Breakdown.RuntimeInit < 300*time.Millisecond {
+			t.Errorf("run %d RuntimeInit = %v, want >= 300ms", i, rep.Breakdown.RuntimeInit)
+		}
+		if rep.Breakdown.Other < 100*time.Millisecond {
+			t.Errorf("run %d host prep = %v, want >= 100ms", i, rep.Breakdown.Other)
+		}
+	}
+}
+
+func TestExclusiveSerializesOnDevice(t *testing.T) {
+	// Slots=1: two concurrent tasks on the same device must queue.
+	e, _ := newExec(t, 1, nil)
+	k := &slowKernel{work: 3e9} // 3 modeled seconds
+	var wg sync.WaitGroup
+	queued := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rep, err := e.Run(context.Background(), k, nil)
+			if err != nil {
+				t.Errorf("Run: %v", err)
+				return
+			}
+			queued[i] = rep.Breakdown.Queue
+		}()
+	}
+	wg.Wait()
+	// One of the two must have queued for roughly the other's occupancy.
+	maxQ := queued[0]
+	if queued[1] > maxQ {
+		maxQ = queued[1]
+	}
+	if maxQ < 2*time.Second {
+		t.Errorf("max queue = %v, want >= 2s under exclusive sharing", maxQ)
+	}
+}
+
+func TestSpaceSharingRunsConcurrently(t *testing.T) {
+	e, _ := newExec(t, 8, nil)
+	k := &slowKernel{work: 3e9}
+	var wg sync.WaitGroup
+	queued := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rep, err := e.Run(context.Background(), k, nil)
+			if err != nil {
+				t.Errorf("Run: %v", err)
+				return
+			}
+			queued[i] = rep.Breakdown.Queue
+		}()
+	}
+	wg.Wait()
+	for i, q := range queued {
+		if q > time.Second {
+			t.Errorf("task %d queued %v under space sharing, want ~0", i, q)
+		}
+	}
+}
+
+func TestSpreadDevicesBalances(t *testing.T) {
+	e, _ := newExec(t, 1, func(c *Config) { c.SpreadDevices = true })
+	k := &slowKernel{work: 10e9}
+	var wg sync.WaitGroup
+	devices := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rep, err := e.Run(context.Background(), k, nil)
+			if err != nil {
+				t.Errorf("Run: %v", err)
+				return
+			}
+			devices[i] = rep.Device
+		}()
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	if devices[0] == devices[1] {
+		t.Errorf("both tasks on %s despite SpreadDevices", devices[0])
+	}
+}
+
+func TestFirstFitDefaultUsesFirstDevice(t *testing.T) {
+	e, _ := newExec(t, 8, nil)
+	k := &slowKernel{work: 1e6}
+	for i := 0; i < 3; i++ {
+		_, rep, err := e.Run(context.Background(), k, nil)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if rep.Device != "t/GPU0" {
+			t.Errorf("task on %s, want t/GPU0 (numba default)", rep.Device)
+		}
+	}
+}
+
+func TestMissingDeviceKind(t *testing.T) {
+	e, _ := newExec(t, 1, nil)
+	k := kernels.NewHistogram() // FPGA kernel, host has none
+	if _, _, err := e.Run(context.Background(), k, nil); !errors.Is(err, ErrNoDevice) {
+		t.Errorf("err = %v, want ErrNoDevice", err)
+	}
+}
+
+func TestDisableCompute(t *testing.T) {
+	e, _ := newExec(t, 8, func(c *Config) { c.DisableCompute = true })
+	k := kernels.NewMatMul(accel.GPU)
+	resp, _, err := e.Run(context.Background(), k, &kernels.Request{Params: kernels.Params{"n": 64}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := resp.Values["checksum"]; ok {
+		t.Error("compute ran despite DisableCompute")
+	}
+}
+
+func TestSetupWorkCharged(t *testing.T) {
+	e, _ := newExec(t, 8, nil)
+	k := &slowKernel{work: 1e6, setup: 2 * time.Second}
+	_, rep, err := e.Run(context.Background(), k, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Breakdown.Setup < time.Second {
+		t.Errorf("Setup = %v, want >= 1s", rep.Breakdown.Setup)
+	}
+}
+
+// slowKernel is a minimal kernel with configurable work.
+type slowKernel struct {
+	work  float64
+	setup time.Duration
+}
+
+var _ kernels.Kernel = (*slowKernel)(nil)
+
+func (s *slowKernel) Name() string     { return "slow" }
+func (s *slowKernel) Kind() accel.Kind { return accel.GPU }
+
+func (s *slowKernel) Cost(*kernels.Request) (kernels.Cost, error) {
+	return kernels.Cost{Work: s.work, SetupTime: s.setup, BytesIn: 100, BytesOut: 100}, nil
+}
+
+func (s *slowKernel) Execute(*kernels.Request) (*kernels.Response, error) {
+	return &kernels.Response{Values: map[string]float64{"done": 1}}, nil
+}

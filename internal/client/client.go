@@ -1,0 +1,250 @@
+// Package client implements the KaaS client API (§4.1): TCP-based kernel
+// registration and invocation with in-band (serialized) or out-of-band
+// (shared-memory) data transfer, plus optional network shaping so
+// loopback deployments can be measured as if remote.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kaas/internal/kernels"
+	"kaas/internal/netshape"
+	"kaas/internal/shm"
+	"kaas/internal/wire"
+)
+
+// ErrClosed indicates use of a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// RemoteError is a failure reported by the server.
+type RemoteError struct {
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "client: server error: " + e.Message }
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithLink shapes all traffic through the given network link.
+func WithLink(l *netshape.Link) Option {
+	return func(c *Client) { c.link = l }
+}
+
+// WithShm enables out-of-band transfer through a shared-memory registry.
+// The registry must be the same instance the server uses (same host).
+func WithShm(r *shm.Registry) Option {
+	return func(c *Client) { c.regions = r }
+}
+
+// Client talks to a KaaS server. It is safe for concurrent use: each
+// in-flight request uses its own pooled connection.
+type Client struct {
+	addr    string
+	link    *netshape.Link
+	regions *shm.Registry
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial creates a client for the server at addr. Connections are opened
+// lazily.
+func Dial(addr string, opts ...Option) *Client {
+	c := &Client{addr: addr}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close closes all pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}
+
+// getConn returns a pooled or fresh connection.
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// roundTrip sends one message and reads one reply, applying link shaping
+// to both directions.
+func (c *Client) roundTrip(msg *wire.Message) (*wire.Message, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	if size, err := wire.FrameSize(msg); err == nil {
+		c.link.Transfer(size)
+	}
+	if err := wire.Write(conn, msg); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := wire.Read(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: read reply: %w", err)
+	}
+	if size, err := wire.FrameSize(reply); err == nil {
+		c.link.Transfer(size)
+	}
+	c.putConn(conn)
+	if reply.Type == wire.MsgError {
+		return nil, &RemoteError{Message: reply.Header.Error}
+	}
+	return reply, nil
+}
+
+// Register registers a kernel (by library name) on the server.
+func (c *Client) Register(kernel string) error {
+	reply, err := c.roundTrip(&wire.Message{
+		Type:   wire.MsgRegister,
+		Header: wire.Header{Kernel: kernel},
+	})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.MsgRegistered {
+		return fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return nil
+}
+
+// Result is a completed invocation.
+type Result struct {
+	// Values are the kernel's scalar outputs.
+	Values map[string]float64
+	// Data is the kernel's output payload.
+	Data []byte
+	// Cold reports whether the invocation started a new runner.
+	Cold bool
+	// ServerTime is the server-side modeled invocation duration.
+	ServerTime time.Duration
+}
+
+// Invoke calls a kernel with parameters and an optional in-band payload.
+func (c *Client) Invoke(kernel string, params kernels.Params, data []byte) (*Result, error) {
+	return c.invoke(&wire.Message{
+		Type:   wire.MsgInvoke,
+		Header: wire.Header{Kernel: kernel, Params: params},
+		Body:   data,
+	})
+}
+
+// InvokeOutOfBand calls a kernel passing the payload through shared
+// memory: only the region key crosses the wire. Requires WithShm and a
+// same-host server. Results are also returned out-of-band when possible.
+func (c *Client) InvokeOutOfBand(kernel string, params kernels.Params, data []byte) (*Result, error) {
+	if c.regions == nil {
+		return nil, errors.New("client: out-of-band transfer needs WithShm")
+	}
+	key, err := c.regions.Create(data)
+	if err != nil {
+		return nil, err
+	}
+	defer c.regions.Delete(key)
+	return c.invoke(&wire.Message{
+		Type: wire.MsgInvoke,
+		Header: wire.Header{
+			Kernel:        kernel,
+			Params:        params,
+			ShmKey:        key,
+			WantShmResult: true,
+		},
+	})
+}
+
+func (c *Client) invoke(msg *wire.Message) (*Result, error) {
+	reply, err := c.roundTrip(msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != wire.MsgResult {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	res := &Result{
+		Values:     reply.Header.Values,
+		Data:       reply.Body,
+		Cold:       reply.Header.ColdStart,
+		ServerTime: time.Duration(reply.Header.DurationNanos),
+	}
+	if key := reply.Header.ResultShmKey; key != "" && c.regions != nil {
+		data, err := c.regions.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		c.regions.Delete(key)
+		res.Data = data
+	}
+	return res, nil
+}
+
+// List returns the kernel names registered on the server.
+func (c *Client) List() ([]string, error) {
+	reply, err := c.roundTrip(&wire.Message{Type: wire.MsgList})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != wire.MsgListResult {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return reply.Header.Names, nil
+}
+
+// Stats fetches the server's statistics document.
+func (c *Client) Stats(out any) error {
+	reply, err := c.roundTrip(&wire.Message{Type: wire.MsgStats})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.MsgStatsResult {
+		return fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	if err := json.Unmarshal(reply.Header.Stats, out); err != nil {
+		return fmt.Errorf("client: decode stats: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+)
+
+// ReplaceKernel atomically swaps a registered kernel's implementation —
+// the dynamic optimization of the paper's §6: the provider can replace a
+// kernel with a better implementation (or retarget it to newer hardware)
+// without reconfiguring the application. The new implementation must keep
+// the same name.
+//
+// Existing runners of the old implementation are drained: idle ones are
+// released immediately, busy ones finish their in-flight invocations and
+// are released afterwards. New invocations spawn runners of the new
+// implementation.
+func (s *Server) ReplaceKernel(k kernels.Kernel) error {
+	if k == nil {
+		return fmt.Errorf("core: nil kernel")
+	}
+	if len(s.cfg.Host.DevicesByKind(k.Kind())) == 0 {
+		return fmt.Errorf("%w: %s for kernel %q", ErrNoDevice, k.Kind(), k.Name())
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	e, ok := s.entries[k.Name()]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownKernel, k.Name())
+	}
+	oldKind := e.kernel.Kind()
+	e.kernel = k
+
+	// Drain: idle runners go now; busy runners are marked and reaped as
+	// they release.
+	var victims []*runner
+	for _, r := range e.runners {
+		if r.removed {
+			continue
+		}
+		r.draining = true
+		if r.inflight == 0 && runnerStarted(r) {
+			victims = append(victims, r)
+		}
+	}
+	for _, r := range victims {
+		r.inflight++ // balance the decrement in removeRunnerLocked
+		s.removeRunnerLocked(e, r)
+	}
+	needLibInit := !s.libInit[k.Kind()]
+	s.libInit[k.Kind()] = true
+	s.mu.Unlock()
+
+	// A retarget to a new device kind initializes that kind's framework.
+	if needLibInit && k.Kind() != oldKind {
+		s.clock.Sleep(s.libraryInitCost(k.Kind()))
+	}
+	s.cfg.Logger.Info("kernel replaced",
+		"kernel", k.Name(), "kind", k.Kind().String(), "drained", len(victims))
+	return nil
+}
+
+// runnerStarted reports whether the runner's cold start has completed.
+func runnerStarted(r *runner) bool {
+	select {
+	case <-r.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Retarget replaces a registered kernel with the same implementation
+// bound to a different device kind — a hardware upgrade without touching
+// the application (§3.4, §6).
+func (s *Server) Retarget(name string, kind accel.Kind) error {
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownKernel, name)
+	}
+	k := e.kernel
+	s.mu.Unlock()
+	return s.ReplaceKernel(kernels.Retarget(k, kind))
+}

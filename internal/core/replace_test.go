@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+)
+
+func TestReplaceKernelSwapsImplementation(t *testing.T) {
+	s, _, _ := newTestServer(t, 2, nil)
+	v1 := &fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()}
+	if err := s.Register(v1); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, _, err := s.Invoke(context.Background(), "k", nil); err != nil {
+		t.Fatalf("Invoke v1: %v", err)
+	}
+	if st := s.Stats(); st.Runners != 1 {
+		t.Fatalf("Runners = %d, want 1", st.Runners)
+	}
+
+	// Swap in a new implementation; the idle v1 runner is drained away.
+	v2 := &fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()}
+	if err := s.ReplaceKernel(v2); err != nil {
+		t.Fatalf("ReplaceKernel: %v", err)
+	}
+	if st := s.Stats(); st.Runners != 0 {
+		t.Errorf("Runners after replace = %d, want 0 (drained)", st.Runners)
+	}
+
+	_, rep, err := s.Invoke(context.Background(), "k", nil)
+	if err != nil {
+		t.Fatalf("Invoke v2: %v", err)
+	}
+	if !rep.Cold {
+		t.Error("post-replacement invocation should be cold")
+	}
+	if v2.executions() != 1 {
+		t.Errorf("v2 executions = %d, want 1", v2.executions())
+	}
+	if v1.executions() != 1 {
+		t.Errorf("v1 executions = %d, want 1 (only the pre-replace call)", v1.executions())
+	}
+}
+
+func TestReplaceKernelDrainsBusyRunnersAfterFlight(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, nil)
+	slow := &fakeKernel{name: "k", kind: accel.GPU,
+		cost: kernels.Cost{Work: 20e9, BytesIn: 100, BytesOut: 100}} // ~20 modeled s
+	if err := s.Register(slow); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.Invoke(context.Background(), "k", nil)
+		done <- err
+	}()
+	// Wait for the runner to exist and be busy.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Stats(); st.Runners == 1 && st.InFlight == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	v2 := &fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()}
+	if err := s.ReplaceKernel(v2); err != nil {
+		t.Fatalf("ReplaceKernel: %v", err)
+	}
+	// The busy runner survives until its invocation completes.
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight invocation failed across replacement: %v", err)
+	}
+	// After completion the drained runner is gone.
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Runners == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Runners != 0 {
+		t.Errorf("Runners = %d after drain, want 0", st.Runners)
+	}
+}
+
+func TestReplaceKernelValidation(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, nil)
+	if err := s.ReplaceKernel(nil); err == nil {
+		t.Error("nil kernel succeeded")
+	}
+	unknown := &fakeKernel{name: "ghost", kind: accel.GPU, cost: stdCost()}
+	if err := s.ReplaceKernel(unknown); !errors.Is(err, ErrUnknownKernel) {
+		t.Errorf("err = %v, want ErrUnknownKernel", err)
+	}
+	if err := s.Register(&fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	fpga := &fakeKernel{name: "k", kind: accel.FPGA, cost: stdCost()}
+	if err := s.ReplaceKernel(fpga); !errors.Is(err, ErrNoDevice) {
+		t.Errorf("err = %v, want ErrNoDevice (no FPGA on host)", err)
+	}
+}
+
+func TestRetargetMovesKernelToNewKind(t *testing.T) {
+	clock := vclock.Scaled(5000)
+	gpu := testGPUProfile()
+	cpu := accel.XeonE52698
+	host, err := accel.NewHost(clock, "test", cpu, gpu)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(host.Close)
+	s, err := New(Config{Clock: clock, Host: host})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+
+	mm := kernels.NewMatMul(accel.GPU)
+	if err := s.Register(mm); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := s.Retarget("matmul", accel.CPU); err != nil {
+		t.Fatalf("Retarget: %v", err)
+	}
+	_, rep, err := s.Invoke(context.Background(), "matmul",
+		&kernels.Request{Params: kernels.Params{"n": 32}})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if rep.Device != "test/cpu0" {
+		t.Errorf("post-retarget device = %q, want test/cpu0", rep.Device)
+	}
+	if err := s.Retarget("nope", accel.CPU); !errors.Is(err, ErrUnknownKernel) {
+		t.Errorf("err = %v, want ErrUnknownKernel", err)
+	}
+}

@@ -1,0 +1,37 @@
+// Package core implements the KaaS server: the paper's contribution. It
+// manages a registry of accelerator kernels, a pool of task runners that
+// hold warm device contexts, placement of new runners across devices, and
+// in-flight-based autoscaling — the architecture of §4.1 (Fig. 5).
+//
+// The three sharing models of Fig. 4 map onto this code as follows: time
+// sharing and space sharing are provided by the baseline package (fresh
+// context and fresh host process per task, device slot count 1 or N);
+// KaaS is this server, which pays library initialization once at kernel
+// registration, device runtime initialization once per runner, and
+// kernel setup work once per runner — so warm invocations run at
+// copy+execute cost only.
+package core
+
+import (
+	"time"
+
+	"kaas/internal/metrics"
+)
+
+// Report describes how one invocation was served, with the modeled time
+// breakdown the evaluation plots.
+type Report struct {
+	// Kernel is the invoked kernel name.
+	Kernel string
+	// Device is the device the invocation executed on.
+	Device string
+	// Runner is the task runner that served the invocation.
+	Runner string
+	// Cold reports whether this invocation started a new runner.
+	Cold bool
+	// Breakdown is the phase decomposition of the modeled time.
+	Breakdown metrics.Breakdown
+}
+
+// Total returns the total modeled task time.
+func (r *Report) Total() time.Duration { return r.Breakdown.Total() }

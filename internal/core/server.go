@@ -1,0 +1,728 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+)
+
+// Errors returned by the server.
+var (
+	// ErrUnknownKernel indicates an invocation of an unregistered kernel.
+	ErrUnknownKernel = errors.New("core: unknown kernel")
+	// ErrAlreadyRegistered indicates a duplicate registration.
+	ErrAlreadyRegistered = errors.New("core: kernel already registered")
+	// ErrServerClosed indicates the server has been shut down.
+	ErrServerClosed = errors.New("core: server closed")
+	// ErrNoDevice indicates the host has no device of the kernel's kind.
+	ErrNoDevice = errors.New("core: no device of required kind")
+)
+
+// PlacementPolicy selects the device for a new task runner.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// PlaceLeastLoaded picks the device of the right kind hosting the
+	// fewest runners — the paper's autoscaler behaviour ("start an
+	// additional task runner on a new GPU").
+	PlaceLeastLoaded PlacementPolicy = iota + 1
+	// PlaceRoundRobin cycles through devices per kernel.
+	PlaceRoundRobin
+	// PlaceFirstFit always picks the first device (the numba default
+	// behaviour the paper observes in the baseline).
+	PlaceFirstFit
+)
+
+// String returns the policy name.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceFirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// Clock is the time source (required).
+	Clock vclock.Clock
+	// Host supplies the accelerator devices (required).
+	Host *accel.Host
+	// MaxInFlightPerRunner is the in-flight threshold above which the
+	// autoscaler starts another runner. Default 4 (the paper's limit).
+	MaxInFlightPerRunner int
+	// MaxRunnersPerDevice caps runners placed on one device. Default 1.
+	MaxRunnersPerDevice int
+	// Placement selects where new runners go. Default PlaceLeastLoaded.
+	Placement PlacementPolicy
+	// RunnerSpawnCost is the modeled cost of starting a runner process.
+	// Default 30 ms.
+	RunnerSpawnCost time.Duration
+	// RoutingOverhead is the modeled per-invocation cost of request
+	// routing and serialization inside the host. Default 2 ms.
+	RoutingOverhead time.Duration
+	// RunnerIdleTimeout releases runners idle for this long (0 = never).
+	RunnerIdleTimeout time.Duration
+	// DisableCompute stops runners from performing the kernel's real
+	// host computation (they still charge the modeled device cost).
+	// Timing-shape experiments set it so wall-time of host arithmetic
+	// does not leak into the scaled modeled timeline; functional use
+	// leaves it false.
+	DisableCompute bool
+	// Logger receives structured lifecycle events (registrations, cold
+	// starts, evictions, failovers). Nil disables logging.
+	Logger *slog.Logger
+}
+
+// Server is the KaaS control plane for one host.
+type Server struct {
+	cfg   Config
+	clock vclock.Clock
+
+	mu         sync.Mutex
+	entries    map[string]*entry
+	libInit    map[accel.Kind]bool
+	runnersOn  map[string]int // device ID -> runner count
+	runnerSeq  int
+	coldStarts int
+	inFlight   int
+	closed     bool
+	reapTimer  vclock.Timer
+}
+
+// entry is the per-kernel state.
+type entry struct {
+	kernel     kernels.Kernel
+	runners    []*runner
+	rrNext     int
+	lastRunner int
+	// runnersOn counts this kernel's runners per device; the per-device
+	// runner cap is per kernel, so kernels place independently (device
+	// slots still bound total contexts).
+	runnersOn map[string]int
+}
+
+// runner is a task runner holding a warm device context.
+type runner struct {
+	id     string
+	device *accel.Device
+	dctx   *accel.Context
+
+	ready    chan struct{} // closed when cold start completes
+	startErr error
+
+	// guarded by Server.mu
+	inflight int
+	lastUsed time.Time
+	removed  bool
+	// draining runners finish in-flight work and are then released
+	// (set by ReplaceKernel).
+	draining bool
+}
+
+// New creates a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: config needs a clock")
+	}
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("core: config needs a host")
+	}
+	if cfg.MaxInFlightPerRunner <= 0 {
+		cfg.MaxInFlightPerRunner = 4
+	}
+	if cfg.MaxRunnersPerDevice <= 0 {
+		cfg.MaxRunnersPerDevice = 1
+	}
+	if cfg.Placement == 0 {
+		cfg.Placement = PlaceLeastLoaded
+	}
+	if cfg.RunnerSpawnCost == 0 {
+		cfg.RunnerSpawnCost = 30 * time.Millisecond
+	}
+	if cfg.RoutingOverhead == 0 {
+		cfg.RoutingOverhead = 2 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(discardHandler{})
+	}
+	s := &Server{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		entries:   make(map[string]*entry),
+		libInit:   make(map[accel.Kind]bool),
+		runnersOn: make(map[string]int),
+	}
+	if cfg.RunnerIdleTimeout > 0 {
+		s.scheduleReapLocked()
+	}
+	return s, nil
+}
+
+// SetComputeResults toggles real host computation of kernel results.
+func (s *Server) SetComputeResults(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.DisableCompute = !on
+}
+
+// Register deploys a kernel on the server. Registration initializes the
+// kernel's host framework (numba, TensorFlow, ...) once per device kind —
+// this is why a KaaS cold start is cheaper than a fresh baseline process
+// (§5.1): the library is already warm when the first runner spawns.
+func (s *Server) Register(k kernels.Kernel) error {
+	if k == nil {
+		return fmt.Errorf("core: nil kernel")
+	}
+	kind := k.Kind()
+	if len(s.cfg.Host.DevicesByKind(kind)) == 0 {
+		return fmt.Errorf("%w: %s for kernel %q", ErrNoDevice, kind, k.Name())
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if _, ok := s.entries[k.Name()]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, k.Name())
+	}
+	needLibInit := !s.libInit[kind]
+	s.libInit[kind] = true
+	s.entries[k.Name()] = &entry{kernel: k, runnersOn: make(map[string]int)}
+	s.mu.Unlock()
+
+	if needLibInit {
+		s.clock.Sleep(s.libraryInitCost(kind))
+	}
+	s.cfg.Logger.Info("kernel registered", "kernel", k.Name(), "kind", kind.String())
+	return nil
+}
+
+// libraryInitCost reads the library-init cost from the kind's device
+// profile.
+func (s *Server) libraryInitCost(kind accel.Kind) time.Duration {
+	devs := s.cfg.Host.DevicesByKind(kind)
+	if len(devs) == 0 {
+		return 0
+	}
+	return devs[0].Profile().LibraryInit
+}
+
+// Kernels returns the registered kernel names.
+func (s *Server) Kernels() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Invoke routes one invocation to a warm or new runner and returns the
+// kernel response plus a report of how it was served.
+func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) (*kernels.Response, *Report, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrServerClosed
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownKernel, name)
+	}
+	s.inFlight++
+
+	// Snapshot the implementation: ReplaceKernel may swap e.kernel while
+	// this invocation is in flight.
+	k := e.kernel
+	r, spawner := s.selectRunnerLocked(e)
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	report := &Report{Kernel: name, Runner: r.id}
+
+	// Modeled request routing cost.
+	s.clock.Sleep(s.cfg.RoutingOverhead)
+	report.Breakdown.Other += s.cfg.RoutingOverhead
+
+	if spawner {
+		report.Cold = true
+		s.coldStart(k, r, &report.Breakdown)
+	} else {
+		// Wait for the runner to finish starting if necessary.
+		waitStart := s.clock.Now()
+		select {
+		case <-r.ready:
+		case <-ctx.Done():
+			s.releaseRunner(e, r)
+			return nil, nil, ctx.Err()
+		}
+		report.Breakdown.Queue += s.clock.Now().Sub(waitStart)
+	}
+	if r.startErr != nil {
+		err := r.startErr
+		s.removeRunner(e, r)
+		return nil, nil, fmt.Errorf("core: runner start: %w", err)
+	}
+
+	resp, err := s.serve(ctx, k, r, req, report)
+	s.releaseRunner(e, r)
+	if err != nil {
+		if errors.Is(err, accel.ErrDeviceFailed) {
+			// The runner's device failed: retire the runner and retry
+			// once; the autoscaler will place a new runner on a healthy
+			// device.
+			s.cfg.Logger.Warn("device failure, failing over",
+				"kernel", name, "runner", r.id, "device", r.device.ID())
+			s.removeRunner(e, r)
+			return s.failover(ctx, name, req, report)
+		}
+		return nil, nil, err
+	}
+	report.Device = r.device.ID()
+	return resp, report, nil
+}
+
+// failover retries an invocation after a device failure, accumulating the
+// time already spent into the retried report.
+func (s *Server) failover(ctx context.Context, name string, req *kernels.Request, prior *Report) (*kernels.Response, *Report, error) {
+	resp, report, err := s.Invoke(ctx, name, req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: failover for %q: %w", name, err)
+	}
+	report.Breakdown = report.Breakdown.Add(prior.Breakdown)
+	report.Cold = true
+	return resp, report, nil
+}
+
+// selectRunnerLocked picks a runner for a new invocation, creating one if
+// the autoscaling policy calls for it. It returns the runner and whether
+// the caller is responsible for its cold start.
+func (s *Server) selectRunnerLocked(e *entry) (*runner, bool) {
+	// Prefer the least-loaded existing runner under the in-flight cap,
+	// breaking ties by rotating through the pool so load (and therefore
+	// devices) is allocated evenly, as the paper observes for KaaS.
+	var best *runner
+	n := len(e.runners)
+	for i := 0; i < n; i++ {
+		r := e.runners[(e.lastRunner+1+i)%n]
+		if r.removed || r.draining {
+			continue
+		}
+		if r.inflight < s.cfg.MaxInFlightPerRunner && (best == nil || r.inflight < best.inflight) {
+			best = r
+		}
+	}
+	if best != nil {
+		best.inflight++
+		for i, r := range e.runners {
+			if r == best {
+				e.lastRunner = i
+				break
+			}
+		}
+		return best, false
+	}
+
+	// All runners saturated: scale out if a device has capacity.
+	if dev := s.placeLocked(e); dev != nil {
+		s.runnerSeq++
+		r := &runner{
+			id:       fmt.Sprintf("runner-%d", s.runnerSeq),
+			device:   dev,
+			ready:    make(chan struct{}),
+			inflight: 1,
+			lastUsed: s.clock.Now(),
+		}
+		e.runners = append(e.runners, r)
+		s.runnersOn[dev.ID()]++
+		e.runnersOn[dev.ID()]++
+		s.coldStarts++
+		return r, true
+	}
+
+	// No capacity for new runners: overbook the least-loaded one. The
+	// in-flight limit is a scaling trigger, not an admission limit
+	// (§5.5: the GPU can take more parallel work than the threshold).
+	for _, r := range e.runners {
+		if r.removed || r.draining {
+			continue
+		}
+		if best == nil || r.inflight < best.inflight {
+			best = r
+		}
+	}
+	if best == nil {
+		// No runner exists and no device capacity: create one anyway on
+		// the overall least-loaded device so the invocation can queue on
+		// the device slot instead of failing.
+		dev := s.leastLoadedDeviceLocked(e)
+		s.runnerSeq++
+		r := &runner{
+			id:       fmt.Sprintf("runner-%d", s.runnerSeq),
+			device:   dev,
+			ready:    make(chan struct{}),
+			inflight: 1,
+			lastUsed: s.clock.Now(),
+		}
+		e.runners = append(e.runners, r)
+		s.runnersOn[dev.ID()]++
+		e.runnersOn[dev.ID()]++
+		s.coldStarts++
+		return r, true
+	}
+	best.inflight++
+	return best, false
+}
+
+// placeLocked returns the device for a new runner, or nil if every device
+// of the kind is at its runner cap.
+func (s *Server) placeLocked(e *entry) *accel.Device {
+	devs := s.cfg.Host.DevicesByKind(e.kernel.Kind())
+	if len(devs) == 0 {
+		return nil
+	}
+	switch s.cfg.Placement {
+	case PlaceFirstFit:
+		if !devs[0].Failed() && e.runnersOn[devs[0].ID()] < s.cfg.MaxRunnersPerDevice {
+			return devs[0]
+		}
+		return nil
+	case PlaceRoundRobin:
+		for i := 0; i < len(devs); i++ {
+			d := devs[(e.rrNext+i)%len(devs)]
+			if !d.Failed() && e.runnersOn[d.ID()] < s.cfg.MaxRunnersPerDevice {
+				e.rrNext = (e.rrNext + i + 1) % len(devs)
+				return d
+			}
+		}
+		return nil
+	default: // PlaceLeastLoaded
+		var best *accel.Device
+		for _, d := range devs {
+			if d.Failed() || e.runnersOn[d.ID()] >= s.cfg.MaxRunnersPerDevice {
+				continue
+			}
+			if best == nil || e.runnersOn[d.ID()] < e.runnersOn[best.ID()] {
+				best = d
+			}
+		}
+		return best
+	}
+}
+
+// leastLoadedDeviceLocked returns the device of the entry's kind with the
+// fewest of this kernel's runners, ignoring the per-device runner cap.
+// The caller guarantees at least one device of the kind exists (checked
+// at Register).
+func (s *Server) leastLoadedDeviceLocked(e *entry) *accel.Device {
+	devs := s.cfg.Host.DevicesByKind(e.kernel.Kind())
+	best := devs[0]
+	for _, d := range devs[1:] {
+		if best.Failed() && !d.Failed() {
+			best = d
+			continue
+		}
+		if !d.Failed() && e.runnersOn[d.ID()] < e.runnersOn[best.ID()] {
+			best = d
+		}
+	}
+	return best
+}
+
+// coldStart brings a new runner up: spawn the host process, create the
+// device context (RuntimeInit), and run kernel setup work. If the target
+// device has no free context slot, an idle runner of another kernel is
+// evicted first so single-slot devices (FPGAs) can serve multiple
+// registered kernels without deadlocking.
+func (s *Server) coldStart(k kernels.Kernel, r *runner, b *metrics.Breakdown) {
+	defer close(r.ready)
+
+	s.clock.Sleep(s.cfg.RunnerSpawnCost)
+	b.Spawn += s.cfg.RunnerSpawnCost
+
+	if st := r.device.Stats(); st.ActiveContexts >= r.device.Profile().Slots {
+		s.mu.Lock()
+		s.evictIdleRunnerLocked(r.device)
+		s.mu.Unlock()
+	}
+
+	initStart := s.clock.Now()
+	dctx, err := r.device.Acquire(context.Background())
+	if err != nil {
+		r.startErr = fmt.Errorf("acquire %s: %w", r.device.ID(), err)
+		return
+	}
+	b.RuntimeInit += s.clock.Now().Sub(initStart)
+	r.dctx = dctx
+	s.cfg.Logger.Info("runner started", "runner", r.id, "device", r.device.ID())
+
+	// Kernel setup (weight loading, transpilation): a fixed modeled
+	// duration independent of the device's compute rate.
+	cost, err := k.Cost(&kernels.Request{Params: kernels.Params{}})
+	if err == nil && cost.SetupTime > 0 {
+		s.clock.Sleep(cost.SetupTime)
+		b.Setup += cost.SetupTime
+	}
+}
+
+// serve executes one invocation on a started runner.
+func (s *Server) serve(ctx context.Context, k kernels.Kernel, r *runner, req *kernels.Request, report *Report) (*kernels.Response, error) {
+	if req == nil {
+		req = &kernels.Request{}
+	}
+	if req.Params == nil {
+		req.Params = kernels.Params{}
+	}
+	cost, err := k.Cost(req)
+	if err != nil {
+		return nil, fmt.Errorf("core: cost model: %w", err)
+	}
+
+	if cost.DeviceMemory > 0 {
+		if err := r.dctx.Alloc(cost.DeviceMemory); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		defer r.dctx.Free(cost.DeviceMemory)
+	}
+
+	copyIn, err := r.dctx.Copy(ctx, cost.BytesIn)
+	if err != nil {
+		return nil, err
+	}
+	report.Breakdown.CopyIn += copyIn
+
+	execTime, err := r.dctx.Exec(ctx, cost.Work)
+	if err != nil {
+		return nil, err
+	}
+	report.Breakdown.Exec += execTime
+
+	var resp *kernels.Response
+	s.mu.Lock()
+	compute := !s.cfg.DisableCompute
+	s.mu.Unlock()
+	if compute {
+		resp, err = k.Execute(req)
+		if err != nil {
+			return nil, fmt.Errorf("core: execute: %w", err)
+		}
+	} else {
+		resp = &kernels.Response{Values: map[string]float64{"computed": 0}}
+	}
+
+	copyOut, err := r.dctx.Copy(ctx, cost.BytesOut)
+	if err != nil {
+		return nil, err
+	}
+	report.Breakdown.CopyOut += copyOut
+	return resp, nil
+}
+
+// releaseRunner decrements a runner's in-flight count, finishing a drain
+// when the runner was replaced mid-flight.
+func (s *Server) releaseRunner(e *entry, r *runner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.inflight--
+	r.lastUsed = s.clock.Now()
+	if r.draining && r.inflight == 0 && !r.removed && runnerStarted(r) {
+		r.inflight++ // balance the decrement in removeRunnerLocked
+		s.removeRunnerLocked(e, r)
+	}
+}
+
+// evictIdleRunnerLocked releases one started, idle runner on the given
+// device (any kernel) to free a context slot. It reports whether a runner
+// was evicted.
+func (s *Server) evictIdleRunnerLocked(dev *accel.Device) bool {
+	for _, e := range s.entries {
+		for _, r := range e.runners {
+			if r.removed || r.device != dev || r.inflight != 0 {
+				continue
+			}
+			select {
+			case <-r.ready:
+			default:
+				continue // still starting
+			}
+			r.inflight++ // balance the decrement in removeRunnerLocked
+			s.removeRunnerLocked(e, r)
+			s.cfg.Logger.Info("runner evicted for slot pressure",
+				"runner", r.id, "device", dev.ID())
+			return true
+		}
+	}
+	return false
+}
+
+// removeRunner deletes a failed or reaped runner.
+func (s *Server) removeRunner(e *entry, r *runner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeRunnerLocked(e, r)
+}
+
+func (s *Server) removeRunnerLocked(e *entry, r *runner) {
+	if r.removed {
+		return
+	}
+	r.removed = true
+	r.inflight--
+	s.runnersOn[r.device.ID()]--
+	e.runnersOn[r.device.ID()]--
+	for i, x := range e.runners {
+		if x == r {
+			e.runners = append(e.runners[:i], e.runners[i+1:]...)
+			break
+		}
+	}
+	if r.dctx != nil {
+		r.dctx.Release()
+	}
+}
+
+// reap releases runners idle beyond the configured timeout — the
+// scale-down half of elasticity (§3.3).
+func (s *Server) reap() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	now := s.clock.Now()
+	type victim struct {
+		e *entry
+		r *runner
+	}
+	var victims []victim
+	for _, e := range s.entries {
+		for _, r := range e.runners {
+			if r.inflight == 0 && !r.removed && now.Sub(r.lastUsed) >= s.cfg.RunnerIdleTimeout {
+				select {
+				case <-r.ready:
+					victims = append(victims, victim{e, r})
+				default:
+					// still starting; skip
+				}
+			}
+		}
+	}
+	for _, v := range victims {
+		v.r.inflight++ // balance the decrement in removeRunnerLocked
+		s.removeRunnerLocked(v.e, v.r)
+		s.cfg.Logger.Info("idle runner reaped",
+			"runner", v.r.id, "device", v.r.device.ID())
+	}
+	s.scheduleReapLocked()
+	s.mu.Unlock()
+}
+
+// scheduleReapLocked arms the idle-runner reaper timer.
+func (s *Server) scheduleReapLocked() {
+	interval := s.cfg.RunnerIdleTimeout / 2
+	if interval <= 0 {
+		interval = s.cfg.RunnerIdleTimeout
+	}
+	s.reapTimer = s.clock.AfterFunc(interval, s.reap)
+}
+
+// Stats is a snapshot of server state.
+type Stats struct {
+	// Kernels is the number of registered kernels.
+	Kernels int
+	// Runners is the number of live task runners.
+	Runners int
+	// InFlight is the number of invocations currently being served.
+	InFlight int
+	// ColdStarts counts runner creations.
+	ColdStarts int
+	// RunnersPerDevice maps device IDs to live runner counts.
+	RunnersPerDevice map[string]int
+}
+
+// Stats returns current server statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Kernels:          len(s.entries),
+		InFlight:         s.inFlight,
+		ColdStarts:       s.coldStarts,
+		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
+	}
+	for _, e := range s.entries {
+		st.Runners += len(e.runners)
+	}
+	for id, n := range s.runnersOn {
+		if n > 0 {
+			st.RunnersPerDevice[id] = n
+		}
+	}
+	return st
+}
+
+// Close shuts the server down, releasing all runners.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.reapTimer != nil {
+		s.reapTimer.Stop()
+		s.reapTimer = nil
+	}
+	var ctxs []*accel.Context
+	for _, e := range s.entries {
+		for _, r := range e.runners {
+			if r.removed {
+				continue
+			}
+			r.removed = true
+			if r.dctx != nil {
+				ctxs = append(ctxs, r.dctx)
+			}
+		}
+		e.runners = nil
+	}
+	s.mu.Unlock()
+	for _, c := range ctxs {
+		c.Release()
+	}
+}
+
+// discardHandler is a slog.Handler that drops every record, used when no
+// logger is configured.
+type discardHandler struct{}
+
+var _ slog.Handler = discardHandler{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

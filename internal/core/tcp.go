@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"kaas/internal/kernels"
+	"kaas/internal/shm"
+	"kaas/internal/wire"
+)
+
+// TCPServer exposes a Server over the KaaS wire protocol — the
+// request/response invocation endpoint of Fig. 5. Clients register
+// kernels from the built-in kernel library by name (standing in for code
+// upload) and invoke them with in-band payloads or out-of-band
+// shared-memory keys.
+type TCPServer struct {
+	srv     *Server
+	ln      net.Listener
+	regions *shm.Registry
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts accepting KaaS protocol connections on addr
+// (e.g. "127.0.0.1:0"). The optional regions registry enables out-of-band
+// payload transfer for same-host clients.
+func ServeTCP(s *Server, addr string, regions *shm.Registry) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+	t := &TCPServer{
+		srv:     s,
+		ln:      ln,
+		regions: regions,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener and all connections, then waits for handler
+// goroutines to exit.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.handle(conn)
+	}
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.reply(conn, &wire.Message{
+					Type:   wire.MsgError,
+					Header: wire.Header{Error: err.Error()},
+				})
+			}
+			return
+		}
+		if !t.dispatch(conn, msg) {
+			return
+		}
+	}
+}
+
+// dispatch handles one message; it reports whether the connection should
+// stay open.
+func (t *TCPServer) dispatch(conn net.Conn, msg *wire.Message) bool {
+	switch msg.Type {
+	case wire.MsgRegister:
+		t.handleRegister(conn, msg)
+	case wire.MsgInvoke:
+		t.handleInvoke(conn, msg)
+	case wire.MsgList:
+		t.reply(conn, &wire.Message{
+			Type:   wire.MsgListResult,
+			Header: wire.Header{Names: t.srv.Kernels()},
+		})
+	case wire.MsgStats:
+		stats, err := json.Marshal(t.srv.Stats())
+		if err != nil {
+			t.replyErr(conn, fmt.Errorf("encode stats: %w", err))
+			return true
+		}
+		t.reply(conn, &wire.Message{
+			Type:   wire.MsgStatsResult,
+			Header: wire.Header{Stats: stats},
+		})
+	default:
+		t.replyErr(conn, fmt.Errorf("unexpected message type %s", msg.Type))
+	}
+	return true
+}
+
+func (t *TCPServer) handleRegister(conn net.Conn, msg *wire.Message) {
+	k, err := kernels.ByName(msg.Header.Kernel)
+	if err != nil {
+		t.replyErr(conn, err)
+		return
+	}
+	if err := t.srv.Register(k); err != nil && !errors.Is(err, ErrAlreadyRegistered) {
+		t.replyErr(conn, err)
+		return
+	}
+	t.reply(conn, &wire.Message{
+		Type:   wire.MsgRegistered,
+		Header: wire.Header{Kernel: msg.Header.Kernel},
+	})
+}
+
+func (t *TCPServer) handleInvoke(conn net.Conn, msg *wire.Message) {
+	req := &kernels.Request{Params: kernels.Params(msg.Header.Params)}
+	switch {
+	case msg.Header.ShmKey != "":
+		if t.regions == nil {
+			t.replyErr(conn, errors.New("out-of-band transfer not configured"))
+			return
+		}
+		data, err := t.regions.Get(msg.Header.ShmKey)
+		if err != nil {
+			t.replyErr(conn, err)
+			return
+		}
+		req.Data = data
+	case len(msg.Body) > 0:
+		req.Data = msg.Body
+	}
+
+	resp, report, err := t.srv.Invoke(context.Background(), msg.Header.Kernel, req)
+	if err != nil {
+		t.replyErr(conn, err)
+		return
+	}
+
+	out := &wire.Message{
+		Type: wire.MsgResult,
+		Header: wire.Header{
+			Kernel:        msg.Header.Kernel,
+			Values:        resp.Values,
+			ColdStart:     report.Cold,
+			DurationNanos: int64(report.Total()),
+		},
+	}
+	if msg.Header.WantShmResult && t.regions != nil && len(resp.Data) > 0 {
+		key, err := t.regions.Create(resp.Data)
+		if err != nil {
+			t.replyErr(conn, err)
+			return
+		}
+		out.Header.ResultShmKey = key
+	} else {
+		out.Body = resp.Data
+	}
+	t.reply(conn, out)
+}
+
+func (t *TCPServer) replyErr(conn net.Conn, err error) {
+	t.reply(conn, &wire.Message{
+		Type:   wire.MsgError,
+		Header: wire.Header{Error: err.Error()},
+	})
+}
+
+func (t *TCPServer) reply(conn net.Conn, msg *wire.Message) {
+	// A write failure means the peer is gone; the read loop will notice.
+	_ = wire.Write(conn, msg)
+}

@@ -1,0 +1,67 @@
+// Package energy accounts modeled energy consumption of simulated hosts,
+// the substrate behind the paper's performance-efficiency evaluation
+// (§5.2, FLOPS/W). It plays the role of the RAPL and GPU power counters
+// the paper samples through Performance Co-Pilot: devices expose a
+// two-level power model (idle + busy) integrated over their compute
+// activity, and a Meter measures the energy consumed between two points
+// in modeled time.
+package energy
+
+import (
+	"fmt"
+
+	"kaas/internal/accel"
+)
+
+// Meter measures energy consumed by a set of devices since its creation.
+type Meter struct {
+	devices []*accel.Device
+	start   []float64
+}
+
+// NewMeter starts measuring the given devices.
+func NewMeter(devices ...*accel.Device) *Meter {
+	m := &Meter{devices: devices, start: make([]float64, len(devices))}
+	for i, d := range devices {
+		m.start[i] = d.Energy()
+	}
+	return m
+}
+
+// HostMeter measures all devices of a host, including its CPU.
+func HostMeter(h *accel.Host) *Meter {
+	devices := append(h.Devices(), h.CPU())
+	return NewMeter(devices...)
+}
+
+// Joules returns the energy consumed since the meter was created.
+func (m *Meter) Joules() float64 {
+	var total float64
+	for i, d := range m.devices {
+		total += d.Energy() - m.start[i]
+	}
+	return total
+}
+
+// Efficiency returns work/joules — FLOPS/W when work is FLOPs (since
+// FLOP/J = FLOP/s per W). It returns 0 when no energy was consumed.
+func Efficiency(work, joules float64) float64 {
+	if joules <= 0 {
+		return 0
+	}
+	return work / joules
+}
+
+// Format renders an efficiency value like the paper's Fig. 10 axis.
+func Format(flopsPerWatt float64) string {
+	switch {
+	case flopsPerWatt >= 1e9:
+		return fmt.Sprintf("%.2f GFLOPS/W", flopsPerWatt/1e9)
+	case flopsPerWatt >= 1e6:
+		return fmt.Sprintf("%.2f MFLOPS/W", flopsPerWatt/1e6)
+	case flopsPerWatt >= 1e3:
+		return fmt.Sprintf("%.2f kFLOPS/W", flopsPerWatt/1e3)
+	default:
+		return fmt.Sprintf("%.2f FLOPS/W", flopsPerWatt)
+	}
+}

@@ -1,0 +1,88 @@
+package energy
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/vclock"
+)
+
+func testHost(t *testing.T) (*accel.Host, vclock.Clock) {
+	t.Helper()
+	clock := vclock.Scaled(2000)
+	gpu := accel.Profile{
+		Name: "g", Kind: accel.GPU,
+		RuntimeInit:   10 * time.Millisecond,
+		ComputeRate:   1e9,
+		CopyBandwidth: 1e9,
+		Slots:         4,
+		MemoryBytes:   1 << 30,
+		IdlePower:     10,
+		BusyPower:     110,
+	}
+	host, err := accel.NewHost(clock, "e", accel.XeonE52698, gpu)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(host.Close)
+	return host, clock
+}
+
+func TestMeterMeasuresDelta(t *testing.T) {
+	host, _ := testHost(t)
+	dev := host.Devices()[0]
+	ctx, err := dev.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer ctx.Release()
+
+	m := NewMeter(dev)
+	if _, err := ctx.Exec(context.Background(), 2e9); err != nil { // 2 modeled s busy
+		t.Fatalf("Exec: %v", err)
+	}
+	j := m.Joules()
+	// Dynamic part alone: 100 W × 2 s = 200 J.
+	if j < 180 {
+		t.Errorf("Joules = %v, want >= 180", j)
+	}
+}
+
+func TestHostMeterIncludesCPU(t *testing.T) {
+	host, _ := testHost(t)
+	m := HostMeter(host)
+	// Idle energy accrues with modeled time even without work.
+	time.Sleep(5 * time.Millisecond) // ~10 modeled s at scale 2000
+	if j := m.Joules(); j <= 0 {
+		t.Errorf("idle Joules = %v, want > 0", j)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(1e9, 10); got != 1e8 {
+		t.Errorf("Efficiency = %v, want 1e8", got)
+	}
+	if got := Efficiency(1e9, 0); got != 0 {
+		t.Errorf("Efficiency with zero energy = %v, want 0", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{2.5e9, "GFLOPS/W"},
+		{3e6, "MFLOPS/W"},
+		{5e3, "kFLOPS/W"},
+		{12, "FLOPS/W"},
+	}
+	for _, tt := range tests {
+		if got := Format(tt.v); !strings.Contains(got, tt.want) {
+			t.Errorf("Format(%v) = %q, want suffix %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5) against the simulated accelerator testbeds. Each experiment
+// returns a Table whose rows are the series the paper plots; the
+// kaasbench command prints them and the benchmark harness asserts their
+// shapes.
+//
+// Experiments disable real host computation of kernel results (the
+// modeled device cost is still charged) so that wall-clock arithmetic
+// does not leak into the scaled modeled timeline; kernel correctness is
+// covered by the kernels package tests.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Scale is the virtual-clock factor (modeled seconds per wall
+	// second). Default 100, chosen so that wall-clock timer jitter
+	// (~1 ms) stays small relative to modeled phases.
+	Scale float64
+	// Samples is the number of repetitions per measurement. The paper
+	// uses 10; the default here is 3 to keep full runs fast.
+	Samples int
+	// Quick shrinks sweeps to their endpoints for smoke tests and CI.
+	Quick bool
+}
+
+// withDefaults fills in defaults.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 100
+	}
+	if o.Samples <= 0 {
+		o.Samples = 3
+	}
+	return o
+}
+
+// clientLaunch is the modeled cost of starting the client program for one
+// task — part of every total task completion time in the paper
+// ("launching the client Python program").
+const clientLaunch = 120 * time.Millisecond
+
+// Table is one regenerated figure: labeled columns and formatted rows.
+type Table struct {
+	// ID is the figure identifier, e.g. "6a".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are formatted cells.
+	Rows [][]string
+	// Notes carries caveats and observed headline numbers.
+	Notes []string
+
+	// Values holds the raw numeric series keyed by "<row>/<column>" for
+	// shape assertions in tests and benchmarks.
+	Values map[string]float64
+}
+
+// NewTable creates a table with the given identity and columns.
+func NewTable(id, title string, columns ...string) *Table {
+	return &Table{
+		ID:      id,
+		Title:   title,
+		Columns: columns,
+		Values:  make(map[string]float64),
+	}
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Set records a raw value for later assertions.
+func (t *Table) Set(key string, v float64) {
+	t.Values[key] = v
+}
+
+// Get returns a raw value recorded with Set.
+func (t *Table) Get(key string) (float64, bool) {
+	v, ok := t.Values[key]
+	return v, ok
+}
+
+// MustGet returns a raw value or an error naming the missing key.
+func (t *Table) MustGet(key string) (float64, error) {
+	if v, ok := t.Values[key]; ok {
+		return v, nil
+	}
+	keys := make([]string, 0, len(t.Values))
+	for k := range t.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return 0, fmt.Errorf("experiments: table %s has no value %q (have %v)", t.ID, key, keys)
+}
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Table, error)
+
+// Registry maps figure IDs to experiments, in the paper's order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"2", Fig02MotivatingWorkflow},
+		{"6a", Fig06ColdWarmSmall},
+		{"6b", Fig06ColdWarmLarge},
+		{"7", Fig07WarmOverhead},
+		{"8", Fig08Throughput},
+		{"9", Fig09Slowdown},
+		{"10", Fig10Energy},
+		{"11", Fig11Remote},
+		{"12a", Fig12StrongScaling},
+		{"12b", Fig12WeakScaling},
+		{"13", Fig13Autoscaling},
+		{"14", Fig14GPUKernels},
+		{"15", Fig15FPGA},
+		{"16a", Fig16TPUKernelTime},
+		{"16b", Fig16TPUTotalTime},
+		{"17", Fig17QPU},
+	}
+}
+
+// ByID returns the experiment with the given figure ID.
+func ByID(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// seconds formats a duration in seconds with 3 decimals.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// reduction returns 1 - after/before (the paper's "% reduction").
+func reduction(before, after time.Duration) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return 1 - float64(after)/float64(before)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+)
+
+// Fig02MotivatingWorkflow reproduces the motivating example (Figs. 1-2):
+// the three-stage image workflow (CPU preprocess, FPGA bitmap conversion,
+// GPU inference) run (a) naively on accelerators, with every stage paying
+// full initialization, and (b) CPU-only in a single process. The naive
+// accelerated version is slower overall because initialization dominates
+// the fine-grained tasks.
+func Fig02MotivatingWorkflow(o Options) (*Table, error) {
+	o = o.withDefaults()
+	clock := vclock.Scaled(o.Scale)
+
+	host, err := accel.NewHost(clock, "motivating", accel.XeonE52698,
+		accel.AlveoU250, accel.NvidiaA100)
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+
+	stages := []struct {
+		name   string
+		kernel kernels.Kernel
+		req    *kernels.Request
+	}{
+		{"preprocess", kernels.NewImagePreprocess(), &kernels.Request{Params: kernels.Params{}}},
+		{"bitmap", kernels.NewBitmapConversion(), &kernels.Request{Params: kernels.Params{}}},
+		{"inference", kernels.NewResNetInference(), &kernels.Request{Params: kernels.Params{"batch": 1}}},
+	}
+
+	table := NewTable("2", "Motivating workflow: naive accelerator use vs CPU-only",
+		"config", "stage", "init_s", "kernel_s", "total_s", "init_share")
+
+	// (a) Naive accelerator implementation: each stage is a fresh process
+	// against its accelerator, paying library import, runtime init and
+	// kernel setup on the critical path.
+	exec, err := newBaseline(clock, host, nil)
+	if err != nil {
+		return nil, err
+	}
+	var accelTotal time.Duration
+	for _, st := range stages {
+		_, rep, err := exec.Run(context.Background(), st.kernel, st.req)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 accelerated %s: %w", st.name, err)
+		}
+		b := rep.Breakdown
+		b.Other += clientLaunch
+		initTime := b.Spawn + b.LibraryInit + b.RuntimeInit + b.Setup
+		table.AddRow("accelerator", st.name, seconds(initTime), seconds(b.KernelTime()),
+			seconds(b.Total()), pct(float64(initTime)/float64(b.Total())))
+		table.Set("accelerator/"+st.name+"/total", b.Total().Seconds())
+		table.Set("accelerator/"+st.name+"/init_share", float64(initTime)/float64(b.Total()))
+		table.Set("accelerator/"+st.name+"/kernel_share", float64(b.KernelTime())/float64(b.Total()))
+		accelTotal += b.Total()
+	}
+	table.AddRow("accelerator", "workflow", "", "", seconds(accelTotal), "")
+	table.Set("accelerator/workflow/total", accelTotal.Seconds())
+
+	// (b) CPU-only: one process, library imported once, all stages on the
+	// host CPU.
+	cpu := host.CPU()
+	dctx, err := cpu.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer dctx.Release()
+
+	var cpuTotal time.Duration
+	start := clock.Now()
+	clock.Sleep(clientLaunch)
+	clock.Sleep(cpu.Profile().LibraryInit)
+	for _, st := range stages {
+		cost, err := st.kernel.Cost(st.req)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 cpu-only %s: %w", st.name, err)
+		}
+		var b metrics.Breakdown
+		if b.CopyIn, err = dctx.Copy(context.Background(), cost.BytesIn); err != nil {
+			return nil, err
+		}
+		if b.Exec, err = dctx.Exec(context.Background(), cost.Work); err != nil {
+			return nil, err
+		}
+		if b.CopyOut, err = dctx.Copy(context.Background(), cost.BytesOut); err != nil {
+			return nil, err
+		}
+		table.AddRow("cpu-only", st.name, "0.000", seconds(b.KernelTime()), seconds(b.Total()), "0.0%")
+		table.Set("cpu-only/"+st.name+"/total", b.Total().Seconds())
+	}
+	cpuTotal = clock.Now().Sub(start)
+	table.AddRow("cpu-only", "workflow", "", "", seconds(cpuTotal), "")
+	table.Set("cpu-only/workflow/total", cpuTotal.Seconds())
+
+	table.Note("naive accelerator workflow is %.1fx slower than CPU-only (paper: accelerators lose to CPU-only)",
+		float64(accelTotal)/float64(cpuTotal))
+	return table, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+)
+
+// Fig06ColdWarmSmall reproduces Fig. 6a: 20 iterations of a small
+// (500×500) matrix multiplication under exclusive GPU use vs KaaS.
+func Fig06ColdWarmSmall(o Options) (*Table, error) {
+	return fig06(o, "6a", 500)
+}
+
+// Fig06ColdWarmLarge reproduces Fig. 6b: the same comparison for a large
+// (10,000×10,000) task.
+func Fig06ColdWarmLarge(o Options) (*Table, error) {
+	return fig06(o, "6b", 10000)
+}
+
+// fig06 runs the cold/warm iteration comparison at one task size.
+func fig06(o Options, id string, n int) (*Table, error) {
+	o = o.withDefaults()
+	iterations := 20
+	if o.Quick {
+		iterations = 5
+	}
+	clock := vclock.Scaled(o.Scale)
+
+	// Exclusive model: fresh process per iteration against a
+	// single-slot GPU.
+	exclHost, err := newP100Host(clock, shareTime, false)
+	if err != nil {
+		return nil, err
+	}
+	defer exclHost.Close()
+	excl, err := newBaseline(clock, exclHost, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// KaaS model: registered kernel, warm runners.
+	kaasHost, err := newP100Host(clock, shareSpace, false)
+	if err != nil {
+		return nil, err
+	}
+	defer kaasHost.Close()
+	srv, err := newKaasServer(clock, kaasHost, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	mm := kernels.NewMatMul(accel.GPU)
+	if err := srv.Register(mm); err != nil {
+		return nil, err
+	}
+
+	table := NewTable(id,
+		fmt.Sprintf("Cold and warm starts, %dx%d matrix multiplication, %d iterations", n, n, iterations),
+		"iteration", "exclusive_s", "kaas_s", "kaas_start")
+
+	var exclusiveSum, warmSum time.Duration
+	var coldTotal time.Duration
+	for i := 1; i <= iterations; i++ {
+		_, exclRep, err := excl.Run(context.Background(), mm, matmulReq(n))
+		if err != nil {
+			return nil, fmt.Errorf("fig%s exclusive iter %d: %w", id, i, err)
+		}
+		exclTotal := exclRep.Total() + clientLaunch
+
+		_, kaasRep, err := srv.Invoke(context.Background(), mm.Name(), matmulReq(n))
+		if err != nil {
+			return nil, fmt.Errorf("fig%s kaas iter %d: %w", id, i, err)
+		}
+		kaasTotal := kaasRep.Total() + clientLaunch
+
+		start := "warm"
+		if kaasRep.Cold {
+			start = "cold"
+			coldTotal = kaasTotal
+		} else {
+			warmSum += kaasTotal
+		}
+		exclusiveSum += exclTotal
+		table.AddRow(fmt.Sprintf("%d", i), seconds(exclTotal), seconds(kaasTotal), start)
+		if i == 1 {
+			table.Set("kaas/cold", kaasTotal.Seconds())
+		}
+	}
+
+	exclusiveMean := exclusiveSum / time.Duration(iterations)
+	warmMean := warmSum / time.Duration(iterations-1)
+	table.Set("exclusive/mean", exclusiveMean.Seconds())
+	table.Set("kaas/warm_mean", warmMean.Seconds())
+	table.Note("KaaS cold start %.1f%% shorter than exclusive (paper: 54.6%% small / 36.9%% large)",
+		100*reduction(exclusiveMean, coldTotal))
+	table.Note("KaaS warm invocations %.1f%% faster than exclusive (paper: 94.1%% small / 46.4%% large)",
+		100*reduction(exclusiveMean, warmMean))
+	return table, nil
+}

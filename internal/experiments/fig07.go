@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+)
+
+// fig07Sizes are the matrix dimensions of the warm-overhead sweep; the
+// paper's x-axis runs to 400M elements (20,000²).
+var fig07Sizes = []int{500, 1000, 2000, 5000, 10000, 15000, 20000}
+
+// Fig07WarmOverhead reproduces Fig. 7: the overhead/computation split of
+// the matrix multiplication task across input sizes, comparing exclusive
+// GPU use with warm KaaS invocations. Input generation time is excluded,
+// as in the paper.
+func Fig07WarmOverhead(o Options) (*Table, error) {
+	o = o.withDefaults()
+	clock := vclock.Scaled(o.Scale)
+	sizes := sweep(o, fig07Sizes)
+
+	exclHost, err := newP100Host(clock, shareTime, false)
+	if err != nil {
+		return nil, err
+	}
+	defer exclHost.Close()
+	excl, err := newBaseline(clock, exclHost, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	kaasHost, err := newP100Host(clock, shareSpace, false)
+	if err != nil {
+		return nil, err
+	}
+	defer kaasHost.Close()
+	srv, err := newKaasServer(clock, kaasHost, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	mm := kernels.NewMatMul(accel.GPU)
+	if err := srv.Register(mm); err != nil {
+		return nil, err
+	}
+	// Warm the runner so the sweep measures warm starts only.
+	if _, _, err := srv.Invoke(context.Background(), mm.Name(), matmulReq(sizes[0])); err != nil {
+		return nil, err
+	}
+
+	table := NewTable("7", "Warm overhead vs computation by task granularity",
+		"elements", "model", "computation_s", "overhead_s", "total_s")
+
+	measure := func(run func() (*metrics.Breakdown, error)) (comp, over time.Duration, err error) {
+		var compSample, overSample metrics.Sample
+		for s := 0; s < o.Samples; s++ {
+			b, err := run()
+			if err != nil {
+				return 0, 0, err
+			}
+			// The baseline attributes per-execution CUDA init to kernel
+			// time ("computation"), exactly as the paper observes its
+			// 406-419 ms reduction inside the computation series.
+			comp := b.KernelTime() + b.RuntimeInit + b.Setup
+			over := b.Total() + clientLaunch - comp
+			compSample.AddDuration(comp)
+			overSample.AddDuration(over)
+		}
+		return time.Duration(compSample.Mean() * float64(time.Second)),
+			time.Duration(overSample.Mean() * float64(time.Second)), nil
+	}
+
+	for _, n := range sizes {
+		elements := fmt.Sprintf("%d", n*n)
+
+		comp, over, err := measure(func() (*metrics.Breakdown, error) {
+			_, rep, err := excl.Run(context.Background(), mm, matmulReq(n))
+			if err != nil {
+				return nil, fmt.Errorf("fig7 exclusive n=%d: %w", n, err)
+			}
+			return &rep.Breakdown, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(elements, "exclusive", seconds(comp), seconds(over), seconds(comp+over))
+		table.Set(fmt.Sprintf("exclusive/%d/overhead", n), over.Seconds())
+		table.Set(fmt.Sprintf("exclusive/%d/computation", n), comp.Seconds())
+
+		comp, over, err = measure(func() (*metrics.Breakdown, error) {
+			_, rep, err := srv.Invoke(context.Background(), mm.Name(), matmulReq(n))
+			if err != nil {
+				return nil, fmt.Errorf("fig7 kaas n=%d: %w", n, err)
+			}
+			if rep.Cold {
+				return nil, fmt.Errorf("fig7 kaas n=%d: unexpected cold start", n)
+			}
+			return &rep.Breakdown, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(elements, "kaas", seconds(comp), seconds(over), seconds(comp+over))
+		table.Set(fmt.Sprintf("kaas/%d/overhead", n), over.Seconds())
+		table.Set(fmt.Sprintf("kaas/%d/computation", n), comp.Seconds())
+	}
+
+	small := sizes[0]
+	exclOver, _ := table.Get(fmt.Sprintf("exclusive/%d/overhead", small))
+	kaasOver, _ := table.Get(fmt.Sprintf("kaas/%d/overhead", small))
+	table.Note("overhead at %d²: exclusive %.0f ms vs KaaS %.0f ms (paper: 689 ms vs 123 ms)",
+		small, exclOver*1000, kaasOver*1000)
+	return table, nil
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/baseline"
+	"kaas/internal/core"
+	"kaas/internal/energy"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/tensor"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// fig08Sizes are the matrix dimensions of the sharing-level sweep; the
+// paper's x-axis runs from 250k to 324M elements.
+var fig08Sizes = []int{500, 1000, 2000, 4000, 8000, 12000, 18000}
+
+// sharingConcurrency is the request concurrency of §5.1's sharing
+// comparison: eight parallel executions, two per installed GPU.
+const sharingConcurrency = 8
+
+// sharingModels enumerates the three delivery models of Fig. 4.
+var sharingModels = []string{"time", "space", "kaas"}
+
+// sharingRun is the outcome of one 8-way concurrent run.
+type sharingRun struct {
+	// makespan covers first launch to last completion.
+	makespan time.Duration
+	// kernelMean is the mean per-task device time (copies + execution,
+	// plus per-task runtime init for the baseline models, which the
+	// paper's measurements attribute to kernel time).
+	kernelMean time.Duration
+	// joules is the testbed energy consumed during the run.
+	joules float64
+}
+
+// runSharingModel performs one concurrent matrix-multiplication run under
+// the given sharing model on a fresh four-GPU testbed.
+func runSharingModel(o Options, model string, n int) (*sharingRun, error) {
+	clock := vclock.Scaled(o.Scale)
+
+	mode := shareSpace
+	if model == "time" {
+		mode = shareTime
+	}
+	host, err := newP100Host(clock, mode, false)
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+
+	mm := kernels.NewMatMul(accel.GPU)
+	var mu sync.Mutex
+	var kernelSample metrics.Sample
+	addKernelTime := func(d time.Duration) {
+		mu.Lock()
+		kernelSample.AddDuration(d)
+		mu.Unlock()
+	}
+	var task workload.Task
+
+	meter := energy.HostMeter(host)
+	start := clock.Now()
+
+	switch model {
+	case "time", "space":
+		exec, err := newBaseline(clock, host, func(c *baseline.Config) {
+			c.SpreadDevices = true // two concurrent executions per GPU
+		})
+		if err != nil {
+			return nil, err
+		}
+		task = func(ctx context.Context, client int) (time.Duration, error) {
+			// Stagger client program launches slightly, as real process
+			// starts do.
+			clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+			_, rep, err := exec.Run(ctx, mm, matmulReq(n))
+			if err != nil {
+				return 0, err
+			}
+			addKernelTime(rep.Breakdown.KernelTime() + rep.Breakdown.RuntimeInit)
+			return rep.Total(), nil
+		}
+	case "kaas":
+		srv, err := newKaasServer(clock, host, func(c *core.Config) {
+			c.MaxInFlightPerRunner = 2
+			c.MaxRunnersPerDevice = 1
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		if err := srv.Register(mm); err != nil {
+			return nil, err
+		}
+		// Warm all four runners before measuring, then reset the meter
+		// and the start of the measured window.
+		if _, err := workload.RunParallel(context.Background(), sharingConcurrency,
+			func(ctx context.Context, _ int) (time.Duration, error) {
+				_, rep, err := srv.Invoke(ctx, mm.Name(), matmulReq(500))
+				if err != nil {
+					return 0, err
+				}
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, err
+		}
+		meter = energy.HostMeter(host)
+		start = clock.Now()
+		task = func(ctx context.Context, client int) (time.Duration, error) {
+			clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+			_, rep, err := srv.Invoke(ctx, mm.Name(), matmulReq(n))
+			if err != nil {
+				return 0, err
+			}
+			if rep.Cold {
+				return 0, fmt.Errorf("unexpected cold start at n=%d", n)
+			}
+			addKernelTime(rep.Breakdown.KernelTime())
+			return rep.Total(), nil
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown sharing model %q", model)
+	}
+
+	if _, err := workload.RunParallel(context.Background(), sharingConcurrency, task); err != nil {
+		return nil, fmt.Errorf("sharing model %s n=%d: %w", model, n, err)
+	}
+	mu.Lock()
+	kernelMean := time.Duration(kernelSample.Mean() * float64(time.Second))
+	mu.Unlock()
+	return &sharingRun{
+		makespan:   clock.Now().Sub(start),
+		kernelMean: kernelMean,
+		joules:     meter.Joules(),
+	}, nil
+}
+
+// Fig08Throughput reproduces Fig. 8: achieved GFLOP/s of eight concurrent
+// matrix multiplications under time sharing, space sharing (MPS), and
+// KaaS, across task granularities.
+func Fig08Throughput(o Options) (*Table, error) {
+	o = o.withDefaults()
+	sizes := sweep(o, fig08Sizes)
+	table := NewTable("8", "Throughput by sharing level (8 concurrent tasks)",
+		"elements", "model", "gflops")
+	for _, n := range sizes {
+		flop := sharingConcurrency * tensor.MatMulFLOPs(n, n, n)
+		for _, model := range sharingModels {
+			run, err := runSharingModel(o, model, n)
+			if err != nil {
+				return nil, err
+			}
+			gflops := flop / run.makespan.Seconds() / 1e9
+			table.AddRow(fmt.Sprintf("%d", n*n), model, fmt.Sprintf("%.2f", gflops))
+			table.Set(fmt.Sprintf("%s/%d/gflops", model, n), gflops)
+		}
+	}
+	table.Note("KaaS leads at small sizes and converges with space sharing at large sizes; time sharing stays lowest")
+	return table, nil
+}
+
+// Fig09Slowdown reproduces Fig. 9: per-task kernel-time slowdown of the
+// 8-way concurrent runs relative to an isolated KaaS execution at the
+// same granularity.
+func Fig09Slowdown(o Options) (*Table, error) {
+	o = o.withDefaults()
+	sizes := sweep(o, fig08Sizes)
+	table := NewTable("9", "Kernel-time slowdown vs isolated KaaS execution (8 concurrent tasks)",
+		"elements", "model", "slowdown")
+
+	for _, n := range sizes {
+		isolated, err := isolatedKaasKernelTime(o, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range sharingModels {
+			run, err := runSharingModel(o, model, n)
+			if err != nil {
+				return nil, err
+			}
+			slowdown := float64(run.kernelMean) / float64(isolated)
+			table.AddRow(fmt.Sprintf("%d", n*n), model, fmt.Sprintf("%.2f", slowdown))
+			table.Set(fmt.Sprintf("%s/%d/slowdown", model, n), slowdown)
+		}
+	}
+	table.Note("KaaS multiplexes small tasks without slowdown; baselines pay per-task init; KaaS and MPS converge at large sizes")
+	return table, nil
+}
+
+// isolatedKaasKernelTime measures one warm KaaS execution with no
+// concurrent load.
+func isolatedKaasKernelTime(o Options, n int) (time.Duration, error) {
+	clock := vclock.Scaled(o.Scale)
+	host, err := newP100Host(clock, shareSpace, false)
+	if err != nil {
+		return 0, err
+	}
+	defer host.Close()
+	srv, err := newKaasServer(clock, host, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	mm := kernels.NewMatMul(accel.GPU)
+	if err := srv.Register(mm); err != nil {
+		return 0, err
+	}
+	if _, _, err := srv.Invoke(context.Background(), mm.Name(), matmulReq(n)); err != nil {
+		return 0, err
+	}
+	_, rep, err := srv.Invoke(context.Background(), mm.Name(), matmulReq(n))
+	if err != nil {
+		return 0, err
+	}
+	return rep.Breakdown.KernelTime(), nil
+}
+
+// Fig10Energy reproduces Fig. 10: performance efficiency (FLOPS/W) of the
+// three GPU sharing models and a CPU-only execution across granularities.
+func Fig10Energy(o Options) (*Table, error) {
+	o = o.withDefaults()
+	sizes := sweep(o, []int{500, 1000, 2000, 4000, 8000, 12000})
+	table := NewTable("10", "Performance efficiency by sharing level (8 concurrent tasks)",
+		"elements", "model", "flops_per_watt")
+
+	for _, n := range sizes {
+		flop := sharingConcurrency * tensor.MatMulFLOPs(n, n, n)
+		for _, model := range sharingModels {
+			run, err := runSharingModel(o, model, n)
+			if err != nil {
+				return nil, err
+			}
+			eff := energy.Efficiency(flop, run.joules)
+			table.AddRow(fmt.Sprintf("%d", n*n), model, energy.Format(eff))
+			table.Set(fmt.Sprintf("%s/%d/eff", model, n), eff)
+		}
+
+		eff, err := cpuEnergyEfficiency(o, n)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprintf("%d", n*n), "cpu", energy.Format(eff))
+		table.Set(fmt.Sprintf("cpu/%d/eff", n), eff)
+	}
+	table.Note("KaaS is the most efficient model and the only one beating CPU-only at the smallest sizes; GPU models converge at large sizes")
+	return table, nil
+}
+
+// cpuEnergyEfficiency runs the 8-way concurrent workload on the host CPU
+// only (GPU idle power excluded, as in the paper).
+func cpuEnergyEfficiency(o Options, n int) (float64, error) {
+	clock := vclock.Scaled(o.Scale)
+	host, err := accel.NewHost(clock, "cpu-only", accel.XeonE52698)
+	if err != nil {
+		return 0, err
+	}
+	defer host.Close()
+	exec, err := newBaseline(clock, host, nil)
+	if err != nil {
+		return 0, err
+	}
+	mmCPU := kernels.NewMatMul(accel.CPU)
+	meter := energy.NewMeter(host.CPU())
+	_, err = workload.RunParallel(context.Background(), sharingConcurrency,
+		func(ctx context.Context, client int) (time.Duration, error) {
+			clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+			_, rep, err := exec.Run(ctx, mmCPU, matmulReq(n))
+			if err != nil {
+				return 0, err
+			}
+			return rep.Total(), nil
+		})
+	if err != nil {
+		return 0, fmt.Errorf("cpu model n=%d: %w", n, err)
+	}
+	flop := sharingConcurrency * tensor.MatMulFLOPs(n, n, n)
+	return energy.Efficiency(flop, meter.Joules()), nil
+}

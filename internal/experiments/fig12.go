@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// fig12Batches is the workload size: the paper streams 8,000 batches of
+// eight images per configured unit.
+const fig12Batches = 8000
+
+// fig12QuickBatches shrinks the stream for quick runs.
+const fig12QuickBatches = 240
+
+// Fig12StrongScaling reproduces Fig. 12a: the completion time of a fixed
+// inference workload (8,000 batches of eight images) on one to eight
+// GPUs, with and without warm runners.
+func Fig12StrongScaling(o Options) (*Table, error) {
+	o = o.withDefaults()
+	table := NewTable("12a", "Strong scaling of ResNet inference (fixed workload)",
+		"gpus", "cold_s", "warm_s")
+	return fig12(o, table, func(gpus, batches int) int { return batches })
+}
+
+// Fig12WeakScaling reproduces Fig. 12b: N×8,000 batches on N GPUs,
+// distributed round-robin.
+func Fig12WeakScaling(o Options) (*Table, error) {
+	o = o.withDefaults()
+	table := NewTable("12b", "Weak scaling of ResNet inference (workload grows with GPUs)",
+		"gpus", "cold_s", "warm_s")
+	return fig12(o, table, func(gpus, batches int) int { return gpus * batches })
+}
+
+// fig12 runs the scaling sweep. scaleWork maps (gpus, baseBatches) to the
+// total batch count of that configuration.
+func fig12(o Options, table *Table, scaleWork func(gpus, batches int) int) (*Table, error) {
+	// The batch stream's per-task device time is milliseconds of modeled
+	// time; keep the scale low so wall-clock timer granularity stays
+	// small relative to it and scaling ratios are preserved.
+	if o.Scale > 10 {
+		o.Scale = 10
+	}
+	batches := fig12Batches
+	gpuCounts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if o.Quick {
+		batches = fig12QuickBatches
+		gpuCounts = []int{1, 2, 4}
+	}
+
+	for _, gpus := range gpuCounts {
+		total := scaleWork(gpus, batches)
+		cold, err := fig12Run(o, gpus, total, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 cold gpus=%d: %w", gpus, err)
+		}
+		warm, err := fig12Run(o, gpus, total, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 warm gpus=%d: %w", gpus, err)
+		}
+		table.AddRow(fmt.Sprintf("%d", gpus), seconds(cold), seconds(warm))
+		table.Set(fmt.Sprintf("cold/%d", gpus), cold.Seconds())
+		table.Set(fmt.Sprintf("warm/%d", gpus), warm.Seconds())
+	}
+	table.Note("workload: %d batches of 8 images per unit; round-robin over runners", batches)
+	return table, nil
+}
+
+// fig12Run measures the completion time of the batch stream on the given
+// GPU count. In warm mode runners are pre-started so only steady-state
+// inference is measured; in cold mode runner initialization (parallel
+// across GPUs) is included.
+func fig12Run(o Options, gpus, totalBatches int, warm bool) (time.Duration, error) {
+	clock := vclock.Scaled(o.Scale)
+	host, err := newV100Host(clock, gpus)
+	if err != nil {
+		return 0, err
+	}
+	defer host.Close()
+	srv, err := newKaasServer(clock, host, func(c *core.Config) {
+		c.MaxInFlightPerRunner = 4
+		c.MaxRunnersPerDevice = 1
+		c.Placement = core.PlaceRoundRobin
+		c.RoutingOverhead = 200 * time.Microsecond
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	resnet := kernels.NewResNetInference()
+	if err := srv.Register(resnet); err != nil {
+		return 0, err
+	}
+
+	req := &kernels.Request{Params: kernels.Params{"batch": 8}}
+	clients := 4 * gpus
+
+	if warm {
+		if _, err := workload.RunParallel(context.Background(), clients,
+			func(ctx context.Context, _ int) (time.Duration, error) {
+				_, rep, err := srv.Invoke(ctx, resnet.Name(), req)
+				if err != nil {
+					return 0, err
+				}
+				return rep.Total(), nil
+			}); err != nil {
+			return 0, err
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := clock.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Stagger client phases so equal-size batches do not
+			// synchronize under processor sharing.
+			clock.Sleep(time.Duration(c) * 2 * time.Millisecond)
+			for {
+				if next.Add(1) > int64(totalBatches) {
+					return
+				}
+				if _, _, err := srv.Invoke(context.Background(), resnet.Name(), req); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := clock.Now().Sub(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// Fig13Autoscaling reproduces Fig. 13: a growing closed-loop client
+// population (one new client every ten seconds, up to 32) issuing
+// 10,000×10,000 matrix multiplications against an eight-GPU host. KaaS
+// starts a new task runner on a fresh GPU whenever all existing runners
+// are at their four-in-flight threshold; client turnaround time lets
+// fewer runners serve the theoretical maximum (the paper reaches 32
+// clients with only seven runners).
+func Fig13Autoscaling(o Options) (*Table, error) {
+	o = o.withDefaults()
+
+	maxClients := 32
+	interval := 10 * time.Second
+	total := 330 * time.Second
+	if o.Quick {
+		maxClients = 12
+		interval = 5 * time.Second
+		total = 80 * time.Second
+	}
+
+	clock := vclock.Scaled(o.Scale)
+	host, err := newV100Host(clock, 8)
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+	srv, err := newKaasServer(clock, host, func(c *core.Config) {
+		c.MaxInFlightPerRunner = 4
+		c.MaxRunnersPerDevice = 1
+		c.Placement = core.PlaceLeastLoaded
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	mm := kernels.NewMatMul(accel.GPU)
+	if err := srv.Register(mm); err != nil {
+		return nil, err
+	}
+
+	// Sampler: record runners and utilization once per modeled second.
+	startTime := clock.Now()
+	runnersSeries := metrics.NewTimeSeries(startTime)
+	utilSeries := metrics.NewTimeSeries(startTime)
+	samplerDone := make(chan struct{})
+	samplerStopped := make(chan struct{})
+	go func() {
+		defer close(samplerStopped)
+		for {
+			select {
+			case <-samplerDone:
+				return
+			default:
+			}
+			now := clock.Now()
+			st := srv.Stats()
+			runnersSeries.Record(now, float64(st.Runners))
+			var util float64
+			for _, d := range host.Devices() {
+				util += d.Utilization() * 100
+			}
+			utilSeries.Record(now, util)
+			clock.Sleep(time.Second)
+		}
+	}()
+
+	completions, err := workload.Ramp(context.Background(), workload.RampConfig{
+		Clock:           clock,
+		Interval:        interval,
+		MaxClients:      maxClients,
+		Total:           total,
+		ClientThinkTime: 300 * time.Millisecond,
+	}, func(ctx context.Context, _ int) (time.Duration, error) {
+		_, rep, err := srv.Invoke(ctx, mm.Name(), matmulReq(10000))
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total(), nil
+	})
+	close(samplerDone)
+	<-samplerStopped
+	if err != nil {
+		return nil, fmt.Errorf("fig13 ramp: %w", err)
+	}
+
+	// Bin completion times by end time.
+	bin := interval
+	bins := int(total/bin) + 1
+	taskSums := make([]float64, bins)
+	taskCounts := make([]int, bins)
+	for _, c := range completions {
+		i := int(c.End / bin)
+		if i >= 0 && i < bins {
+			taskSums[i] += c.Duration.Seconds()
+			taskCounts[i]++
+		}
+	}
+	runnerBins := runnersSeries.Bin(bin, total)
+	utilBins := utilSeries.Bin(bin, total)
+
+	table := NewTable("13", "Autoscaling under a growing client population",
+		"t_s", "clients", "runners", "gpu_util_pct", "mean_task_s")
+	var peakRunners float64
+	for i := 0; i < bins; i++ {
+		t := time.Duration(i) * bin
+		clients := 1 + int(t/interval)
+		if clients > maxClients {
+			clients = maxClients
+		}
+		meanTask := 0.0
+		if taskCounts[i] > 0 {
+			meanTask = taskSums[i] / float64(taskCounts[i])
+		}
+		var runners, util float64
+		if i < len(runnerBins) {
+			runners = runnerBins[i]
+		}
+		if i < len(utilBins) {
+			util = utilBins[i]
+		}
+		if runners > peakRunners {
+			peakRunners = runners
+		}
+		table.AddRow(
+			fmt.Sprintf("%.0f", t.Seconds()),
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.1f", runners),
+			fmt.Sprintf("%.0f", util),
+			fmt.Sprintf("%.2f", meanTask),
+		)
+		table.Set(fmt.Sprintf("runners/%d", i), runners)
+		table.Set(fmt.Sprintf("mean_task/%d", i), meanTask)
+	}
+	table.Set("peak_runners", peakRunners)
+	table.Set("completions", float64(len(completions)))
+	table.Note("peak runners %.0f for %d clients (paper: 7 runners at 32 clients); task completion time stays steady",
+		peakRunners, maxClients)
+	return table, nil
+}

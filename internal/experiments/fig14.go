@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// fig14Spec describes one GPU kernel's granularity sweep.
+type fig14Spec struct {
+	kernel kernels.Kernel
+	param  string
+	values []int
+	extra  kernels.Params
+}
+
+// fig14Specs enumerates the six kernels of Fig. 14 with granularity
+// ranges matching the paper's x-axes.
+func fig14Specs() []fig14Spec {
+	return []fig14Spec{
+		{kernels.NewSoftDTW(), "n", []int{100, 250, 500, 750, 1000}, nil},
+		{kernels.NewGeneticAlgorithm(), "generations",
+			[]int{64, 512, 1024, 2048, 4096}, kernels.Params{"n": 100}},
+		{kernels.NewGNNTraining(), "n",
+			[]int{256, 1024, 2048, 3072, 4096}, kernels.Params{"nodes": 2000}},
+		{kernels.NewMonteCarlo(), "n", []int{4096, 16384, 32768, 49152, 65536}, nil},
+		{kernels.NewMatMul(accel.GPU), "n", []int{1024, 4096, 8192, 12288, 16384}, nil},
+		{kernels.NewQuantumSim(), "n", []int{4096, 16384, 32768, 49152, 65536}, nil},
+	}
+}
+
+// Fig14GPUKernels reproduces Fig. 14: completion times of the six GPU
+// kernels across granularities, comparing space sharing with MPS
+// (baseline, always on the first — fastest — GPU, the numba default)
+// against KaaS (runners spread across all four GPUs, whose unit-to-unit
+// speed variability KaaS is exposed to).
+func Fig14GPUKernels(o Options) (*Table, error) {
+	o = o.withDefaults()
+	clock := vclock.Scaled(o.Scale)
+
+	// Baseline: MPS space sharing on the varied-speed host, first GPU.
+	baseHost, err := newP100Host(clock, shareSpace, true)
+	if err != nil {
+		return nil, err
+	}
+	defer baseHost.Close()
+	base, err := newBaseline(clock, baseHost, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// KaaS: one warm runner per GPU; invocations rotate across them.
+	kaasHost, err := newP100Host(clock, shareSpace, true)
+	if err != nil {
+		return nil, err
+	}
+	defer kaasHost.Close()
+	srv, err := newKaasServer(clock, kaasHost, func(c *core.Config) {
+		c.MaxInFlightPerRunner = 1
+		c.MaxRunnersPerDevice = 1
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	table := NewTable("14", "GPU kernel suite: baseline (MPS) vs KaaS",
+		"kernel", "granularity", "baseline_s", "kaas_s", "reduction")
+
+	specs := fig14Specs()
+	for si := range specs {
+		spec := specs[si]
+		if err := srv.Register(spec.kernel); err != nil {
+			return nil, err
+		}
+		// Warm one runner per GPU with concurrent invocations.
+		warmReq := reqFor(spec, spec.values[0])
+		if _, err := workload.RunParallel(context.Background(), 4,
+			func(ctx context.Context, _ int) (time.Duration, error) {
+				_, rep, err := srv.Invoke(ctx, spec.kernel.Name(), warmReq)
+				if err != nil {
+					return 0, err
+				}
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, fmt.Errorf("fig14 warmup %s: %w", spec.kernel.Name(), err)
+		}
+
+		values := sweep(o, spec.values)
+		for _, v := range values {
+			req := reqFor(spec, v)
+
+			var baseSample metrics.Sample
+			for s := 0; s < o.Samples; s++ {
+				_, rep, err := base.Run(context.Background(), spec.kernel, req)
+				if err != nil {
+					return nil, fmt.Errorf("fig14 baseline %s %d: %w", spec.kernel.Name(), v, err)
+				}
+				baseSample.AddDuration(rep.Total() + clientLaunch)
+			}
+
+			// Sample KaaS across all four runners (one per GPU) so the
+			// mean reflects device speed variability, as in the paper.
+			kaasSamples := max(o.Samples, 4)
+			var kaasSample metrics.Sample
+			for s := 0; s < kaasSamples; s++ {
+				_, rep, err := srv.Invoke(context.Background(), spec.kernel.Name(), req)
+				if err != nil {
+					return nil, fmt.Errorf("fig14 kaas %s %d: %w", spec.kernel.Name(), v, err)
+				}
+				if rep.Cold {
+					return nil, fmt.Errorf("fig14 kaas %s %d: unexpected cold start", spec.kernel.Name(), v)
+				}
+				kaasSample.AddDuration(rep.Total() + clientLaunch)
+			}
+
+			baseMean := time.Duration(baseSample.Mean() * float64(time.Second))
+			kaasMean := time.Duration(kaasSample.Mean() * float64(time.Second))
+			red := reduction(baseMean, kaasMean)
+			table.AddRow(spec.kernel.Name(), fmt.Sprintf("%d", v),
+				seconds(baseMean), seconds(kaasMean), pct(red))
+			table.Set(fmt.Sprintf("%s/%d/baseline", spec.kernel.Name(), v), baseMean.Seconds())
+			table.Set(fmt.Sprintf("%s/%d/kaas", spec.kernel.Name(), v), kaasMean.Seconds())
+			table.Set(fmt.Sprintf("%s/%d/reduction", spec.kernel.Name(), v), red)
+		}
+	}
+	table.Note("KaaS reduces completion times across the suite; GA at the highest generation count loses its advantage (paper: +5.8%% for GA at 4,096 via GPU speed variability)")
+	return table, nil
+}
+
+// reqFor builds the request for one sweep point.
+func reqFor(spec fig14Spec, v int) *kernels.Request {
+	params := kernels.Params{spec.param: float64(v)}
+	for k, val := range spec.extra {
+		params[k] = val
+	}
+	return &kernels.Request{Params: params}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"kaas/internal/baseline"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// fig16Sizes is the conv2d input sweep of §5.6.3.
+var fig16Sizes = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000}
+
+// fig16Parallel is the number of simultaneous kernel instances.
+const fig16Parallel = 4
+
+// fig16Point holds one (model, N) measurement.
+type fig16Point struct {
+	tpuTime  time.Duration
+	taskTime time.Duration
+}
+
+// Fig16TPUKernelTime reproduces Fig. 16a: the TPU time (initialization +
+// compile + execution on the device) of four parallel 2D convolutions
+// under exclusive, shared (one chip each), and KaaS use of a TPU v3-8.
+func Fig16TPUKernelTime(o Options) (*Table, error) {
+	table := NewTable("16a", "TPU time of four parallel conv2d instances",
+		"n", "model", "tpu_time_s")
+	return fig16(o, table, func(p fig16Point) time.Duration { return p.tpuTime }, "tpu")
+}
+
+// Fig16TPUTotalTime reproduces Fig. 16b: the total task completion time of
+// the same runs, which adds TensorFlow import and request handling.
+func Fig16TPUTotalTime(o Options) (*Table, error) {
+	table := NewTable("16b", "Total task completion time of four parallel conv2d instances",
+		"n", "model", "total_s")
+	return fig16(o, table, func(p fig16Point) time.Duration { return p.taskTime }, "total")
+}
+
+// fig16 runs the TPU sweep and projects one metric into the table.
+func fig16(o Options, table *Table, metric func(fig16Point) time.Duration, key string) (*Table, error) {
+	o = o.withDefaults()
+	sizes := sweep(o, fig16Sizes)
+
+	for _, n := range sizes {
+		for _, model := range []string{"exclusive", "shared", "kaas"} {
+			p, err := fig16Run(o, model, n)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 %s n=%d: %w", model, n, err)
+			}
+			v := metric(*p)
+			table.AddRow(fmt.Sprintf("%d", n), model, seconds(v))
+			table.Set(fmt.Sprintf("%s/%d/%s", model, n, key), v.Seconds())
+		}
+	}
+	table.Note("exclusive use blocks the whole board per kernel; shared pins one chip per instance; KaaS serves from warm, pre-compiled runners (paper: 95.9-98.6%% total-time reduction)")
+	return table, nil
+}
+
+// fig16Run measures the mean TPU time and task time of four parallel
+// conv2d instances under one usage model.
+func fig16Run(o Options, model string, n int) (*fig16Point, error) {
+	clock := vclock.Scaled(o.Scale)
+	req := &kernels.Request{Params: kernels.Params{"n": float64(n)}}
+	conv := kernels.NewConv2D()
+
+	var mu sync.Mutex
+	var tpuSample, taskSample metrics.Sample
+	record := func(b *metrics.Breakdown, total time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		tpuSample.AddDuration(b.RuntimeInit + b.Setup + b.KernelTime())
+		taskSample.AddDuration(total)
+	}
+
+	switch model {
+	case "exclusive":
+		host, err := newTPUHost(clock, true)
+		if err != nil {
+			return nil, err
+		}
+		defer host.Close()
+		exec, err := newBaseline(clock, host, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := workload.RunParallel(context.Background(), fig16Parallel,
+			func(ctx context.Context, client int) (time.Duration, error) {
+				clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+				_, rep, err := exec.Run(ctx, conv, req)
+				if err != nil {
+					return 0, err
+				}
+				// The queue time behind other exclusive kernels is part
+				// of the task, not of the TPU time.
+				record(&rep.Breakdown, rep.Total()+clientLaunch)
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, err
+		}
+	case "shared":
+		host, err := newTPUHost(clock, false)
+		if err != nil {
+			return nil, err
+		}
+		defer host.Close()
+		exec, err := newBaseline(clock, host, func(c *baseline.Config) {
+			c.SpreadDevices = true // one instance per chip
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := workload.RunParallel(context.Background(), fig16Parallel,
+			func(ctx context.Context, client int) (time.Duration, error) {
+				clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+				_, rep, err := exec.Run(ctx, conv, req)
+				if err != nil {
+					return 0, err
+				}
+				record(&rep.Breakdown, rep.Total()+clientLaunch)
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, err
+		}
+	case "kaas":
+		host, err := newTPUHost(clock, false)
+		if err != nil {
+			return nil, err
+		}
+		defer host.Close()
+		srv, err := newKaasServer(clock, host, func(c *core.Config) {
+			c.MaxInFlightPerRunner = 1
+			c.MaxRunnersPerDevice = 1
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		if err := srv.Register(conv); err != nil {
+			return nil, err
+		}
+		// Warm one runner per chip.
+		if _, err := workload.RunParallel(context.Background(), fig16Parallel,
+			func(ctx context.Context, _ int) (time.Duration, error) {
+				_, rep, err := srv.Invoke(ctx, conv.Name(), req)
+				if err != nil {
+					return 0, err
+				}
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, err
+		}
+		if _, err := workload.RunParallel(context.Background(), fig16Parallel,
+			func(ctx context.Context, client int) (time.Duration, error) {
+				clock.Sleep(clientLaunch + time.Duration(client)*10*time.Millisecond)
+				_, rep, err := srv.Invoke(ctx, conv.Name(), req)
+				if err != nil {
+					return 0, err
+				}
+				if rep.Cold {
+					return 0, fmt.Errorf("unexpected cold start")
+				}
+				record(&rep.Breakdown, rep.Total()+clientLaunch)
+				return rep.Total(), nil
+			}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown TPU model %q", model)
+	}
+
+	return &fig16Point{
+		tpuTime:  time.Duration(tpuSample.Mean() * float64(time.Second)),
+		taskTime: time.Duration(taskSample.Mean() * float64(time.Second)),
+	}, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. Its 5-20x wall
+// slowdown breaks the scaled-clock fidelity that tight timing-ratio
+// assertions depend on.
+const raceEnabled = true

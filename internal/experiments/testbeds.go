@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/baseline"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/vclock"
+)
+
+// sharingMode selects how a testbed's devices are shared.
+type sharingMode int
+
+const (
+	// shareTime serializes tasks on each device (Slots=1).
+	shareTime sharingMode = iota + 1
+	// shareSpace allows concurrent contexts (MPS-style).
+	shareSpace
+)
+
+// exclusiveProfile returns p with a single context slot.
+func exclusiveProfile(p accel.Profile) accel.Profile {
+	p.Slots = 1
+	return p
+}
+
+// p100SpeedFactors reproduces the GPU-to-GPU performance variability the
+// paper observes in its cluster (§5.6.1: up to 14.3% between devices).
+var p100SpeedFactors = [4]float64{1.0, 0.97, 0.94, 0.91}
+
+// newP100Host builds the paper's main testbed: four Tesla P100 GPUs. The
+// mode controls device slot counts; varied speed factors model per-unit
+// variability (the first device is the fastest, as the baseline's default
+// placement always uses it).
+func newP100Host(clock vclock.Clock, mode sharingMode, varied bool) (*accel.Host, error) {
+	profiles := make([]accel.Profile, 4)
+	for i := range profiles {
+		p := accel.TeslaP100
+		if mode == shareTime {
+			p = exclusiveProfile(p)
+		}
+		if varied {
+			p.SpeedFactor = p100SpeedFactors[i]
+		}
+		profiles[i] = p
+	}
+	return accel.NewHost(clock, "p100", accel.XeonE52698, profiles...)
+}
+
+// newV100Host builds the eight-GPU scaling testbed with n GPUs attached.
+func newV100Host(clock vclock.Clock, n int) (*accel.Host, error) {
+	if n <= 0 || n > 8 {
+		return nil, fmt.Errorf("experiments: v100 host needs 1..8 GPUs, got %d", n)
+	}
+	profiles := make([]accel.Profile, n)
+	for i := range profiles {
+		profiles[i] = accel.TeslaV100
+	}
+	return accel.NewHost(clock, "v100", accel.XeonE52698, profiles...)
+}
+
+// newFPGAHost builds the Alveo U250 testbed.
+func newFPGAHost(clock vclock.Clock) (*accel.Host, error) {
+	return accel.NewHost(clock, "fpga", accel.XeonE52698, accel.AlveoU250)
+}
+
+// newTPUHost builds the TPU v3-8 board as four chip devices (shared and
+// KaaS modes) or one whole-board device (exclusive mode, where each kernel
+// execution blocks the entire TPU and the board computes as one unit).
+func newTPUHost(clock vclock.Clock, exclusive bool) (*accel.Host, error) {
+	if exclusive {
+		board := accel.TPUv3Chip
+		board.Name = "TPU v3-8 board"
+		board.ComputeRate *= 4 // the whole board serves one kernel
+		board.Slots = 1
+		return accel.NewHost(clock, "tpu", accel.XeonE52698, board)
+	}
+	chips := make([]accel.Profile, 4)
+	for i := range chips {
+		chips[i] = accel.TPUv3Chip
+	}
+	return accel.NewHost(clock, "tpu", accel.XeonE52698, chips...)
+}
+
+// newKaasServer builds a KaaS server over a host with experiment-friendly
+// defaults (results disabled; see the package comment).
+func newKaasServer(clock vclock.Clock, host *accel.Host, mutate func(*core.Config)) (*core.Server, error) {
+	cfg := core.Config{
+		Clock:          clock,
+		Host:           host,
+		DisableCompute: true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.New(cfg)
+}
+
+// newBaseline builds a baseline executor with results disabled.
+func newBaseline(clock vclock.Clock, host *accel.Host, mutate func(*baseline.Config)) (*baseline.Executor, error) {
+	cfg := baseline.Config{
+		Clock:          clock,
+		Host:           host,
+		DisableCompute: true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return baseline.New(cfg)
+}
+
+// matmulReq builds a matmul request for dimension n.
+func matmulReq(n int) *kernels.Request {
+	return &kernels.Request{Params: kernels.Params{"n": float64(n)}}
+}
+
+// sweep returns the full or quick variant of a sweep.
+func sweep[T any](o Options, full []T) []T {
+	if !o.Quick || len(full) <= 2 {
+		return full
+	}
+	return []T{full[0], full[len(full)-1]}
+}
+
+// mean returns the average of durations.
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}

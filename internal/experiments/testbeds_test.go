@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/vclock"
+)
+
+func TestExclusiveProfile(t *testing.T) {
+	p := exclusiveProfile(accel.TeslaP100)
+	if p.Slots != 1 {
+		t.Errorf("Slots = %d, want 1", p.Slots)
+	}
+	if accel.TeslaP100.Slots == 1 {
+		t.Error("mutated the shared profile")
+	}
+}
+
+func TestNewP100Host(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	host, err := newP100Host(clock, shareSpace, true)
+	if err != nil {
+		t.Fatalf("newP100Host: %v", err)
+	}
+	defer host.Close()
+	gpus := host.DevicesByKind(accel.GPU)
+	if len(gpus) != 4 {
+		t.Fatalf("GPUs = %d, want 4", len(gpus))
+	}
+	// Varied hosts carry the speed spread, fastest first.
+	for i, d := range gpus {
+		if got := d.Profile().SpeedFactor; got != p100SpeedFactors[i] {
+			t.Errorf("GPU %d speed factor = %v, want %v", i, got, p100SpeedFactors[i])
+		}
+	}
+	flat, err := newP100Host(clock, shareTime, false)
+	if err != nil {
+		t.Fatalf("newP100Host flat: %v", err)
+	}
+	defer flat.Close()
+	for _, d := range flat.DevicesByKind(accel.GPU) {
+		if d.Profile().Slots != 1 {
+			t.Errorf("exclusive host device has %d slots", d.Profile().Slots)
+		}
+	}
+}
+
+func TestNewV100HostValidation(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	if _, err := newV100Host(clock, 0); err == nil {
+		t.Error("0 GPUs succeeded")
+	}
+	if _, err := newV100Host(clock, 9); err == nil {
+		t.Error("9 GPUs succeeded")
+	}
+	host, err := newV100Host(clock, 3)
+	if err != nil {
+		t.Fatalf("newV100Host: %v", err)
+	}
+	defer host.Close()
+	if got := len(host.DevicesByKind(accel.GPU)); got != 3 {
+		t.Errorf("GPUs = %d, want 3", got)
+	}
+}
+
+func TestNewTPUHostModes(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	excl, err := newTPUHost(clock, true)
+	if err != nil {
+		t.Fatalf("newTPUHost exclusive: %v", err)
+	}
+	defer excl.Close()
+	boards := excl.DevicesByKind(accel.TPU)
+	if len(boards) != 1 {
+		t.Fatalf("exclusive TPU devices = %d, want 1 board", len(boards))
+	}
+	if boards[0].Profile().ComputeRate != 4*accel.TPUv3Chip.ComputeRate {
+		t.Error("board rate should be 4x chip rate")
+	}
+
+	shared, err := newTPUHost(clock, false)
+	if err != nil {
+		t.Fatalf("newTPUHost shared: %v", err)
+	}
+	defer shared.Close()
+	if got := len(shared.DevicesByKind(accel.TPU)); got != 4 {
+		t.Errorf("shared TPU chips = %d, want 4", got)
+	}
+}
+
+func TestSweepQuickTakesEndpoints(t *testing.T) {
+	full := []int{1, 2, 3, 4, 5}
+	got := sweep(Options{Quick: true}, full)
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("quick sweep = %v, want [1 5]", got)
+	}
+	if got := sweep(Options{}, full); len(got) != 5 {
+		t.Errorf("full sweep = %v", got)
+	}
+	short := []int{7}
+	if got := sweep(Options{Quick: true}, short); len(got) != 1 {
+		t.Errorf("short sweep = %v", got)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if got := mean(nil); got != 0 {
+		t.Errorf("mean(nil) = %v", got)
+	}
+	got := mean([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Errorf("mean = %v, want 2s", got)
+	}
+}
+
+func TestMatmulReq(t *testing.T) {
+	req := matmulReq(777)
+	if req.Params.Int("n", 0) != 777 {
+		t.Errorf("n = %d, want 777", req.Params.Int("n", 0))
+	}
+}
+
+func TestReductionHelper(t *testing.T) {
+	if got := reduction(10*time.Second, 4*time.Second); got != 0.6 {
+		t.Errorf("reduction = %v, want 0.6", got)
+	}
+	if got := reduction(0, time.Second); got != 0 {
+		t.Errorf("reduction with zero base = %v, want 0", got)
+	}
+}
+
+func TestFig17BackendsDistinct(t *testing.T) {
+	backends := fig17Backends()
+	if len(backends) != 5 {
+		t.Fatalf("backends = %d, want 5", len(backends))
+	}
+	seen := make(map[string]bool)
+	for _, b := range backends {
+		if seen[b.name] {
+			t.Errorf("duplicate backend %q", b.name)
+		}
+		seen[b.name] = true
+		if err := b.profile.Validate(); err != nil {
+			t.Errorf("backend %s profile invalid: %v", b.name, err)
+		}
+	}
+}
+
+func TestConvCompileHelpers(t *testing.T) {
+	// reqFor merges the sweep parameter with extras.
+	spec := fig14Specs()[1] // ga
+	req := reqFor(spec, 128)
+	if req.Params.Int("generations", 0) != 128 {
+		t.Errorf("generations = %d", req.Params.Int("generations", 0))
+	}
+	if req.Params.Int("n", 0) != 100 {
+		t.Errorf("n = %d, want 100 (extra param)", req.Params.Int("n", 0))
+	}
+}

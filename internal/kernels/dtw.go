@@ -1,0 +1,135 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kaas/internal/accel"
+)
+
+// SoftDTW computes soft dynamic time warping distances (Cuturi & Blondel
+// 2017) between pairs of random sequences — the paper's DTW kernel
+// (§5.6.1). Parameters:
+//
+//	n     — sequence length (default 200)
+//	batch — number of sequence pairs (default 200)
+//	gamma — smoothing parameter (default 1.0)
+//	seed  — RNG seed
+//
+// Execute runs the real O(n²) dynamic program per pair with the length
+// capped at dtwExecCap; Cost charges batch × n² cell updates at roughly
+// 10 FLOPs per cell.
+type SoftDTW struct{}
+
+// dtwExecCap bounds the sequence length computed on the host.
+const dtwExecCap = 128
+
+// NewSoftDTW creates the DTW kernel.
+func NewSoftDTW() *SoftDTW { return &SoftDTW{} }
+
+var _ Kernel = (*SoftDTW)(nil)
+
+// Name implements Kernel.
+func (*SoftDTW) Name() string { return "dtw" }
+
+// Kind implements Kernel.
+func (*SoftDTW) Kind() accel.Kind { return accel.GPU }
+
+// Cost implements Kernel.
+func (*SoftDTW) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 200)
+	batch := req.Params.Int("batch", 200)
+	if n <= 0 || batch <= 0 {
+		return Cost{}, fmt.Errorf("dtw: invalid n=%d batch=%d", n, batch)
+	}
+	cells := float64(batch) * float64(n) * float64(n)
+	bytes := int64(batch) * int64(n) * 2 * 8
+	// Each DP cell computes a soft-min (exp/log) and has poor GPU
+	// parallelism along the anti-diagonal, so its effective cost at the
+	// device's nominal FLOP rate is far above its raw arithmetic.
+	return Cost{
+		Work:         cells * 2000,
+		BytesIn:      bytes,
+		BytesOut:     int64(batch) * 8,
+		DeviceMemory: bytes + int64(n)*int64(n)*8,
+	}, nil
+}
+
+// softMin computes -gamma * log(sum exp(-x_i/gamma)) stably.
+func softMin(gamma float64, vals ...float64) float64 {
+	minV := vals[0]
+	for _, v := range vals[1:] {
+		if v < minV {
+			minV = v
+		}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += math.Exp(-(v - minV) / gamma)
+	}
+	return minV - gamma*math.Log(sum)
+}
+
+// SoftDTWDistance computes the soft-DTW distance between two sequences.
+func SoftDTWDistance(a, b []float64, gamma float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("dtw: empty sequence")
+	}
+	if gamma <= 0 {
+		return 0, fmt.Errorf("dtw: gamma must be positive, got %v", gamma)
+	}
+	const inf = math.MaxFloat64 / 4
+	prev := make([]float64, len(b)+1)
+	cur := make([]float64, len(b)+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= len(a); i++ {
+		cur[0] = inf
+		for j := 1; j <= len(b); j++ {
+			d := a[i-1] - b[j-1]
+			cost := d * d
+			cur[j] = cost + softMin(gamma, prev[j-1], prev[j], cur[j-1])
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)], nil
+}
+
+// Execute implements Kernel.
+func (k *SoftDTW) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 200)
+	batch := req.Params.Int("batch", 200)
+	gamma := req.Params.Float("gamma", 1.0)
+	if n <= 0 || batch <= 0 {
+		return nil, fmt.Errorf("dtw: invalid n=%d batch=%d", n, batch)
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("dtw: invalid gamma %v", gamma)
+	}
+	effN := capDim(n, dtwExecCap)
+	effBatch := capDim(batch, 64)
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+
+	var total float64
+	for p := 0; p < effBatch; p++ {
+		a := make([]float64, effN)
+		b := make([]float64, effN)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		d, err := SoftDTWDistance(a, b, gamma)
+		if err != nil {
+			return nil, err
+		}
+		total += d
+	}
+	return &Response{Values: map[string]float64{
+		"mean_distance": total / float64(effBatch),
+		"n":             float64(n),
+		"effective_n":   float64(effN),
+	}}, nil
+}

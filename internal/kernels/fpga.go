@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kaas/internal/accel"
+	"kaas/internal/tensor"
+)
+
+// Histogram computes a 256-bin histogram of byte values over a large
+// array — the paper's FPGA Histogram kernel (§5.6.2; array length
+// 2,097,504). Parameters:
+//
+//	n    — array length (default 2097504)
+//	seed — RNG seed
+//
+// Execute bins a real array (length capped at histExecCap); Cost charges
+// one operation per requested element plus the input transfer.
+type Histogram struct{}
+
+// histExecCap bounds the array length processed on the host.
+const histExecCap = 1 << 21
+
+// NewHistogram creates the histogram kernel.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+var _ Kernel = (*Histogram)(nil)
+
+// Name implements Kernel.
+func (*Histogram) Name() string { return "histogram" }
+
+// Kind implements Kernel.
+func (*Histogram) Kind() accel.Kind { return accel.FPGA }
+
+// Cost implements Kernel.
+func (*Histogram) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 2097504)
+	if n <= 0 {
+		return Cost{}, fmt.Errorf("histogram: invalid n %d", n)
+	}
+	return Cost{
+		Work:         float64(n),
+		BytesIn:      int64(n) * 4,
+		BytesOut:     256 * 4,
+		DeviceMemory: int64(n)*4 + 256*4,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (*Histogram) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 2097504)
+	if n <= 0 {
+		return nil, fmt.Errorf("histogram: invalid n %d", n)
+	}
+	eff := capDim(n, histExecCap)
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+
+	bins := make([]float64, 256)
+	for i := 0; i < eff; i++ {
+		bins[rng.Intn(256)]++
+	}
+	var maxBin, maxCount float64
+	var total float64
+	for b, c := range bins {
+		total += c
+		if c > maxCount {
+			maxCount = c
+			maxBin = float64(b)
+		}
+	}
+	return &Response{
+		Values: map[string]float64{
+			"total":       total,
+			"max_bin":     maxBin,
+			"max_count":   maxCount,
+			"n":           float64(n),
+			"effective_n": float64(eff),
+		},
+		Data: Float64sToBytes(bins),
+	}, nil
+}
+
+// BitmapConversion converts an RGB image to a downsampled grayscale
+// bitmap — the bitmap-conversion task of the paper's motivating workflow
+// (Fig. 1) and FPGA evaluation (§5.6.2). Parameters:
+//
+//	height, width — image dimensions (default 1080×1920)
+//	factor        — downsampling factor (default 2)
+//	seed          — RNG seed for the synthetic input image
+//
+// If the request carries a Data payload it is decoded as interleaved RGB
+// float64 pixels. Execute performs the real luminance conversion and
+// average-pooling downsample at a capped resolution.
+type BitmapConversion struct{}
+
+// bitmapExecCap bounds each image dimension processed on the host.
+const bitmapExecCap = 512
+
+// NewBitmapConversion creates the bitmap-conversion kernel.
+func NewBitmapConversion() *BitmapConversion { return &BitmapConversion{} }
+
+var _ Kernel = (*BitmapConversion)(nil)
+
+// Name implements Kernel.
+func (*BitmapConversion) Name() string { return "bitmap" }
+
+// Kind implements Kernel.
+func (*BitmapConversion) Kind() accel.Kind { return accel.FPGA }
+
+// Cost implements Kernel.
+func (*BitmapConversion) Cost(req *Request) (Cost, error) {
+	h := req.Params.Int("height", 1080)
+	w := req.Params.Int("width", 1920)
+	f := req.Params.Int("factor", 2)
+	if h <= 0 || w <= 0 || f <= 0 {
+		return Cost{}, fmt.Errorf("bitmap: invalid height=%d width=%d factor=%d", h, w, f)
+	}
+	pixels := int64(h) * int64(w)
+	return Cost{
+		// The PyLog pipeline streams one pixel per cycle, so device work
+		// is one unit per pixel (like the histogram kernel).
+		Work:         float64(pixels),
+		BytesIn:      pixels * 3, // 8-bit RGB
+		BytesOut:     pixels / int64(f*f),
+		DeviceMemory: pixels * 4,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (*BitmapConversion) Execute(req *Request) (*Response, error) {
+	h := req.Params.Int("height", 1080)
+	w := req.Params.Int("width", 1920)
+	f := req.Params.Int("factor", 2)
+	if h <= 0 || w <= 0 || f <= 0 {
+		return nil, fmt.Errorf("bitmap: invalid height=%d width=%d factor=%d", h, w, f)
+	}
+	effH := capDim(h, bitmapExecCap)
+	effW := capDim(w, bitmapExecCap)
+	if effH/f == 0 || effW/f == 0 {
+		return nil, fmt.Errorf("bitmap: factor %d too large for %dx%d", f, effH, effW)
+	}
+
+	// Obtain RGB input: payload if provided, synthetic otherwise.
+	var rgb []float64
+	if len(req.Data) > 0 {
+		vals, err := BytesToFloat64s(req.Data)
+		if err != nil {
+			return nil, fmt.Errorf("bitmap: decode image: %w", err)
+		}
+		if len(vals) < effH*effW*3 {
+			return nil, fmt.Errorf("bitmap: payload has %d values, need %d", len(vals), effH*effW*3)
+		}
+		rgb = vals
+	} else {
+		rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+		rgb = make([]float64, effH*effW*3)
+		for i := range rgb {
+			rgb[i] = rng.Float64()
+		}
+	}
+
+	// ITU-R BT.601 luminance.
+	gray, err := tensor.NewImage(effH, effW)
+	if err != nil {
+		return nil, fmt.Errorf("bitmap: %w", err)
+	}
+	for y := 0; y < effH; y++ {
+		for x := 0; x < effW; x++ {
+			base := (y*effW + x) * 3
+			gray.Set(y, x, 0.299*rgb[base]+0.587*rgb[base+1]+0.114*rgb[base+2])
+		}
+	}
+	small, err := tensor.Downsample(gray, f)
+	if err != nil {
+		return nil, fmt.Errorf("bitmap: %w", err)
+	}
+	var sum float64
+	for _, v := range small.Pix() {
+		sum += v
+	}
+	return &Response{
+		Values: map[string]float64{
+			"mean_luma":  sum / float64(len(small.Pix())),
+			"out_height": float64(small.H()),
+			"out_width":  float64(small.W()),
+		},
+		Data: Float64sToBytes(small.Pix()),
+	}, nil
+}

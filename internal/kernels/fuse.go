@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"fmt"
+
+	"kaas/internal/accel"
+)
+
+// Fuse combines two kernels that target the same accelerator kind into
+// one kernel, eliminating the intermediate device-to-host-to-device data
+// movement between them — the kernel-fusion optimization the paper's §6
+// identifies as future work. The fused kernel's input transfer is the
+// first kernel's, its output transfer is the second's, and the
+// intermediate payload stays resident on the device.
+//
+// Both kernels receive the same request parameters; the first kernel's
+// output payload becomes the second kernel's input payload. The fused
+// response carries the second kernel's payload and both kernels' scalar
+// values, prefixed with each kernel's name.
+func Fuse(name string, first, second Kernel) (Kernel, error) {
+	if name == "" {
+		return nil, fmt.Errorf("kernels: fused kernel needs a name")
+	}
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("kernels: fuse requires two kernels")
+	}
+	if first.Kind() != second.Kind() {
+		return nil, fmt.Errorf("kernels: cannot fuse %s kernel %q with %s kernel %q",
+			first.Kind(), first.Name(), second.Kind(), second.Name())
+	}
+	return &fused{name: name, first: first, second: second}, nil
+}
+
+// fused is a device-resident composition of two kernels.
+type fused struct {
+	name          string
+	first, second Kernel
+}
+
+var _ Kernel = (*fused)(nil)
+
+// Name implements Kernel.
+func (f *fused) Name() string { return f.name }
+
+// Kind implements Kernel.
+func (f *fused) Kind() accel.Kind { return f.first.Kind() }
+
+// Cost implements Kernel: the sum of both stages' device work with the
+// intermediate transfer elided.
+func (f *fused) Cost(req *Request) (Cost, error) {
+	ca, err := f.first.Cost(req)
+	if err != nil {
+		return Cost{}, fmt.Errorf("fused %s: first stage: %w", f.name, err)
+	}
+	cb, err := f.second.Cost(req)
+	if err != nil {
+		return Cost{}, fmt.Errorf("fused %s: second stage: %w", f.name, err)
+	}
+	mem := ca.DeviceMemory
+	if cb.DeviceMemory > mem {
+		mem = cb.DeviceMemory
+	}
+	return Cost{
+		Work:      ca.Work + cb.Work,
+		SetupTime: ca.SetupTime + cb.SetupTime,
+		BytesIn:   ca.BytesIn,
+		BytesOut:  cb.BytesOut,
+		// Both stages' working sets coexist briefly at the handoff.
+		DeviceMemory: mem + minInt64(ca.DeviceMemory, cb.DeviceMemory)/2,
+	}, nil
+}
+
+// Execute implements Kernel: run the first stage, feed its payload to the
+// second, and merge the scalar outputs.
+func (f *fused) Execute(req *Request) (*Response, error) {
+	respA, err := f.first.Execute(req)
+	if err != nil {
+		return nil, fmt.Errorf("fused %s: first stage: %w", f.name, err)
+	}
+	reqB := &Request{Params: req.Params, Data: respA.Data}
+	respB, err := f.second.Execute(reqB)
+	if err != nil {
+		return nil, fmt.Errorf("fused %s: second stage: %w", f.name, err)
+	}
+	values := make(map[string]float64, len(respA.Values)+len(respB.Values))
+	for k, v := range respA.Values {
+		values[f.first.Name()+"."+k] = v
+	}
+	for k, v := range respB.Values {
+		values[f.second.Name()+"."+k] = v
+	}
+	return &Response{Values: values, Data: respB.Data}, nil
+}
+
+// SavedTransfer reports the intermediate bytes a fused execution avoids
+// moving compared to running the stages separately.
+func (f *fused) SavedTransfer(req *Request) (int64, error) {
+	ca, err := f.first.Cost(req)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := f.second.Cost(req)
+	if err != nil {
+		return 0, err
+	}
+	return ca.BytesOut + cb.BytesIn, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"kaas/internal/accel"
+)
+
+func TestFuseValidation(t *testing.T) {
+	bitmap := NewBitmapConversion()
+	hist := NewHistogram()
+	mm := NewMatMul(accel.GPU)
+
+	if _, err := Fuse("", bitmap, hist); err == nil {
+		t.Error("empty name succeeded")
+	}
+	if _, err := Fuse("f", nil, hist); err == nil {
+		t.Error("nil first kernel succeeded")
+	}
+	if _, err := Fuse("f", bitmap, nil); err == nil {
+		t.Error("nil second kernel succeeded")
+	}
+	if _, err := Fuse("f", bitmap, mm); err == nil {
+		t.Error("cross-kind fusion succeeded")
+	}
+	f, err := Fuse("fpga-pipeline", bitmap, hist)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	if f.Name() != "fpga-pipeline" || f.Kind() != accel.FPGA {
+		t.Errorf("fused identity: %s/%s", f.Name(), f.Kind())
+	}
+}
+
+func TestFusedCostElidesIntermediateTransfer(t *testing.T) {
+	bitmap := NewBitmapConversion()
+	hist := NewHistogram()
+	f, err := Fuse("fpga-pipeline", bitmap, hist)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	req := &Request{Params: Params{"height": 512, "width": 512, "n": 100000}}
+	ca, _ := bitmap.Cost(req)
+	cb, _ := hist.Cost(req)
+	cf, err := f.Cost(req)
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	if cf.Work != ca.Work+cb.Work {
+		t.Errorf("fused work = %v, want %v", cf.Work, ca.Work+cb.Work)
+	}
+	if cf.BytesIn != ca.BytesIn {
+		t.Errorf("fused BytesIn = %v, want first stage's %v", cf.BytesIn, ca.BytesIn)
+	}
+	if cf.BytesOut != cb.BytesOut {
+		t.Errorf("fused BytesOut = %v, want second stage's %v", cf.BytesOut, cb.BytesOut)
+	}
+	separate := ca.BytesIn + ca.BytesOut + cb.BytesIn + cb.BytesOut
+	fusedTotal := cf.BytesIn + cf.BytesOut
+	if fusedTotal >= separate {
+		t.Errorf("fusion saved no transfer: %v vs %v", fusedTotal, separate)
+	}
+	fi, ok := f.(*fused)
+	if !ok {
+		t.Fatal("fused kernel has unexpected type")
+	}
+	saved, err := fi.SavedTransfer(req)
+	if err != nil {
+		t.Fatalf("SavedTransfer: %v", err)
+	}
+	if saved != ca.BytesOut+cb.BytesIn {
+		t.Errorf("SavedTransfer = %v, want %v", saved, ca.BytesOut+cb.BytesIn)
+	}
+}
+
+func TestFusedExecuteChainsPayload(t *testing.T) {
+	bitmap := NewBitmapConversion()
+	hist := NewHistogram()
+	f, err := Fuse("fpga-pipeline", bitmap, hist)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	resp, err := f.Execute(&Request{Params: Params{
+		"height": 64, "width": 64, "factor": 2, "n": 10000,
+	}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// Both stages' values present, prefixed.
+	if _, ok := resp.Values["bitmap.mean_luma"]; !ok {
+		t.Errorf("missing first-stage value; have %v", resp.Values)
+	}
+	if got := resp.Values["histogram.total"]; got != 10000 {
+		t.Errorf("histogram.total = %v, want 10000", got)
+	}
+	// Final payload is the second stage's (256 histogram bins).
+	bins, err := BytesToFloat64s(resp.Data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(bins) != 256 {
+		t.Errorf("payload bins = %d, want 256", len(bins))
+	}
+	for _, v := range resp.Values {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in fused values")
+		}
+	}
+}
+
+func TestFusedErrorsNameStage(t *testing.T) {
+	bitmap := NewBitmapConversion()
+	hist := NewHistogram()
+	f, _ := Fuse("p", bitmap, hist)
+	if _, err := f.Execute(&Request{Params: Params{"height": -1}}); err == nil {
+		t.Error("bad first-stage params succeeded")
+	}
+	if _, err := f.Cost(&Request{Params: Params{"height": -1}}); err == nil {
+		t.Error("bad first-stage cost succeeded")
+	}
+	if _, err := f.Cost(&Request{Params: Params{"n": -1}}); err == nil {
+		t.Error("bad second-stage cost succeeded")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	ga := NewGeneticAlgorithm()
+	cpu := Retarget(ga, accel.CPU)
+	if cpu.Kind() != accel.CPU {
+		t.Errorf("Kind = %v, want CPU", cpu.Kind())
+	}
+	if cpu.Name() != ga.Name() {
+		t.Errorf("Name changed: %q", cpu.Name())
+	}
+	// Behaviour is unchanged.
+	a, err := ga.Execute(&Request{Params: Params{"n": 32, "seed": 4}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b, err := cpu.Execute(&Request{Params: Params{"n": 32, "seed": 4}})
+	if err != nil {
+		t.Fatalf("retargeted Execute: %v", err)
+	}
+	if a.Values["best_fitness"] != b.Values["best_fitness"] {
+		t.Error("retargeting changed results")
+	}
+}

@@ -1,0 +1,164 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kaas/internal/accel"
+)
+
+// GeneticAlgorithm iteratively mutates a population of N vectors of
+// gaVectorLen elements over a fixed number of generations, minimizing a
+// fitness function — the paper's GA kernel (§5.3, §5.6.1). Parameters:
+//
+//	n           — population size (default 1024)
+//	generations — evolution steps (default 10)
+//	seed        — RNG seed
+//
+// If the request carries a Data payload it is decoded as the initial
+// population (n × gaVectorLen float64 values); this is the payload used by
+// the remote-invocation experiment to exercise in-band vs out-of-band
+// transfer. The fitness function is the Rastrigin function, a standard
+// multimodal GA benchmark.
+type GeneticAlgorithm struct{}
+
+// gaVectorLen is the per-individual vector length (100 in the paper).
+const gaVectorLen = 100
+
+// gaExecCap bounds the population size evolved on the host.
+const gaExecCap = 4096
+
+// gaFitnessFLOPs is the modeled cost of one fitness evaluation. The
+// paper's GPU-optimized fitness is far heavier than the host-side
+// Rastrigin stand-in Execute computes; this constant calibrates the
+// GPU/CPU completion-time ratio of Fig. 11.
+const gaFitnessFLOPs = 6e7
+
+// NewGeneticAlgorithm creates the GA kernel.
+func NewGeneticAlgorithm() *GeneticAlgorithm { return &GeneticAlgorithm{} }
+
+var _ Kernel = (*GeneticAlgorithm)(nil)
+
+// Name implements Kernel.
+func (*GeneticAlgorithm) Name() string { return "ga" }
+
+// Kind implements Kernel.
+func (*GeneticAlgorithm) Kind() accel.Kind { return accel.GPU }
+
+// Cost implements Kernel.
+func (*GeneticAlgorithm) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 1024)
+	gens := req.Params.Int("generations", 10)
+	if n <= 0 || gens <= 0 {
+		return Cost{}, fmt.Errorf("ga: invalid n=%d generations=%d", n, gens)
+	}
+	popBytes := int64(n) * gaVectorLen * 8
+	// Each generation evaluates a heavy GPU-tuned fitness function per
+	// individual (the paper's fitness is "optimized for GPUs"), then
+	// selects, crosses over and mutates. The iterative structure also
+	// forces a host-device round trip per generation, which is what
+	// makes GA the one kernel that can regress under KaaS (Fig. 14).
+	perGen := float64(n) * gaFitnessFLOPs
+	return Cost{
+		Work:         float64(gens) * perGen,
+		BytesIn:      popBytes + int64(gens)*popBytes/4, // initial pop + per-gen traffic
+		BytesOut:     popBytes / 4,
+		DeviceMemory: 2 * popBytes,
+	}, nil
+}
+
+// rastrigin is the fitness function: global minimum 0 at the origin.
+func rastrigin(x []float64) float64 {
+	f := 10 * float64(len(x))
+	for _, v := range x {
+		f += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return f
+}
+
+// Execute implements Kernel.
+func (*GeneticAlgorithm) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 1024)
+	gens := req.Params.Int("generations", 10)
+	if n <= 0 || gens <= 0 {
+		return nil, fmt.Errorf("ga: invalid n=%d generations=%d", n, gens)
+	}
+	eff := capDim(n, gaExecCap)
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+
+	pop := make([][]float64, eff)
+	if len(req.Data) > 0 {
+		vals, err := BytesToFloat64s(req.Data)
+		if err != nil {
+			return nil, fmt.Errorf("ga: decode population: %w", err)
+		}
+		if len(vals) < eff*gaVectorLen {
+			return nil, fmt.Errorf("ga: payload has %d values, need %d", len(vals), eff*gaVectorLen)
+		}
+		for i := range pop {
+			pop[i] = vals[i*gaVectorLen : (i+1)*gaVectorLen]
+		}
+	} else {
+		for i := range pop {
+			v := make([]float64, gaVectorLen)
+			for j := range v {
+				v[j] = rng.Float64()*10 - 5
+			}
+			pop[i] = v
+		}
+	}
+
+	fitness := make([]float64, eff)
+	order := make([]int, eff)
+	firstBest := math.Inf(1)
+	for g := 0; g < gens; g++ {
+		for i, v := range pop {
+			fitness[i] = rastrigin(v)
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fitness[order[a]] < fitness[order[b]] })
+		if g == 0 {
+			firstBest = fitness[order[0]]
+		}
+		// Elitism: keep the top quarter; refill by crossover + mutation.
+		elite := eff / 4
+		if elite < 1 {
+			elite = 1
+		}
+		next := make([][]float64, eff)
+		for i := 0; i < elite; i++ {
+			next[i] = pop[order[i]]
+		}
+		for i := elite; i < eff; i++ {
+			pa := pop[order[rng.Intn(elite)]]
+			pb := pop[order[rng.Intn(elite)]]
+			child := make([]float64, gaVectorLen)
+			cut := rng.Intn(gaVectorLen)
+			copy(child[:cut], pa[:cut])
+			copy(child[cut:], pb[cut:])
+			// Gaussian mutation on a few genes.
+			for m := 0; m < 3; m++ {
+				child[rng.Intn(gaVectorLen)] += 0.3 * rng.NormFloat64()
+			}
+			next[i] = child
+		}
+		pop = next
+	}
+	for i, v := range pop {
+		fitness[i] = rastrigin(v)
+	}
+	best := fitness[0]
+	for _, f := range fitness[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	return &Response{Values: map[string]float64{
+		"best_fitness":  best,
+		"first_fitness": firstBest,
+		"n":             float64(n),
+		"effective_n":   float64(eff),
+	}}, nil
+}

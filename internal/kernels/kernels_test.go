@@ -1,0 +1,485 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kaas/internal/accel"
+)
+
+func TestSuiteNamesUniqueAndResolvable(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 12 {
+		t.Fatalf("suite has %d kernels, want >= 12", len(suite))
+	}
+	seen := make(map[string]bool, len(suite))
+	for _, k := range suite {
+		if k.Name() == "" {
+			t.Error("kernel with empty name")
+		}
+		if seen[k.Name()] {
+			t.Errorf("duplicate kernel name %q", k.Name())
+		}
+		seen[k.Name()] = true
+		got, err := ByName(k.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", k.Name(), err)
+		}
+		if got.Name() != k.Name() {
+			t.Errorf("ByName(%q) returned %q", k.Name(), got.Name())
+		}
+		if k.Kind() == 0 {
+			t.Errorf("kernel %q has zero kind", k.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestSuiteDefaultRequestsWork(t *testing.T) {
+	for _, k := range Suite() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			req := &Request{Params: Params{}}
+			cost, err := k.Cost(req)
+			if err != nil {
+				t.Fatalf("Cost: %v", err)
+			}
+			if cost.Work <= 0 {
+				t.Errorf("Cost.Work = %v, want > 0", cost.Work)
+			}
+			if cost.BytesIn < 0 || cost.BytesOut < 0 || cost.DeviceMemory < 0 {
+				t.Errorf("negative cost fields: %+v", cost)
+			}
+			resp, err := k.Execute(req)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if resp == nil || len(resp.Values) == 0 {
+				t.Error("Execute returned no values")
+			}
+			for name, v := range resp.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("value %q = %v", name, v)
+				}
+			}
+		})
+	}
+}
+
+func TestSuiteCostMonotonicInGranularity(t *testing.T) {
+	// Larger task granularity must never cost less work.
+	for _, k := range Suite() {
+		small, err := k.Cost(&Request{Params: Params{"n": 64}})
+		if err != nil {
+			t.Fatalf("%s small cost: %v", k.Name(), err)
+		}
+		large, err := k.Cost(&Request{Params: Params{"n": 512}})
+		if err != nil {
+			t.Fatalf("%s large cost: %v", k.Name(), err)
+		}
+		if large.Work < small.Work {
+			t.Errorf("%s: work decreased with size (%v -> %v)", k.Name(), small.Work, large.Work)
+		}
+	}
+}
+
+func TestSuiteRejectsInvalidGranularity(t *testing.T) {
+	// Each kernel's primary size parameter, set to an invalid value.
+	invalid := map[string]Params{
+		"matmul":     {"n": -5},
+		"dtw":        {"n": -5},
+		"ga":         {"n": -5},
+		"gnn":        {"n": -5},
+		"mci":        {"n": -5},
+		"qc":         {"n": -5},
+		"histogram":  {"n": -5},
+		"conv2d":     {"n": -5},
+		"bitmap":     {"height": -5},
+		"resnet":     {"batch": -5},
+		"preprocess": {"height": -5},
+		"vqe":        {"iterations": -5},
+	}
+	for _, k := range Suite() {
+		params, ok := invalid[k.Name()]
+		if !ok {
+			t.Errorf("no invalid-params case for kernel %q", k.Name())
+			continue
+		}
+		if _, err := k.Cost(&Request{Params: params}); err == nil {
+			t.Errorf("%s: Cost(%v) succeeded", k.Name(), params)
+		}
+		if _, err := k.Execute(&Request{Params: params}); err == nil {
+			t.Errorf("%s: Execute(%v) succeeded", k.Name(), params)
+		}
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Params{"a": 3.7, "b": -2}
+	if got := p.Int("a", 9); got != 3 {
+		t.Errorf("Int(a) = %d, want 3", got)
+	}
+	if got := p.Int("missing", 9); got != 9 {
+		t.Errorf("Int(missing) = %d, want 9", got)
+	}
+	if got := p.Float("b", 0); got != -2 {
+		t.Errorf("Float(b) = %v, want -2", got)
+	}
+	if got := p.Float("missing", 1.5); got != 1.5 {
+		t.Errorf("Float(missing) = %v, want 1.5", got)
+	}
+	c := p.Clone()
+	c["a"] = 99
+	if p["a"] != 3.7 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFloat64sBytesRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		enc := Float64sToBytes(vals)
+		dec, err := BytesToFloat64s(enc)
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN round-trips bit-exactly.
+			if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := BytesToFloat64s([]byte{1, 2, 3}); err == nil {
+		t.Error("odd-length payload succeeded")
+	}
+}
+
+func TestMatMulDeterministicChecksum(t *testing.T) {
+	k := NewMatMul(accel.GPU)
+	req := &Request{Params: Params{"n": 64, "seed": 7}}
+	a, err := k.Execute(req)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b, err := k.Execute(req)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if a.Values["checksum"] != b.Values["checksum"] {
+		t.Error("same seed produced different checksums")
+	}
+	other, _ := k.Execute(&Request{Params: Params{"n": 64, "seed": 8}})
+	if other.Values["checksum"] == a.Values["checksum"] {
+		t.Error("different seeds produced identical checksums")
+	}
+}
+
+func TestMatMulCPUVariantName(t *testing.T) {
+	cpu := NewMatMul(accel.CPU)
+	if cpu.Name() != "matmul-cpu" || cpu.Kind() != accel.CPU {
+		t.Errorf("cpu variant: name=%q kind=%v", cpu.Name(), cpu.Kind())
+	}
+}
+
+func TestMatMulExecutionCap(t *testing.T) {
+	k := NewMatMul(accel.GPU)
+	resp, err := k.Execute(&Request{Params: Params{"n": 10000}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := resp.Values["effective_n"]; got != matMulExecCap {
+		t.Errorf("effective_n = %v, want %v", got, matMulExecCap)
+	}
+	cost, _ := k.Cost(&Request{Params: Params{"n": 10000}})
+	if want := 2.0 * 10000 * 10000 * 10000; cost.Work != want {
+		t.Errorf("Cost.Work = %v, want %v (full size)", cost.Work, want)
+	}
+}
+
+func TestSoftDTWDistanceProperties(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	// Identical sequences have distance <= 0 under soft-DTW (soft-min
+	// makes it slightly negative) and near zero for smooth gamma.
+	d, err := SoftDTWDistance(a, a, 0.01)
+	if err != nil {
+		t.Fatalf("SoftDTWDistance: %v", err)
+	}
+	if math.Abs(d) > 0.1 {
+		t.Errorf("self-distance = %v, want ~0", d)
+	}
+	far := []float64{100, 100, 100, 100}
+	df, _ := SoftDTWDistance(a, far, 0.01)
+	if df <= d {
+		t.Errorf("distance to far sequence (%v) not larger than self (%v)", df, d)
+	}
+	if _, err := SoftDTWDistance(nil, a, 1); err == nil {
+		t.Error("empty sequence succeeded")
+	}
+	if _, err := SoftDTWDistance(a, a, 0); err == nil {
+		t.Error("gamma=0 succeeded")
+	}
+}
+
+func TestGeneticAlgorithmImproves(t *testing.T) {
+	k := NewGeneticAlgorithm()
+	resp, err := k.Execute(&Request{Params: Params{"n": 256, "generations": 10, "seed": 5}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["best_fitness"] >= resp.Values["first_fitness"] {
+		t.Errorf("GA did not improve: first=%v best=%v",
+			resp.Values["first_fitness"], resp.Values["best_fitness"])
+	}
+}
+
+func TestGeneticAlgorithmPayloadPopulation(t *testing.T) {
+	k := NewGeneticAlgorithm()
+	n := 16
+	pop := make([]float64, n*gaVectorLen)
+	for i := range pop {
+		pop[i] = 0.001 // near the Rastrigin optimum
+	}
+	resp, err := k.Execute(&Request{
+		Params: Params{"n": float64(n), "generations": 2},
+		Data:   Float64sToBytes(pop),
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["best_fitness"] > 1 {
+		t.Errorf("seeded near optimum but best=%v", resp.Values["best_fitness"])
+	}
+	// Short payloads fail cleanly.
+	if _, err := k.Execute(&Request{
+		Params: Params{"n": float64(n)},
+		Data:   Float64sToBytes(pop[:10]),
+	}); err == nil {
+		t.Error("short payload succeeded")
+	}
+	if _, err := k.Execute(&Request{
+		Params: Params{"n": float64(n)},
+		Data:   []byte{1, 2, 3},
+	}); err == nil {
+		t.Error("corrupt payload succeeded")
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	k := NewMonteCarlo()
+	resp, err := k.Execute(&Request{Params: Params{"n": 500000, "seed": 2}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	got := resp.Values["estimate"]
+	want := math.Log(10)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("estimate = %v, want ~%v", got, want)
+	}
+}
+
+func TestGNNTrainingLearns(t *testing.T) {
+	k := NewGNNTraining()
+	resp, err := k.Execute(&Request{Params: Params{"n": 40, "nodes": 100, "seed": 3}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if acc := resp.Values["accuracy"]; acc < 0.6 {
+		t.Errorf("accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestQuantumSimNormPreserved(t *testing.T) {
+	k := NewQuantumSim()
+	resp, err := k.Execute(&Request{Params: Params{"n": 200, "qubits": 8}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if math.Abs(resp.Values["norm"]-1) > 1e-9 {
+		t.Errorf("norm = %v, want 1", resp.Values["norm"])
+	}
+	if _, err := k.Cost(&Request{Params: Params{"qubits": 99}}); err == nil {
+		t.Error("qubits=99 succeeded")
+	}
+}
+
+func TestHistogramTotalMatches(t *testing.T) {
+	k := NewHistogram()
+	resp, err := k.Execute(&Request{Params: Params{"n": 10000}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["total"] != 10000 {
+		t.Errorf("total = %v, want 10000", resp.Values["total"])
+	}
+	bins, err := BytesToFloat64s(resp.Data)
+	if err != nil {
+		t.Fatalf("decode bins: %v", err)
+	}
+	if len(bins) != 256 {
+		t.Errorf("bins = %d, want 256", len(bins))
+	}
+	var sum float64
+	for _, b := range bins {
+		if b < 0 {
+			t.Fatal("negative bin")
+		}
+		sum += b
+	}
+	if sum != 10000 {
+		t.Errorf("bin sum = %v, want 10000", sum)
+	}
+}
+
+func TestBitmapConversionOutput(t *testing.T) {
+	k := NewBitmapConversion()
+	resp, err := k.Execute(&Request{Params: Params{"height": 64, "width": 64, "factor": 2}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["out_height"] != 32 || resp.Values["out_width"] != 32 {
+		t.Errorf("output dims %vx%v, want 32x32", resp.Values["out_height"], resp.Values["out_width"])
+	}
+	if l := resp.Values["mean_luma"]; l < 0 || l > 1 {
+		t.Errorf("mean luma = %v, want in [0,1]", l)
+	}
+	// Known payload: pure white image -> luma 1 everywhere.
+	white := make([]float64, 64*64*3)
+	for i := range white {
+		white[i] = 1
+	}
+	resp, err = k.Execute(&Request{
+		Params: Params{"height": 64, "width": 64, "factor": 2},
+		Data:   Float64sToBytes(white),
+	})
+	if err != nil {
+		t.Fatalf("Execute with payload: %v", err)
+	}
+	if math.Abs(resp.Values["mean_luma"]-1) > 1e-9 {
+		t.Errorf("white image luma = %v, want 1", resp.Values["mean_luma"])
+	}
+	if _, err := k.Execute(&Request{
+		Params: Params{"height": 64, "width": 64},
+		Data:   []byte{1},
+	}); err == nil {
+		t.Error("corrupt payload succeeded")
+	}
+}
+
+func TestConv2DAlgorithmSwitch(t *testing.T) {
+	k := NewConv2D()
+	direct, err := k.Cost(&Request{Params: Params{"n": 2048}})
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	switched, err := k.Cost(&Request{Params: Params{"n": 4096}})
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	// Above the switch the transform algorithm's compilation must
+	// undercut the direct program: the 4096 compile should be well below
+	// the naive 4x scaling of the 2048 compile.
+	ratio := float64(switched.SetupTime) / float64(direct.SetupTime)
+	if ratio >= 4 {
+		t.Errorf("compile-time ratio %v, want < 4 (algorithm switch)", ratio)
+	}
+	if direct.SetupTime <= 0 {
+		t.Error("conv2d should model per-shape compilation time")
+	}
+}
+
+func TestConv2DExecut(t *testing.T) {
+	k := NewConv2D()
+	resp, err := k.Execute(&Request{Params: Params{"n": 64, "ksize": 3, "seed": 2}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["out_dim"] != 62 {
+		t.Errorf("out_dim = %v, want 62", resp.Values["out_dim"])
+	}
+	if resp.Values["energy"] <= 0 {
+		t.Error("zero output energy")
+	}
+	if _, err := k.Execute(&Request{Params: Params{"n": 4, "ksize": 9}}); err == nil {
+		t.Error("kernel larger than input succeeded")
+	}
+}
+
+func TestResNetInference(t *testing.T) {
+	k := NewResNetInference()
+	resp, err := k.Execute(&Request{Params: Params{"batch": 8, "seed": 4}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	classes, err := BytesToFloat64s(resp.Data)
+	if err != nil {
+		t.Fatalf("decode classes: %v", err)
+	}
+	if len(classes) != 8 {
+		t.Errorf("classes = %d, want 8", len(classes))
+	}
+	for _, c := range classes {
+		if c < 0 || c > 9 {
+			t.Fatalf("class %v out of range", c)
+		}
+	}
+	cost, _ := k.Cost(&Request{Params: Params{"batch": 8}})
+	if cost.SetupTime <= 0 {
+		t.Error("resnet should have setup time (weight loading)")
+	}
+}
+
+func TestImagePreprocess(t *testing.T) {
+	k := NewImagePreprocess()
+	resp, err := k.Execute(&Request{Params: Params{"height": 256, "width": 256, "crop": 128}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Values["crop_size"] != 128 {
+		t.Errorf("crop_size = %v, want 128", resp.Values["crop_size"])
+	}
+	if m := resp.Values["mean"]; m <= 0 || m >= 1 {
+		t.Errorf("mean = %v, want in (0,1)", m)
+	}
+	pix, err := BytesToFloat64s(resp.Data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(pix) != 128*128 {
+		t.Errorf("output pixels = %d, want %d", len(pix), 128*128)
+	}
+}
+
+func TestVQEKernelFindsGroundState(t *testing.T) {
+	k := NewVQEKernel()
+	resp, err := k.Execute(&Request{Params: Params{"iterations": 50, "seed": 3}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if e := resp.Values["energy"]; math.Abs(e-(-1.8573)) > 0.02 {
+		t.Errorf("energy = %v, want ~-1.8573", e)
+	}
+	if resp.Values["evaluations"] <= 0 {
+		t.Error("no estimator evaluations")
+	}
+	cost, _ := k.Cost(&Request{Params: Params{"iterations": 10}})
+	if cost.SetupTime <= 0 {
+		t.Error("vqe should have setup time (transpilation)")
+	}
+}
+
+func TestVQEEstimatorCallCount(t *testing.T) {
+	// 1 initial + iters*(2*params+1)
+	if got := vqeEstimatorCalls(10, 6); got != 1+10*13 {
+		t.Errorf("vqeEstimatorCalls = %d, want %d", got, 1+10*13)
+	}
+}

@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kaas/internal/accel"
+	"kaas/internal/tensor"
+)
+
+// MatMul is the paper's primary benchmark kernel: C = A×B for square
+// N×N matrices (§5.1). Parameters:
+//
+//	n    — matrix dimension (default 500)
+//	seed — RNG seed for input generation (default 1)
+//
+// Execute multiplies real matrices capped at matMulExecCap and returns the
+// Frobenius norm of the product as a checksum; Cost charges 2N³ FLOPs and
+// 3N² elements of transfer at the requested N.
+type MatMul struct {
+	kind accel.Kind
+}
+
+// matMulExecCap bounds the dimension actually multiplied on the host.
+const matMulExecCap = 192
+
+// NewMatMul creates a matmul kernel targeting the given device kind
+// (the paper runs it on GPUs and, for the energy study, CPUs).
+func NewMatMul(kind accel.Kind) *MatMul {
+	return &MatMul{kind: kind}
+}
+
+var _ Kernel = (*MatMul)(nil)
+
+// Name implements Kernel.
+func (m *MatMul) Name() string {
+	if m.kind == accel.CPU {
+		return "matmul-cpu"
+	}
+	return "matmul"
+}
+
+// Kind implements Kernel.
+func (m *MatMul) Kind() accel.Kind { return m.kind }
+
+// Cost implements Kernel.
+func (m *MatMul) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 500)
+	if n <= 0 {
+		return Cost{}, fmt.Errorf("matmul: invalid n %d", n)
+	}
+	elem := int64(n) * int64(n) * 8
+	return Cost{
+		Work:         tensor.MatMulFLOPs(n, n, n),
+		BytesIn:      2 * elem,
+		BytesOut:     elem,
+		DeviceMemory: 3 * elem,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (m *MatMul) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 500)
+	if n <= 0 {
+		return nil, fmt.Errorf("matmul: invalid n %d", n)
+	}
+	eff := capDim(n, matMulExecCap)
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+	a, err := tensor.Randn(rng, eff, eff)
+	if err != nil {
+		return nil, fmt.Errorf("matmul: %w", err)
+	}
+	b, err := tensor.Randn(rng, eff, eff)
+	if err != nil {
+		return nil, fmt.Errorf("matmul: %w", err)
+	}
+	c := tensor.MatMul(a, b)
+	return &Response{Values: map[string]float64{
+		"checksum":    c.Frob(),
+		"n":           float64(n),
+		"effective_n": float64(eff),
+	}}, nil
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kaas/internal/accel"
+)
+
+// MonteCarlo estimates the definite integral ∫₁¹⁰ 1/x dx = ln 10 with N
+// uniform samples — the paper's MCI kernel (§5.6.1). Parameters:
+//
+//	n    — sample count (default 65536)
+//	seed — RNG seed
+//
+// Execute draws real samples (capped at mciExecCap); Cost charges ~8
+// FLOPs per requested sample.
+type MonteCarlo struct{}
+
+// mciExecCap bounds samples actually drawn on the host.
+const mciExecCap = 1 << 20
+
+// NewMonteCarlo creates the MCI kernel.
+func NewMonteCarlo() *MonteCarlo { return &MonteCarlo{} }
+
+var _ Kernel = (*MonteCarlo)(nil)
+
+// Name implements Kernel.
+func (*MonteCarlo) Name() string { return "mci" }
+
+// Kind implements Kernel.
+func (*MonteCarlo) Kind() accel.Kind { return accel.GPU }
+
+// Cost implements Kernel.
+func (*MonteCarlo) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 65536)
+	if n <= 0 {
+		return Cost{}, fmt.Errorf("mci: invalid n %d", n)
+	}
+	return Cost{
+		Work:         float64(n) * 8,
+		BytesIn:      64,
+		BytesOut:     16,
+		DeviceMemory: 1 << 20,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (*MonteCarlo) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 65536)
+	if n <= 0 {
+		return nil, fmt.Errorf("mci: invalid n %d", n)
+	}
+	eff := capDim(n, mciExecCap)
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+
+	const lo, hi = 1.0, 10.0
+	var sum float64
+	for i := 0; i < eff; i++ {
+		x := lo + rng.Float64()*(hi-lo)
+		sum += 1 / x
+	}
+	estimate := sum / float64(eff) * (hi - lo)
+	return &Response{Values: map[string]float64{
+		"estimate":    estimate,
+		"exact":       math.Log(hi / lo),
+		"n":           float64(n),
+		"effective_n": float64(eff),
+	}}, nil
+}

@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kaas/internal/accel"
+	"kaas/internal/tensor"
+)
+
+// ImagePreprocess performs the CPU stage of the motivating workflow
+// (Fig. 1): normalize a raw image, apply a denoising blur, and
+// center-crop. Parameters:
+//
+//	height, width — input dimensions (default 1080×1920)
+//	crop          — output side length (default 224)
+//	seed          — RNG seed for the synthetic input
+//
+// Execute runs the real pipeline at a capped resolution.
+type ImagePreprocess struct{}
+
+// preprocessExecCap bounds each dimension processed on the host.
+const preprocessExecCap = 512
+
+// NewImagePreprocess creates the preprocessing kernel.
+func NewImagePreprocess() *ImagePreprocess { return &ImagePreprocess{} }
+
+var _ Kernel = (*ImagePreprocess)(nil)
+
+// Name implements Kernel.
+func (*ImagePreprocess) Name() string { return "preprocess" }
+
+// Kind implements Kernel.
+func (*ImagePreprocess) Kind() accel.Kind { return accel.CPU }
+
+// Cost implements Kernel.
+func (*ImagePreprocess) Cost(req *Request) (Cost, error) {
+	h := req.Params.Int("height", 1080)
+	w := req.Params.Int("width", 1920)
+	crop := req.Params.Int("crop", 224)
+	if h <= 0 || w <= 0 || crop <= 0 {
+		return Cost{}, fmt.Errorf("preprocess: invalid height=%d width=%d crop=%d", h, w, crop)
+	}
+	pixels := int64(h) * int64(w)
+	return Cost{
+		Work:         float64(pixels) * 22, // normalize (2) + 3×3 blur (18) + crop copy (2)
+		BytesIn:      pixels,
+		BytesOut:     int64(crop) * int64(crop),
+		DeviceMemory: 2 * pixels * 8,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (*ImagePreprocess) Execute(req *Request) (*Response, error) {
+	h := req.Params.Int("height", 1080)
+	w := req.Params.Int("width", 1920)
+	crop := req.Params.Int("crop", 224)
+	if h <= 0 || w <= 0 || crop <= 0 {
+		return nil, fmt.Errorf("preprocess: invalid height=%d width=%d crop=%d", h, w, crop)
+	}
+	effH := capDim(h, preprocessExecCap)
+	effW := capDim(w, preprocessExecCap)
+	effCrop := crop
+	if effCrop > effH {
+		effCrop = effH
+	}
+	if effCrop > effW {
+		effCrop = effW
+	}
+
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+	im, err := tensor.NewImage(effH, effW)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	for i := range im.Pix() {
+		im.Pix()[i] = rng.Float64() * 255
+	}
+
+	// Normalize to [0, 1].
+	var maxV float64
+	for _, v := range im.Pix() {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV > 0 {
+		for i := range im.Pix() {
+			im.Pix()[i] /= maxV
+		}
+	}
+
+	// 3×3 box blur.
+	blur, err := tensor.FromSlice(3, 3, []float64{
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	smooth := tensor.Conv2DSame(im, blur)
+
+	// Center crop.
+	oy := (smooth.H() - effCrop) / 2
+	ox := (smooth.W() - effCrop) / 2
+	out, err := tensor.NewImage(effCrop, effCrop)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	for y := 0; y < effCrop; y++ {
+		for x := 0; x < effCrop; x++ {
+			out.Set(y, x, smooth.At(oy+y, ox+x))
+		}
+	}
+	var sum float64
+	for _, v := range out.Pix() {
+		sum += v
+	}
+	return &Response{
+		Values: map[string]float64{
+			"mean":      sum / float64(len(out.Pix())),
+			"crop_size": float64(effCrop),
+		},
+		Data: Float64sToBytes(out.Pix()),
+	}, nil
+}

@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/qsim"
+)
+
+// QuantumSim simulates quantum circuits of N CX gates with the state-vector
+// method — the paper's QC kernel, which runs the Qiskit AerSimulator on a
+// GPU (§5.6.1). Parameters:
+//
+//	n      — number of CX gates (default 1024)
+//	qubits — register width for the modeled circuit (default 16)
+//	seed   — RNG seed
+//
+// Execute simulates the real circuit on a capped register (qcExecQubits
+// qubits, gate count capped at qcExecCap) and returns the probability mass
+// of the |0...0⟩ state; Cost charges gates × 2^qubits amplitude updates at
+// the requested size.
+type QuantumSim struct{}
+
+const (
+	// qcExecQubits is the register width actually simulated on the host.
+	qcExecQubits = 10
+	// qcExecCap bounds the gate count actually simulated.
+	qcExecCap = 2048
+)
+
+// NewQuantumSim creates the QC kernel.
+func NewQuantumSim() *QuantumSim { return &QuantumSim{} }
+
+var _ Kernel = (*QuantumSim)(nil)
+
+// Name implements Kernel.
+func (*QuantumSim) Name() string { return "qc" }
+
+// Kind implements Kernel.
+func (*QuantumSim) Kind() accel.Kind { return accel.GPU }
+
+// Cost implements Kernel.
+func (*QuantumSim) Cost(req *Request) (Cost, error) {
+	n := req.Params.Int("n", 1024)
+	qubits := req.Params.Int("qubits", 16)
+	if n <= 0 || qubits <= 0 || qubits > 30 {
+		return Cost{}, fmt.Errorf("qc: invalid n=%d qubits=%d", n, qubits)
+	}
+	amps := float64(int64(1) << uint(qubits))
+	// Per-gate amplitude updates are memory-bound complex arithmetic;
+	// ~350 FLOP-equivalents per amplitude at the device's nominal rate.
+	const perAmpCost = 350
+	return Cost{
+		Work:         (float64(n) + float64(qubits)) * amps * perAmpCost,
+		SetupTime:    5 * time.Millisecond, // statevector allocation
+		BytesIn:      int64(n) * 16,        // circuit description
+		BytesOut:     1024,
+		DeviceMemory: int64(amps) * 16,
+	}, nil
+}
+
+// Execute implements Kernel.
+func (*QuantumSim) Execute(req *Request) (*Response, error) {
+	n := req.Params.Int("n", 1024)
+	qubits := req.Params.Int("qubits", 16)
+	if n <= 0 || qubits <= 0 || qubits > 30 {
+		return nil, fmt.Errorf("qc: invalid n=%d qubits=%d", n, qubits)
+	}
+	effGates := capDim(n, qcExecCap)
+	effQubits := qubits
+	if effQubits > qcExecQubits {
+		effQubits = qcExecQubits
+	}
+	if effQubits < 2 {
+		effQubits = 2
+	}
+	rng := rand.New(rand.NewSource(int64(req.Params.Int("seed", 1))))
+	circuit, err := qsim.RandomCXCircuit(rng, effQubits, effGates)
+	if err != nil {
+		return nil, fmt.Errorf("qc: %w", err)
+	}
+	state, err := circuit.Run()
+	if err != nil {
+		return nil, fmt.Errorf("qc: %w", err)
+	}
+	return &Response{Values: map[string]float64{
+		"p_zero":      state.Probability(0),
+		"norm":        state.Norm(),
+		"n":           float64(n),
+		"effective_n": float64(effGates),
+	}}, nil
+}

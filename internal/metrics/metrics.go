@@ -1,0 +1,255 @@
+// Package metrics provides the measurement machinery of the evaluation
+// harness: per-invocation phase breakdowns, sample statistics with 95%
+// confidence intervals (the paper reports mean and 95% CI over ten
+// samples), and time-series recording for the autoscaling experiment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Breakdown decomposes one task completion time into the phases the paper
+// plots in Figs. 2 and 7. Zero-valued phases did not occur (e.g. no
+// library init on a warm start).
+type Breakdown struct {
+	// Queue is time waiting for a device slot or runner capacity.
+	Queue time.Duration
+	// Spawn is task-runner process start cost.
+	Spawn time.Duration
+	// LibraryInit is host framework import cost.
+	LibraryInit time.Duration
+	// RuntimeInit is device context creation cost.
+	RuntimeInit time.Duration
+	// Setup is kernel-specific one-time work (weights, transpile).
+	Setup time.Duration
+	// Network is client-server transfer time.
+	Network time.Duration
+	// CopyIn and CopyOut are host-device transfers.
+	CopyIn, CopyOut time.Duration
+	// Exec is kernel execution on the device fabric.
+	Exec time.Duration
+	// Other is unattributed time (client launch, response handling).
+	Other time.Duration
+}
+
+// Total sums all phases.
+func (b Breakdown) Total() time.Duration {
+	return b.Queue + b.Spawn + b.LibraryInit + b.RuntimeInit + b.Setup +
+		b.Network + b.CopyIn + b.CopyOut + b.Exec + b.Other
+}
+
+// Overhead is total time minus data movement and kernel execution — the
+// paper's "overhead" series in Fig. 7.
+func (b Breakdown) Overhead() time.Duration {
+	return b.Total() - b.KernelTime()
+}
+
+// KernelTime is data copy plus computation — the paper's "kernel time".
+func (b Breakdown) KernelTime() time.Duration {
+	return b.CopyIn + b.Exec + b.CopyOut
+}
+
+// Add returns the phase-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Queue:       b.Queue + o.Queue,
+		Spawn:       b.Spawn + o.Spawn,
+		LibraryInit: b.LibraryInit + o.LibraryInit,
+		RuntimeInit: b.RuntimeInit + o.RuntimeInit,
+		Setup:       b.Setup + o.Setup,
+		Network:     b.Network + o.Network,
+		CopyIn:      b.CopyIn + o.CopyIn,
+		CopyOut:     b.CopyOut + o.CopyOut,
+		Exec:        b.Exec + o.Exec,
+		Other:       b.Other + o.Other,
+	}
+}
+
+// Sample is a set of float64 observations.
+type Sample struct {
+	vals []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.vals = append(s.vals, v) }
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the sample mean (0 for empty samples).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Std returns the sample standard deviation (Bessel corrected).
+func (s *Sample) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values by degrees of
+// freedom; beyond the table the normal approximation 1.96 is used.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s *Sample) CI95() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.96
+	if df < len(tCritical95) {
+		t = tCritical95[df]
+	}
+	return t * s.Std() / math.Sqrt(float64(n))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String formats the sample as "mean ± ci95 (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// Point is one time-series observation.
+type Point struct {
+	T time.Duration // offset from series start
+	V float64
+}
+
+// TimeSeries records timestamped values, used for the autoscaling
+// experiment's client/runner/utilization traces. It is safe for
+// concurrent use.
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	points []Point
+}
+
+// NewTimeSeries creates a series anchored at start.
+func NewTimeSeries(start time.Time) *TimeSeries {
+	return &TimeSeries{start: start}
+}
+
+// Record appends a value observed at time now.
+func (ts *TimeSeries) Record(now time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.points = append(ts.points, Point{T: now.Sub(ts.start), V: v})
+}
+
+// Points returns a copy of the recorded points.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Bin averages the series into fixed-width buckets, returning one value
+// per bucket (NaN-free: empty buckets repeat the previous value, starting
+// from 0).
+func (ts *TimeSeries) Bin(width time.Duration, total time.Duration) []float64 {
+	if width <= 0 || total <= 0 {
+		return nil
+	}
+	n := int(total/width) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, p := range ts.Points() {
+		i := int(p.T / width)
+		if i < 0 || i >= n {
+			continue
+		}
+		sums[i] += p.V
+		counts[i]++
+	}
+	out := make([]float64, n)
+	var last float64
+	for i := range out {
+		if counts[i] > 0 {
+			last = sums[i] / float64(counts[i])
+		}
+		out[i] = last
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakdownTotalAndOverhead(t *testing.T) {
+	b := Breakdown{
+		Queue:       1 * time.Second,
+		Spawn:       2 * time.Second,
+		LibraryInit: 3 * time.Second,
+		RuntimeInit: 4 * time.Second,
+		Setup:       5 * time.Second,
+		Network:     6 * time.Second,
+		CopyIn:      7 * time.Second,
+		CopyOut:     8 * time.Second,
+		Exec:        9 * time.Second,
+		Other:       10 * time.Second,
+	}
+	if got := b.Total(); got != 55*time.Second {
+		t.Errorf("Total = %v, want 55s", got)
+	}
+	if got := b.KernelTime(); got != 24*time.Second {
+		t.Errorf("KernelTime = %v, want 24s", got)
+	}
+	if got := b.Overhead(); got != 31*time.Second {
+		t.Errorf("Overhead = %v, want 31s", got)
+	}
+	sum := b.Add(b)
+	if sum.Total() != 110*time.Second {
+		t.Errorf("Add Total = %v, want 110s", sum.Total())
+	}
+}
+
+func TestSampleStatsKnownValues(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Std = %v, want ~2.138", got)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample stats not all zero")
+	}
+	if s.Percentile(50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Std() != 0 || s.CI95() != 0 {
+		t.Error("single-observation stats wrong")
+	}
+}
+
+func TestCI95TenSamples(t *testing.T) {
+	// The paper uses ten samples: df=9 -> t=2.262.
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	want := 2.262 * s.Std() / math.Sqrt(10)
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestCI95LargeSampleUsesNormal(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10))
+	}
+	want := 1.96 * s.Std() / 10
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestCI95CoversConstantSample(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(3.5)
+	}
+	if got := s.CI95(); got != 0 {
+		t.Errorf("CI95 of constant sample = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v, want 100", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", got)
+	}
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			// Skip pathological inputs whose sum overflows float64.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.AddDuration(2 * time.Second)
+	s.AddDuration(4 * time.Second)
+	str := s.String()
+	if str == "" {
+		t.Error("empty String()")
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3 (seconds)", s.Mean())
+	}
+}
+
+func TestTimeSeriesRecordAndBin(t *testing.T) {
+	start := time.Unix(0, 0)
+	ts := NewTimeSeries(start)
+	ts.Record(start.Add(1*time.Second), 10)
+	ts.Record(start.Add(2*time.Second), 20)
+	ts.Record(start.Add(11*time.Second), 30)
+
+	pts := ts.Points()
+	if len(pts) != 3 {
+		t.Fatalf("Points = %d, want 3", len(pts))
+	}
+	if pts[0].T != time.Second || pts[0].V != 10 {
+		t.Errorf("point 0 = %+v", pts[0])
+	}
+
+	bins := ts.Bin(10*time.Second, 20*time.Second)
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	if bins[0] != 15 {
+		t.Errorf("bin 0 = %v, want 15", bins[0])
+	}
+	if bins[1] != 30 {
+		t.Errorf("bin 1 = %v, want 30", bins[1])
+	}
+	// Empty trailing bin repeats previous value.
+	if bins[2] != 30 {
+		t.Errorf("bin 2 = %v, want 30 (carried)", bins[2])
+	}
+}
+
+func TestTimeSeriesBinEdgeCases(t *testing.T) {
+	ts := NewTimeSeries(time.Unix(0, 0))
+	if got := ts.Bin(0, time.Second); got != nil {
+		t.Error("zero width did not return nil")
+	}
+	if got := ts.Bin(time.Second, 0); got != nil {
+		t.Error("zero total did not return nil")
+	}
+	// Points outside the window are ignored.
+	ts.Record(time.Unix(100, 0), 5)
+	bins := ts.Bin(time.Second, 2*time.Second)
+	for _, b := range bins {
+		if b != 0 {
+			t.Errorf("out-of-window point leaked into bins: %v", bins)
+			break
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package netshape models network links between KaaS clients and servers.
+// The remote-invocation experiment (§5.3) runs client and server on
+// different machines joined by 1 Gbps Ethernet with 0.15 ms RTT; this
+// package injects that link's latency and serialization delay into the
+// modeled timeline so loopback deployments measure like remote ones.
+package netshape
+
+import (
+	"fmt"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+// Link describes one direction-symmetric network link.
+type Link struct {
+	clock vclock.Clock
+	rtt   time.Duration
+	// bandwidth in bytes per modeled second
+	bandwidth float64
+}
+
+// NewLink creates a link with the given round-trip time and bandwidth in
+// bytes per second. A nil link (see Loopback) adds no delay.
+func NewLink(clock vclock.Clock, rtt time.Duration, bandwidthBps float64) (*Link, error) {
+	if rtt < 0 {
+		return nil, fmt.Errorf("netshape: negative rtt %v", rtt)
+	}
+	if bandwidthBps <= 0 {
+		return nil, fmt.Errorf("netshape: bandwidth must be positive, got %v", bandwidthBps)
+	}
+	return &Link{clock: clock, rtt: rtt, bandwidth: bandwidthBps}, nil
+}
+
+// GigabitEthernet returns the link of the paper's remote testbed:
+// 1 Gbps with 0.15 ms RTT.
+func GigabitEthernet(clock vclock.Clock) *Link {
+	l, err := NewLink(clock, 150*time.Microsecond, 125e6)
+	if err != nil {
+		// Static parameters; cannot fail.
+		panic(err)
+	}
+	return l
+}
+
+// RDMA returns a link modeling the RDMA transport the paper's §6 proposes
+// for reducing invocation overhead: 100 Gbps with ~4 µs round trips.
+func RDMA(clock vclock.Clock) *Link {
+	l, err := NewLink(clock, 4*time.Microsecond, 12.5e9)
+	if err != nil {
+		// Static parameters; cannot fail.
+		panic(err)
+	}
+	return l
+}
+
+// TransferDelay returns the one-way delay of sending the given number of
+// bytes: half the RTT plus serialization time.
+func (l *Link) TransferDelay(bytes int64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	ser := time.Duration(float64(bytes) / l.bandwidth * float64(time.Second))
+	return l.rtt/2 + ser
+}
+
+// Transfer sleeps for the one-way transfer delay of the given size.
+// It is a no-op on a nil link, so "no shaping" callers can pass nil.
+func (l *Link) Transfer(bytes int64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	d := l.TransferDelay(bytes)
+	l.clock.Sleep(d)
+	return d
+}
+
+// RTT returns the configured round-trip time (0 for nil links).
+func (l *Link) RTT() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.rtt
+}

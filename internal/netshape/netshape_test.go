@@ -1,0 +1,83 @@
+package netshape
+
+import (
+	"testing"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+func TestNewLinkValidation(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	if _, err := NewLink(clock, -time.Second, 1e6); err == nil {
+		t.Error("negative rtt succeeded")
+	}
+	if _, err := NewLink(clock, time.Millisecond, 0); err == nil {
+		t.Error("zero bandwidth succeeded")
+	}
+}
+
+func TestTransferDelayComputation(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	l, err := NewLink(clock, 10*time.Millisecond, 1e6) // 1 MB/s
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	// 1e6 bytes at 1 MB/s = 1s serialization + 5ms half-RTT.
+	got := l.TransferDelay(1e6)
+	want := time.Second + 5*time.Millisecond
+	if got != want {
+		t.Errorf("TransferDelay = %v, want %v", got, want)
+	}
+	if got := l.TransferDelay(0); got != 5*time.Millisecond {
+		t.Errorf("TransferDelay(0) = %v, want 5ms", got)
+	}
+}
+
+func TestNilLinkIsNoOp(t *testing.T) {
+	var l *Link
+	if d := l.TransferDelay(1e9); d != 0 {
+		t.Errorf("nil TransferDelay = %v, want 0", d)
+	}
+	if d := l.Transfer(1e9); d != 0 {
+		t.Errorf("nil Transfer = %v, want 0", d)
+	}
+	if l.RTT() != 0 {
+		t.Errorf("nil RTT = %v, want 0", l.RTT())
+	}
+}
+
+func TestTransferSleepsModeledTime(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	l := GigabitEthernet(clock)
+	start := clock.Now()
+	d := l.Transfer(125e6) // 1s at 1Gbps + 75µs
+	elapsed := clock.Now().Sub(start)
+	if d < time.Second {
+		t.Errorf("returned delay %v, want >= 1s", d)
+	}
+	if elapsed < 900*time.Millisecond {
+		t.Errorf("modeled sleep %v, want ~1s", elapsed)
+	}
+}
+
+func TestGigabitEthernetParameters(t *testing.T) {
+	l := GigabitEthernet(vclock.Scaled(1000))
+	if l.RTT() != 150*time.Microsecond {
+		t.Errorf("RTT = %v, want 150µs", l.RTT())
+	}
+}
+
+func TestRDMAFasterThanEthernet(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	eth := GigabitEthernet(clock)
+	rdma := RDMA(clock)
+	const payload = 1 << 20
+	if rdma.TransferDelay(payload) >= eth.TransferDelay(payload) {
+		t.Errorf("RDMA (%v) not faster than Ethernet (%v)",
+			rdma.TransferDelay(payload), eth.TransferDelay(payload))
+	}
+	if rdma.RTT() >= eth.RTT() {
+		t.Errorf("RDMA RTT %v not below Ethernet %v", rdma.RTT(), eth.RTT())
+	}
+}

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kaas/internal/tensor"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := SyntheticCitationGraph(42, 120, 16, 4)
+	if err != nil {
+		t.Fatalf("SyntheticCitationGraph: %v", err)
+	}
+	return g
+}
+
+func TestSyntheticCitationGraphValidation(t *testing.T) {
+	if _, err := SyntheticCitationGraph(1, 0, 4, 2); err == nil {
+		t.Error("zero nodes succeeded")
+	}
+	if _, err := SyntheticCitationGraph(1, 4, 0, 2); err == nil {
+		t.Error("zero features succeeded")
+	}
+	if _, err := SyntheticCitationGraph(1, 4, 4, 0); err == nil {
+		t.Error("zero classes succeeded")
+	}
+	if _, err := SyntheticCitationGraph(1, 2, 4, 5); err == nil {
+		t.Error("more classes than nodes succeeded")
+	}
+}
+
+func TestSyntheticCitationGraphShape(t *testing.T) {
+	g := testGraph(t)
+	if g.NumNodes != 120 {
+		t.Errorf("NumNodes = %d", g.NumNodes)
+	}
+	if g.Features.Rows() != 120 || g.Features.Cols() != 16 {
+		t.Errorf("feature shape %dx%d", g.Features.Rows(), g.Features.Cols())
+	}
+	if len(g.Labels) != 120 {
+		t.Errorf("labels = %d", len(g.Labels))
+	}
+	for _, l := range g.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestNormalizedAdjacencySymmetric(t *testing.T) {
+	g := testGraph(t)
+	a := g.NormAdj
+	if d := tensor.MaxAbsDiff(a, tensor.Transpose(a)); d > 1e-12 {
+		t.Errorf("normalized adjacency not symmetric, max diff %v", d)
+	}
+	// Self loops mean strictly positive diagonal.
+	for i := 0; i < a.Rows(); i++ {
+		if a.At(i, i) <= 0 {
+			t.Fatalf("diagonal entry %d = %v, want > 0", i, a.At(i, i))
+		}
+	}
+}
+
+func TestNormalizedAdjacencyRowSpectrum(t *testing.T) {
+	// The symmetric normalization keeps entries in (0, 1].
+	g := testGraph(t)
+	for _, v := range g.NormAdj.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("adjacency entry %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestGCNTrainingReducesLossAndLearns(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(7))
+	model, err := NewGCN(rng, g, 16)
+	if err != nil {
+		t.Fatalf("NewGCN: %v", err)
+	}
+	logits := model.Forward()
+	first, _, err := SoftmaxCrossEntropy(logits, g.Labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	last, err := model.Train(60, 0.3)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+	if acc := model.Accuracy(); acc < 0.7 {
+		t.Errorf("accuracy after training = %v, want >= 0.7", acc)
+	}
+}
+
+func TestGCNValidation(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGCN(rng, g, 0); err == nil {
+		t.Error("NewGCN(hidden=0) succeeded")
+	}
+}
+
+func TestGCNFLOPsPositiveAndMonotonic(t *testing.T) {
+	small, _ := SyntheticCitationGraph(1, 50, 8, 2)
+	large, _ := SyntheticCitationGraph(1, 200, 8, 2)
+	rng := rand.New(rand.NewSource(1))
+	ms, _ := NewGCN(rng, small, 8)
+	ml, _ := NewGCN(rng, large, 8)
+	if ms.FLOPsPerStep() <= 0 {
+		t.Error("FLOPsPerStep <= 0")
+	}
+	if ml.FLOPsPerStep() <= ms.FLOPsPerStep() {
+		t.Error("larger graph should cost more FLOPs")
+	}
+}
+
+func TestResNetLiteInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model, err := NewResNetLite(rng, DefaultResNetConfig())
+	if err != nil {
+		t.Fatalf("NewResNetLite: %v", err)
+	}
+	batch := make([]*tensor.Image, 8)
+	for i := range batch {
+		im, _ := tensor.NewImage(32, 32)
+		for j := range im.Pix() {
+			im.Pix()[j] = rng.Float64()
+		}
+		batch[i] = im
+	}
+	logits, err := model.Infer(batch)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if logits.Rows() != 8 || logits.Cols() != 10 {
+		t.Errorf("logits shape %dx%d, want 8x10", logits.Rows(), logits.Cols())
+	}
+	for _, v := range logits.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("logits contain NaN/Inf")
+		}
+	}
+	preds, err := model.Predict(batch)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if len(preds) != 8 {
+		t.Errorf("predictions = %d, want 8", len(preds))
+	}
+	for _, p := range preds {
+		if p < 0 || p >= 10 {
+			t.Fatalf("prediction %d out of range", p)
+		}
+	}
+}
+
+func TestResNetLiteDeterministic(t *testing.T) {
+	mkLogits := func() *tensor.Matrix {
+		rng := rand.New(rand.NewSource(5))
+		model, err := NewResNetLite(rng, DefaultResNetConfig())
+		if err != nil {
+			t.Fatalf("NewResNetLite: %v", err)
+		}
+		im, _ := tensor.NewImage(32, 32)
+		irng := rand.New(rand.NewSource(9))
+		for j := range im.Pix() {
+			im.Pix()[j] = irng.Float64()
+		}
+		logits, err := model.Infer([]*tensor.Image{im})
+		if err != nil {
+			t.Fatalf("Infer: %v", err)
+		}
+		return logits
+	}
+	a, b := mkLogits(), mkLogits()
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Error("same seed produced different logits")
+	}
+}
+
+func TestResNetLiteValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewResNetLite(rng, ResNetConfig{ImageSize: 4}); err == nil {
+		t.Error("tiny image size succeeded")
+	}
+	cfg := DefaultResNetConfig()
+	cfg.Classes = 0
+	if _, err := NewResNetLite(rng, cfg); err == nil {
+		t.Error("zero classes succeeded")
+	}
+	model, err := NewResNetLite(rng, DefaultResNetConfig())
+	if err != nil {
+		t.Fatalf("NewResNetLite: %v", err)
+	}
+	if _, err := model.Infer(nil); err == nil {
+		t.Error("empty batch succeeded")
+	}
+	wrong, _ := tensor.NewImage(16, 16)
+	if _, err := model.Infer([]*tensor.Image{wrong}); err == nil {
+		t.Error("wrong image size succeeded")
+	}
+}
+
+func TestResNetLiteFLOPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model, _ := NewResNetLite(rng, DefaultResNetConfig())
+	if model.FLOPsPerImage() <= 0 {
+		t.Error("FLOPsPerImage <= 0")
+	}
+	if ResNet50FLOPsPerImage < 1e9 {
+		t.Error("ResNet50FLOPsPerImage implausibly small")
+	}
+}

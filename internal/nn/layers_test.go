@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kaas/internal/tensor"
+)
+
+func TestNewDenseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDense(rng, 0, 5); err == nil {
+		t.Error("NewDense(0,5) succeeded")
+	}
+	if _, err := NewDense(rng, 5, -1); err == nil {
+		t.Error("NewDense(5,-1) succeeded")
+	}
+}
+
+func TestDenseForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := NewDense(rng, 4, 3)
+	if err != nil {
+		t.Fatalf("NewDense: %v", err)
+	}
+	x, _ := tensor.Randn(rng, 7, 4)
+	y := d.Forward(x)
+	if y.Rows() != 7 || y.Cols() != 3 {
+		t.Errorf("output shape %dx%d, want 7x3", y.Rows(), y.Cols())
+	}
+}
+
+func TestDenseForwardAddsBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, _ := NewDense(rng, 2, 2)
+	// zero weights, known bias
+	for i := range d.W.Data() {
+		d.W.Data()[i] = 0
+	}
+	d.B.Set(0, 0, 1.5)
+	d.B.Set(0, 1, -2)
+	x, _ := tensor.Randn(rng, 3, 2)
+	y := d.Forward(x)
+	for i := 0; i < 3; i++ {
+		if y.At(i, 0) != 1.5 || y.At(i, 1) != -2 {
+			t.Errorf("row %d = %v, want [1.5 -2]", i, y.Row(i))
+		}
+	}
+}
+
+// TestDenseGradientCheck verifies backprop against numerical gradients.
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, _ := NewDense(rng, 3, 2)
+	x, _ := tensor.Randn(rng, 4, 3)
+	labels := []int{0, 1, 1, 0}
+
+	// Analytic gradient of loss with respect to W[0][0].
+	loss := func() float64 {
+		logits := d.Forward(x)
+		l, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatalf("SoftmaxCrossEntropy: %v", err)
+		}
+		return l
+	}
+
+	logits := d.Forward(x)
+	_, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatalf("SoftmaxCrossEntropy: %v", err)
+	}
+	// Capture analytic dL/dW without applying an update (lr=0).
+	gradW := tensor.MatMul(tensor.Transpose(x), grad)
+
+	const eps = 1e-6
+	for _, idx := range []int{0, 2, 5} {
+		orig := d.W.Data()[idx]
+		d.W.Data()[idx] = orig + eps
+		lp := loss()
+		d.W.Data()[idx] = orig - eps
+		lm := loss()
+		d.W.Data()[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := gradW.Data()[idx]
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("W[%d]: numeric grad %v, analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+func TestDenseBackwardReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, _ := NewDense(rng, 5, 3)
+	x, _ := tensor.Randn(rng, 16, 5)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	logits := d.Forward(x)
+	first, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Backward(grad, 0.5)
+		logits = d.Forward(x)
+		_, grad, err = SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+	}
+	last, _, _ := SoftmaxCrossEntropy(d.Forward(x), labels)
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	x, _ := tensor.FromSlice(1, 4, []float64{-2, 0, 3, -0.5})
+	out, mask := ReLUForward(x)
+	wantOut := []float64{0, 0, 3, 0}
+	wantMask := []float64{0, 0, 1, 0}
+	for i := range wantOut {
+		if out.Data()[i] != wantOut[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], wantOut[i])
+		}
+		if mask.Data()[i] != wantMask[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask.Data()[i], wantMask[i])
+		}
+	}
+	g, _ := tensor.FromSlice(1, 4, []float64{1, 1, 1, 1})
+	back := ReLUBackward(g, mask)
+	if back.Data()[2] != 1 || back.Data()[0] != 0 {
+		t.Errorf("backward = %v", back.Data())
+	}
+}
+
+func TestSoftmaxCrossEntropyValidation(t *testing.T) {
+	logits, _ := tensor.Randn(rand.New(rand.NewSource(1)), 2, 3)
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0}); err == nil {
+		t.Error("mismatched label count succeeded")
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 7}); err == nil {
+		t.Error("out-of-range label succeeded")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientSumsToZero(t *testing.T) {
+	// Each row's gradient must sum to zero (softmax property).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, c := 1+r.Intn(6), 2+r.Intn(5)
+		logits, _ := tensor.Randn(r, n, c)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(c)
+		}
+		_, grad, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for _, v := range grad.Row(i) {
+				s += v
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits, _ := tensor.FromSlice(2, 2, []float64{3, 1, 0, 5})
+	if got := Accuracy(logits, []int{0, 1}); got != 1 {
+		t.Errorf("Accuracy = %v, want 1", got)
+	}
+	if got := Accuracy(logits, []int{1, 0}); got != 0 {
+		t.Errorf("Accuracy = %v, want 0", got)
+	}
+	if got := Accuracy(logits, nil); got != 0 {
+		t.Errorf("Accuracy(empty) = %v, want 0", got)
+	}
+}
+
+func TestDenseFLOPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := NewDense(rng, 10, 20)
+	if got := d.FLOPs(5); got != 2*5*10*20 {
+		t.Errorf("FLOPs = %v, want %v", got, 2*5*10*20)
+	}
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kaas/internal/tensor"
+)
+
+// ResNetLite is a compact residual convolutional classifier that stands in
+// for ResNet-50 in the scaling experiments (§5.4): a small conv stem over
+// the input image, 2×2 max pooling, then residual dense blocks and a
+// softmax head. Inference is real arithmetic; the scaling experiments
+// charge the accelerator cost model with ResNet-50's published FLOP count
+// so that modeled device times match the paper's workload.
+type ResNetLite struct {
+	stemKernels []*tensor.Matrix // conv filters applied to the input image
+	blocks      []*residualBlock
+	head        *Dense
+	imgSize     int
+	classes     int
+	featDim     int
+}
+
+type residualBlock struct {
+	fc1, fc2 *Dense
+}
+
+// ResNetConfig describes a ResNetLite instance.
+type ResNetConfig struct {
+	// ImageSize is the (square) input image side length.
+	ImageSize int
+	// StemFilters is the number of 3×3 conv filters in the stem.
+	StemFilters int
+	// Blocks is the number of residual dense blocks.
+	Blocks int
+	// Hidden is the width of the residual blocks.
+	Hidden int
+	// Classes is the number of output classes.
+	Classes int
+}
+
+// DefaultResNetConfig returns the configuration used by the scaling
+// experiments: 32×32 inputs, 4 stem filters, 3 residual blocks of width
+// 128, 10 classes.
+func DefaultResNetConfig() ResNetConfig {
+	return ResNetConfig{ImageSize: 32, StemFilters: 4, Blocks: 3, Hidden: 128, Classes: 10}
+}
+
+// NewResNetLite builds a randomly initialized model.
+func NewResNetLite(rng *rand.Rand, cfg ResNetConfig) (*ResNetLite, error) {
+	if cfg.ImageSize < 8 {
+		return nil, fmt.Errorf("nn: image size %d too small", cfg.ImageSize)
+	}
+	if cfg.StemFilters <= 0 || cfg.Blocks < 0 || cfg.Hidden <= 0 || cfg.Classes <= 0 {
+		return nil, fmt.Errorf("nn: invalid resnet config %+v", cfg)
+	}
+	m := &ResNetLite{imgSize: cfg.ImageSize, classes: cfg.Classes}
+	for i := 0; i < cfg.StemFilters; i++ {
+		k, err := tensor.Randn(rng, 3, 3)
+		if err != nil {
+			return nil, err
+		}
+		m.stemKernels = append(m.stemKernels, tensor.Scale(k, 0.3))
+	}
+	pooled := cfg.ImageSize / 2
+	m.featDim = cfg.StemFilters * pooled * pooled
+
+	in := m.featDim
+	proj, err := NewDense(rng, in, cfg.Hidden)
+	if err != nil {
+		return nil, err
+	}
+	m.blocks = append(m.blocks, &residualBlock{fc1: proj})
+	for i := 0; i < cfg.Blocks; i++ {
+		fc1, err := NewDense(rng, cfg.Hidden, cfg.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		fc2, err := NewDense(rng, cfg.Hidden, cfg.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		m.blocks = append(m.blocks, &residualBlock{fc1: fc1, fc2: fc2})
+	}
+	m.head, err = NewDense(rng, cfg.Hidden, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Classes returns the number of output classes.
+func (m *ResNetLite) Classes() int { return m.classes }
+
+// ImageSize returns the expected input side length.
+func (m *ResNetLite) ImageSize() int { return m.imgSize }
+
+// Infer classifies a batch of images and returns per-image logits.
+func (m *ResNetLite) Infer(batch []*tensor.Image) (*tensor.Matrix, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	feats, err := tensor.NewMatrix(len(batch), m.featDim)
+	if err != nil {
+		return nil, err
+	}
+	for i, im := range batch {
+		if im.H() != m.imgSize || im.W() != m.imgSize {
+			return nil, fmt.Errorf("nn: image %d is %dx%d, want %dx%d",
+				i, im.H(), im.W(), m.imgSize, m.imgSize)
+		}
+		row := feats.Row(i)
+		off := 0
+		for _, k := range m.stemKernels {
+			fm := tensor.MaxPool2(tensor.Conv2DSame(im, k))
+			copy(row[off:off+len(fm.Pix())], fm.Pix())
+			off += len(fm.Pix())
+		}
+	}
+
+	x := feats
+	for _, b := range m.blocks {
+		if b.fc2 == nil {
+			// projection block
+			x, _ = ReLUForward(b.fc1.Forward(x))
+			continue
+		}
+		h, _ := ReLUForward(b.fc1.Forward(x))
+		h = b.fc2.Forward(h)
+		x = tensor.Add(x, h) // residual connection
+		x, _ = ReLUForward(x)
+	}
+	return m.head.Forward(x), nil
+}
+
+// Predict returns the argmax class for each image in the batch.
+func (m *ResNetLite) Predict(batch []*tensor.Image) ([]int, error) {
+	logits, err := m.Infer(batch)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgmaxRows(logits), nil
+}
+
+// FLOPsPerImage returns the real arithmetic cost of classifying one image
+// with this model.
+func (m *ResNetLite) FLOPsPerImage() float64 {
+	conv := float64(len(m.stemKernels)) * 2 * float64(m.imgSize*m.imgSize) * 9
+	var dense float64
+	for _, b := range m.blocks {
+		dense += b.fc1.FLOPs(1)
+		if b.fc2 != nil {
+			dense += b.fc2.FLOPs(1)
+		}
+	}
+	dense += m.head.FLOPs(1)
+	return conv + dense
+}
+
+// ResNet50FLOPsPerImage is the published forward-pass cost of ResNet-50 at
+// 224×224, used to charge the device cost model in the scaling experiments
+// (~3.8 GFLOPs, counting multiply-adds as two operations).
+const ResNet50FLOPsPerImage = 7.7e9

@@ -1,0 +1,210 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CP applies a controlled phase rotation: |11⟩ picks up e^{iθ} on the
+// (control, target) pair. It is symmetric in its qubits.
+func (s *State) CP(control, target int, theta float64) error {
+	if err := s.checkQubit(control); err != nil {
+		return err
+	}
+	if err := s.checkQubit(target); err != nil {
+		return err
+	}
+	if control == target {
+		return fmt.Errorf("qsim: CP control equals target (%d)", control)
+	}
+	phase := complex(math.Cos(theta), math.Sin(theta))
+	mask := (1 << uint(control)) | (1 << uint(target))
+	for i := 0; i < len(s.amp); i++ {
+		if i&mask == mask {
+			s.amp[i] *= phase
+		}
+	}
+	return nil
+}
+
+// MCZ applies a multi-controlled Z: amplitudes whose listed qubits are
+// all 1 are negated. With a single qubit it is a plain Z.
+func (s *State) MCZ(qubits ...int) error {
+	if len(qubits) == 0 {
+		return fmt.Errorf("qsim: MCZ needs at least one qubit")
+	}
+	mask := 0
+	for _, q := range qubits {
+		if err := s.checkQubit(q); err != nil {
+			return err
+		}
+		bit := 1 << uint(q)
+		if mask&bit != 0 {
+			return fmt.Errorf("qsim: MCZ repeats qubit %d", q)
+		}
+		mask |= bit
+	}
+	for i := 0; i < len(s.amp); i++ {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+	return nil
+}
+
+// QFT applies the quantum Fourier transform to the full register
+// in place (including the final qubit-order reversal).
+func (s *State) QFT() error {
+	n := s.n
+	for target := n - 1; target >= 0; target-- {
+		if err := s.H(target); err != nil {
+			return err
+		}
+		for k := 1; target-k >= 0; k++ {
+			theta := math.Pi / float64(int(1)<<uint(k))
+			if err := s.CP(target-k, target, theta); err != nil {
+				return err
+			}
+		}
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		if err := s.SWAP(i, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InverseQFT applies the inverse quantum Fourier transform in place.
+func (s *State) InverseQFT() error {
+	n := s.n
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		if err := s.SWAP(i, j); err != nil {
+			return err
+		}
+	}
+	for target := 0; target < n; target++ {
+		for k := target; k >= 1; k-- {
+			theta := -math.Pi / float64(int(1)<<uint(k))
+			if err := s.CP(target-k, target, theta); err != nil {
+				return err
+			}
+		}
+		if err := s.H(target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroverSearch runs Grover's algorithm on n qubits for the marked basis
+// state, using the optimal iteration count, and returns the final state.
+// The probability of measuring the marked state approaches 1 for large n.
+func GroverSearch(n, marked int) (*State, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("qsim: Grover needs >= 2 qubits, got %d", n)
+	}
+	size := 1 << uint(n)
+	if marked < 0 || marked >= size {
+		return nil, fmt.Errorf("qsim: marked state %d outside register of %d states", marked, size)
+	}
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	// Uniform superposition.
+	for q := 0; q < n; q++ {
+		if err := s.H(q); err != nil {
+			return nil, err
+		}
+	}
+	// Optimal iteration count ⌊π/4·√N⌋; rounding up overshoots the
+	// rotation past the marked state.
+	iterations := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(size))))
+	if iterations < 1 {
+		iterations = 1
+	}
+	all := make([]int, n)
+	for q := range all {
+		all[q] = q
+	}
+	for i := 0; i < iterations; i++ {
+		if err := groverOracle(s, marked); err != nil {
+			return nil, err
+		}
+		if err := groverDiffusion(s, all); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// groverOracle flips the phase of the marked state: X-conjugated MCZ.
+func groverOracle(s *State, marked int) error {
+	flipped, err := xConjugate(s, marked)
+	if err != nil {
+		return err
+	}
+	all := make([]int, s.n)
+	for q := range all {
+		all[q] = q
+	}
+	if err := s.MCZ(all...); err != nil {
+		return err
+	}
+	return undoXConjugate(s, flipped)
+}
+
+// groverDiffusion is the inversion about the mean: H⊗n X⊗n MCZ X⊗n H⊗n,
+// i.e. a reflection about the uniform superposition.
+func groverDiffusion(s *State, all []int) error {
+	for _, q := range all {
+		if err := s.H(q); err != nil {
+			return err
+		}
+	}
+	for _, q := range all {
+		if err := s.X(q); err != nil {
+			return err
+		}
+	}
+	if err := s.MCZ(all...); err != nil {
+		return err
+	}
+	for _, q := range all {
+		if err := s.X(q); err != nil {
+			return err
+		}
+	}
+	for _, q := range all {
+		if err := s.H(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xConjugate applies X to every qubit that is 0 in the pattern, so the
+// pattern maps to |1...1⟩. It returns the flipped qubits.
+func xConjugate(s *State, pattern int) ([]int, error) {
+	var flipped []int
+	for q := 0; q < s.n; q++ {
+		if pattern&(1<<uint(q)) == 0 {
+			if err := s.X(q); err != nil {
+				return nil, err
+			}
+			flipped = append(flipped, q)
+		}
+	}
+	return flipped, nil
+}
+
+// undoXConjugate reverses xConjugate.
+func undoXConjugate(s *State, flipped []int) error {
+	for _, q := range flipped {
+		if err := s.X(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package qsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPPhase(t *testing.T) {
+	s, _ := NewState(2)
+	_ = s.X(0)
+	_ = s.X(1)
+	if err := s.CP(0, 1, math.Pi/2); err != nil {
+		t.Fatalf("CP: %v", err)
+	}
+	// |11⟩ picks up e^{iπ/2} = i.
+	if cmplx.Abs(s.Amplitudes()[3]-complex(0, 1)) > eps {
+		t.Errorf("CP phase on |11⟩ = %v, want i", s.Amplitudes()[3])
+	}
+	// Control clear: no phase.
+	s2, _ := NewState(2)
+	_ = s2.X(1)
+	_ = s2.CP(0, 1, math.Pi/2)
+	if cmplx.Abs(s2.Amplitudes()[2]-1) > eps {
+		t.Errorf("CP acted with clear control: %v", s2.Amplitudes()[2])
+	}
+	if err := s.CP(0, 0, 1); err == nil {
+		t.Error("CP(0,0) succeeded")
+	}
+}
+
+func TestMCZFlipsOnlyAllOnes(t *testing.T) {
+	s, _ := NewState(3)
+	for q := 0; q < 3; q++ {
+		_ = s.H(q)
+	}
+	if err := s.MCZ(0, 1, 2); err != nil {
+		t.Fatalf("MCZ: %v", err)
+	}
+	for i, a := range s.Amplitudes() {
+		want := 1.0
+		if i == 7 {
+			want = -1
+		}
+		if real(a)*want < 0 {
+			t.Errorf("amplitude %d sign wrong: %v", i, a)
+		}
+	}
+	if err := s.MCZ(); err == nil {
+		t.Error("MCZ with no qubits succeeded")
+	}
+	if err := s.MCZ(0, 0); err == nil {
+		t.Error("MCZ with repeated qubit succeeded")
+	}
+	if err := s.MCZ(9); err == nil {
+		t.Error("MCZ out of range succeeded")
+	}
+}
+
+func TestQFTOfZeroIsUniform(t *testing.T) {
+	s, _ := NewState(3)
+	if err := s.QFT(); err != nil {
+		t.Fatalf("QFT: %v", err)
+	}
+	want := 1.0 / 8
+	for i := range s.Amplitudes() {
+		if math.Abs(s.Probability(i)-want) > 1e-12 {
+			t.Errorf("P(%d) = %v, want %v", i, s.Probability(i), want)
+		}
+	}
+}
+
+// TestQFTInverseRoundTrip: InverseQFT(QFT(ψ)) == ψ for random states.
+func TestQFTInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		s, _ := NewState(n)
+		for i := 0; i < 12; i++ {
+			_ = s.RY(r.Intn(n), r.Float64()*2*math.Pi)
+			_ = s.RZ(r.Intn(n), r.Float64()*2*math.Pi)
+			a := r.Intn(n)
+			b := r.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			_ = s.CX(a, b)
+		}
+		before := s.Clone()
+		if err := s.QFT(); err != nil {
+			return false
+		}
+		if err := s.InverseQFT(); err != nil {
+			return false
+		}
+		for i := range s.amp {
+			if cmplx.Abs(s.amp[i]-before.amp[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQFTPeriodicState: the QFT of a period-2 comb concentrates on
+// frequencies 0 and N/2.
+func TestQFTPeriodicState(t *testing.T) {
+	s, _ := NewState(3)
+	// Prepare (|000⟩+|010⟩+|100⟩+|110⟩)/2: uniform over even states.
+	_ = s.H(1)
+	_ = s.H(2)
+	if err := s.QFT(); err != nil {
+		t.Fatalf("QFT: %v", err)
+	}
+	p0 := s.Probability(0)
+	p4 := s.Probability(4)
+	if math.Abs(p0-0.5) > 1e-9 || math.Abs(p4-0.5) > 1e-9 {
+		t.Errorf("QFT peaks: P(0)=%v P(4)=%v, want 0.5 each", p0, p4)
+	}
+}
+
+func TestGroverSearchFindsMarkedState(t *testing.T) {
+	for _, tc := range []struct {
+		n, marked int
+		minP      float64
+	}{
+		{2, 3, 0.99},  // 2 qubits: one iteration is exact
+		{3, 5, 0.90},  // 3 qubits: ~0.945 after 2 iterations
+		{4, 11, 0.90}, // 4 qubits: ~0.96 after 3 iterations
+	} {
+		s, err := GroverSearch(tc.n, tc.marked)
+		if err != nil {
+			t.Fatalf("GroverSearch(%d, %d): %v", tc.n, tc.marked, err)
+		}
+		if p := s.Probability(tc.marked); p < tc.minP {
+			t.Errorf("GroverSearch(%d, %d): P(marked) = %v, want >= %v",
+				tc.n, tc.marked, p, tc.minP)
+		}
+		if math.Abs(s.Norm()-1) > 1e-9 {
+			t.Errorf("norm = %v", s.Norm())
+		}
+	}
+}
+
+func TestGroverSearchValidation(t *testing.T) {
+	if _, err := GroverSearch(1, 0); err == nil {
+		t.Error("1-qubit Grover succeeded")
+	}
+	if _, err := GroverSearch(3, 8); err == nil {
+		t.Error("out-of-range marked state succeeded")
+	}
+	if _, err := GroverSearch(3, -1); err == nil {
+		t.Error("negative marked state succeeded")
+	}
+}

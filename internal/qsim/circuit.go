@@ -1,0 +1,171 @@
+package qsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GateKind identifies a gate type in a circuit description.
+type GateKind int
+
+// Supported gate kinds.
+const (
+	GateH GateKind = iota + 1
+	GateX
+	GateY
+	GateZ
+	GateS
+	GateT
+	GateRX
+	GateRY
+	GateRZ
+	GateCX
+	GateCZ
+	GateSWAP
+)
+
+// String returns the gate mnemonic.
+func (g GateKind) String() string {
+	switch g {
+	case GateH:
+		return "H"
+	case GateX:
+		return "X"
+	case GateY:
+		return "Y"
+	case GateZ:
+		return "Z"
+	case GateS:
+		return "S"
+	case GateT:
+		return "T"
+	case GateRX:
+		return "RX"
+	case GateRY:
+		return "RY"
+	case GateRZ:
+		return "RZ"
+	case GateCX:
+		return "CX"
+	case GateCZ:
+		return "CZ"
+	case GateSWAP:
+		return "SWAP"
+	default:
+		return fmt.Sprintf("Gate(%d)", int(g))
+	}
+}
+
+// Gate is one operation in a circuit.
+type Gate struct {
+	Kind GateKind
+	// Q is the target qubit.
+	Q int
+	// Control is the control qubit for CX.
+	Control int
+	// Theta is the rotation angle for RY/RZ.
+	Theta float64
+}
+
+// Circuit is an ordered gate list over a fixed register width.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// NewCircuit creates an empty circuit on n qubits.
+func NewCircuit(n int) (*Circuit, error) {
+	if n <= 0 || n > MaxQubits {
+		return nil, fmt.Errorf("qsim: qubit count %d outside [1, %d]", n, MaxQubits)
+	}
+	return &Circuit{NumQubits: n}, nil
+}
+
+// Append adds gates to the circuit.
+func (c *Circuit) Append(gates ...Gate) { c.Gates = append(c.Gates, gates...) }
+
+// Run executes the circuit on a fresh |0...0⟩ state and returns it.
+func (c *Circuit) Run() (*State, error) {
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Apply(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Apply executes the circuit's gates on an existing state.
+func (c *Circuit) Apply(s *State) error {
+	if s.NumQubits() != c.NumQubits {
+		return fmt.Errorf("qsim: circuit width %d, state width %d", c.NumQubits, s.NumQubits())
+	}
+	for i, g := range c.Gates {
+		var err error
+		switch g.Kind {
+		case GateH:
+			err = s.H(g.Q)
+		case GateX:
+			err = s.X(g.Q)
+		case GateY:
+			err = s.Y(g.Q)
+		case GateZ:
+			err = s.Z(g.Q)
+		case GateS:
+			err = s.S(g.Q)
+		case GateT:
+			err = s.T(g.Q)
+		case GateRX:
+			err = s.RX(g.Q, g.Theta)
+		case GateRY:
+			err = s.RY(g.Q, g.Theta)
+		case GateRZ:
+			err = s.RZ(g.Q, g.Theta)
+		case GateCX:
+			err = s.CX(g.Control, g.Q)
+		case GateCZ:
+			err = s.CZ(g.Control, g.Q)
+		case GateSWAP:
+			err = s.SWAP(g.Control, g.Q)
+		default:
+			err = fmt.Errorf("qsim: unknown gate kind %v", g.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("gate %d (%s): %w", i, g.Kind, err)
+		}
+	}
+	return nil
+}
+
+// AmplitudeOps returns the simulation work of the circuit measured in
+// amplitude updates: gates × 2^n. This is the work metric charged to the
+// simulated QPU backend cost models.
+func (c *Circuit) AmplitudeOps() float64 {
+	return float64(len(c.Gates)) * float64(int(1)<<uint(c.NumQubits))
+}
+
+// RandomCXCircuit builds the paper's QC benchmark kernel: numCX randomly
+// placed CX gates (preceded by a layer of Hadamards so the state is
+// non-trivial) on n qubits.
+func RandomCXCircuit(rng *rand.Rand, n, numCX int) (*Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("qsim: CX circuit needs >= 2 qubits, got %d", n)
+	}
+	c, err := NewCircuit(n)
+	if err != nil {
+		return nil, err
+	}
+	for q := 0; q < n; q++ {
+		c.Append(Gate{Kind: GateH, Q: q})
+	}
+	for i := 0; i < numCX; i++ {
+		control := rng.Intn(n)
+		target := rng.Intn(n - 1)
+		if target >= control {
+			target++
+		}
+		c.Append(Gate{Kind: GateCX, Q: target, Control: control})
+	}
+	return c, nil
+}

@@ -1,0 +1,132 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// S applies the phase gate (√Z) to qubit q.
+func (s *State) S(q int) error {
+	return s.apply1Q(q, 1, 0, 0, complex(0, 1))
+}
+
+// T applies the π/8 gate (√S) to qubit q.
+func (s *State) T(q int) error {
+	return s.apply1Q(q, 1, 0, 0, cmplx.Exp(complex(0, 0.7853981633974483)))
+}
+
+// RX applies a rotation around X by angle theta to qubit q.
+func (s *State) RX(q int, theta float64) error {
+	cos := complex(math.Cos(theta/2), 0)
+	isin := complex(0, -math.Sin(theta/2))
+	return s.apply1Q(q, cos, isin, isin, cos)
+}
+
+// SWAP exchanges the states of qubits a and b.
+func (s *State) SWAP(a, b int) error {
+	if err := s.checkQubit(a); err != nil {
+		return err
+	}
+	if err := s.checkQubit(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("qsim: SWAP with identical qubits (%d)", a)
+	}
+	abit := 1 << uint(a)
+	bbit := 1 << uint(b)
+	for i := 0; i < len(s.amp); i++ {
+		// Swap amplitudes where qubit a is set and b is clear.
+		if i&abit != 0 && i&bbit == 0 {
+			j := (i &^ abit) | bbit
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+	return nil
+}
+
+// CZ applies a controlled-Z between qubits a and b (symmetric).
+func (s *State) CZ(a, b int) error {
+	if err := s.checkQubit(a); err != nil {
+		return err
+	}
+	if err := s.checkQubit(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("qsim: CZ with identical qubits (%d)", a)
+	}
+	mask := (1 << uint(a)) | (1 << uint(b))
+	for i := 0; i < len(s.amp); i++ {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+	return nil
+}
+
+// CRY applies a controlled RY(theta) with the given control and target.
+func (s *State) CRY(control, target int, theta float64) error {
+	if err := s.checkQubit(control); err != nil {
+		return err
+	}
+	if err := s.checkQubit(target); err != nil {
+		return err
+	}
+	if control == target {
+		return fmt.Errorf("qsim: CRY control equals target (%d)", control)
+	}
+	cos := complex(math.Cos(theta/2), 0)
+	sin := complex(math.Sin(theta/2), 0)
+	cbit := 1 << uint(control)
+	tbit := 1 << uint(target)
+	for i := 0; i < len(s.amp); i++ {
+		if i&cbit == 0 || i&tbit != 0 {
+			continue
+		}
+		j := i | tbit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = cos*a0 - sin*a1
+		s.amp[j] = sin*a0 + cos*a1
+	}
+	return nil
+}
+
+// MeasureQubit measures a single qubit in the computational basis,
+// collapsing the state, and returns the observed bit.
+func (s *State) MeasureQubit(rng *rand.Rand, q int) (int, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	bit := 1 << uint(q)
+	var p1 float64
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	// Collapse and renormalize.
+	var norm float64
+	for i := range s.amp {
+		keep := (outcome == 1) == (i&bit != 0)
+		if !keep {
+			s.amp[i] = 0
+			continue
+		}
+		norm += real(s.amp[i])*real(s.amp[i]) + imag(s.amp[i])*imag(s.amp[i])
+	}
+	if norm == 0 {
+		return 0, fmt.Errorf("qsim: measurement collapsed to zero norm")
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+	return outcome, nil
+}

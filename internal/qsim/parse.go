@@ -1,0 +1,245 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseCircuit parses a small OpenQASM-2-style circuit description into a
+// Circuit. The supported subset covers what the KaaS quantum kernels use:
+//
+//	// comment
+//	qreg q[3];
+//	h q[0];
+//	cx q[0], q[1];
+//	ry(0.5) q[2];
+//	rz(pi/2) q[0];
+//	swap q[0], q[2];
+//
+// Supported gates: h, x, y, z, s, t, rx, ry, rz (one parameter each for
+// the rotations), cx, cz, swap. Angles accept decimal literals, "pi", and
+// simple "pi/<n>" or "<n>*pi" forms. The single quantum register must be
+// declared before any gate.
+func ParseCircuit(src string) (*Circuit, error) {
+	var (
+		circuit *Circuit
+		regName string
+	)
+	for lineNo, rawLine := range strings.Split(src, "\n") {
+		line := rawLine
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStatement(stmt, &circuit, &regName); err != nil {
+				return nil, fmt.Errorf("qsim: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if circuit == nil {
+		return nil, fmt.Errorf("qsim: no qreg declaration found")
+	}
+	return circuit, nil
+}
+
+// parseStatement handles one semicolon-terminated statement.
+func parseStatement(stmt string, circuit **Circuit, regName *string) error {
+	// Split the mnemonic (possibly with a parameter) from the operands.
+	head, operands, _ := strings.Cut(stmt, " ")
+	head = strings.TrimSpace(head)
+	operands = strings.TrimSpace(operands)
+
+	if head == "qreg" {
+		if *circuit != nil {
+			return fmt.Errorf("duplicate qreg declaration")
+		}
+		name, size, err := parseRegDecl(operands)
+		if err != nil {
+			return err
+		}
+		c, err := NewCircuit(size)
+		if err != nil {
+			return err
+		}
+		*circuit = c
+		*regName = name
+		return nil
+	}
+	if *circuit == nil {
+		return fmt.Errorf("gate %q before qreg declaration", head)
+	}
+
+	mnemonic := head
+	var theta float64
+	var hasTheta bool
+	if open := strings.Index(head, "("); open >= 0 {
+		if !strings.HasSuffix(head, ")") {
+			return fmt.Errorf("unterminated parameter in %q", head)
+		}
+		var err error
+		theta, err = parseAngle(head[open+1 : len(head)-1])
+		if err != nil {
+			return err
+		}
+		hasTheta = true
+		mnemonic = head[:open]
+	}
+
+	qubits, err := parseOperands(operands, *regName, (*circuit).NumQubits)
+	if err != nil {
+		return err
+	}
+
+	gate, wantQubits, wantTheta, err := lookupGate(strings.ToLower(mnemonic))
+	if err != nil {
+		return err
+	}
+	if len(qubits) != wantQubits {
+		return fmt.Errorf("gate %s wants %d operand(s), got %d", mnemonic, wantQubits, len(qubits))
+	}
+	if wantTheta != hasTheta {
+		if wantTheta {
+			return fmt.Errorf("gate %s needs an angle parameter", mnemonic)
+		}
+		return fmt.Errorf("gate %s takes no parameter", mnemonic)
+	}
+
+	g := Gate{Kind: gate, Theta: theta}
+	if wantQubits == 2 {
+		g.Control = qubits[0]
+		g.Q = qubits[1]
+		if g.Control == g.Q {
+			return fmt.Errorf("gate %s operands must differ", mnemonic)
+		}
+	} else {
+		g.Q = qubits[0]
+	}
+	(*circuit).Append(g)
+	return nil
+}
+
+// lookupGate maps a mnemonic to its kind and arity.
+func lookupGate(mnemonic string) (kind GateKind, qubits int, hasTheta bool, err error) {
+	switch mnemonic {
+	case "h":
+		return GateH, 1, false, nil
+	case "x":
+		return GateX, 1, false, nil
+	case "y":
+		return GateY, 1, false, nil
+	case "z":
+		return GateZ, 1, false, nil
+	case "s":
+		return GateS, 1, false, nil
+	case "t":
+		return GateT, 1, false, nil
+	case "rx":
+		return GateRX, 1, true, nil
+	case "ry":
+		return GateRY, 1, true, nil
+	case "rz":
+		return GateRZ, 1, true, nil
+	case "cx", "cnot":
+		return GateCX, 2, false, nil
+	case "cz":
+		return GateCZ, 2, false, nil
+	case "swap":
+		return GateSWAP, 2, false, nil
+	default:
+		return 0, 0, false, fmt.Errorf("unknown gate %q", mnemonic)
+	}
+}
+
+// parseRegDecl parses "q[5]" into name and size.
+func parseRegDecl(decl string) (string, int, error) {
+	decl = strings.TrimSpace(decl)
+	open := strings.Index(decl, "[")
+	if open <= 0 || !strings.HasSuffix(decl, "]") {
+		return "", 0, fmt.Errorf("bad register declaration %q", decl)
+	}
+	name := decl[:open]
+	size, err := strconv.Atoi(decl[open+1 : len(decl)-1])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad register size in %q: %w", decl, err)
+	}
+	return name, size, nil
+}
+
+// parseOperands parses "q[0], q[1]" into qubit indices.
+func parseOperands(operands, regName string, numQubits int) ([]int, error) {
+	if operands == "" {
+		return nil, fmt.Errorf("missing operands")
+	}
+	parts := strings.Split(operands, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		open := strings.Index(p, "[")
+		if open <= 0 || !strings.HasSuffix(p, "]") {
+			return nil, fmt.Errorf("bad operand %q", p)
+		}
+		if name := p[:open]; name != regName {
+			return nil, fmt.Errorf("unknown register %q (declared %q)", name, regName)
+		}
+		idx, err := strconv.Atoi(p[open+1 : len(p)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad qubit index in %q: %w", p, err)
+		}
+		if idx < 0 || idx >= numQubits {
+			return nil, fmt.Errorf("qubit %d outside register of size %d", idx, numQubits)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// parseAngle evaluates decimal literals plus the pi forms "pi", "pi/N",
+// "N*pi", and "-pi...".
+func parseAngle(expr string) (float64, error) {
+	expr = strings.ToLower(strings.ReplaceAll(expr, " ", ""))
+	if expr == "" {
+		return 0, fmt.Errorf("empty angle")
+	}
+	negative := false
+	if strings.HasPrefix(expr, "-") {
+		negative = true
+		expr = expr[1:]
+	}
+	var v float64
+	switch {
+	case expr == "pi":
+		v = math.Pi
+	case strings.HasPrefix(expr, "pi/"):
+		den, err := strconv.ParseFloat(expr[3:], 64)
+		if err != nil || den == 0 {
+			return 0, fmt.Errorf("bad angle %q", expr)
+		}
+		v = math.Pi / den
+	case strings.HasSuffix(expr, "*pi"):
+		mul, err := strconv.ParseFloat(expr[:len(expr)-3], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", expr)
+		}
+		v = mul * math.Pi
+	default:
+		f, err := strconv.ParseFloat(expr, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", expr)
+		}
+		v = f
+	}
+	if negative {
+		v = -v
+	}
+	return v, nil
+}

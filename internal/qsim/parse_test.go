@@ -1,0 +1,173 @@
+package qsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseCircuitBell(t *testing.T) {
+	src := `
+		// Bell pair
+		qreg q[2];
+		h q[0];
+		cx q[0], q[1];
+	`
+	c, err := ParseCircuit(src)
+	if err != nil {
+		t.Fatalf("ParseCircuit: %v", err)
+	}
+	if c.NumQubits != 2 || len(c.Gates) != 2 {
+		t.Fatalf("circuit shape: %d qubits, %d gates", c.NumQubits, len(c.Gates))
+	}
+	s, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(s.Probability(0)-0.5) > 1e-12 || math.Abs(s.Probability(3)-0.5) > 1e-12 {
+		t.Errorf("not a Bell state: P(00)=%v P(11)=%v", s.Probability(0), s.Probability(3))
+	}
+}
+
+func TestParseCircuitAllGates(t *testing.T) {
+	src := `qreg r[3];
+		h r[0]; x r[1]; y r[2]; z r[0]; s r[1]; t r[2];
+		rx(0.3) r[0]; ry(pi/4) r[1]; rz(2*pi) r[2];
+		cx r[0], r[1]; cz r[1], r[2]; swap r[0], r[2];
+		cnot r[2], r[0];`
+	c, err := ParseCircuit(src)
+	if err != nil {
+		t.Fatalf("ParseCircuit: %v", err)
+	}
+	if len(c.Gates) != 13 {
+		t.Errorf("gates = %d, want 13", len(c.Gates))
+	}
+	st, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(st.Norm()-1) > 1e-9 {
+		t.Errorf("norm = %v", st.Norm())
+	}
+	// Spot-check parsed parameters.
+	if c.Gates[7].Kind != GateRY || math.Abs(c.Gates[7].Theta-math.Pi/4) > 1e-12 {
+		t.Errorf("ry(pi/4) parsed as %+v", c.Gates[7])
+	}
+	if c.Gates[8].Kind != GateRZ || math.Abs(c.Gates[8].Theta-2*math.Pi) > 1e-12 {
+		t.Errorf("rz(2*pi) parsed as %+v", c.Gates[8])
+	}
+}
+
+func TestParseCircuitStatementsOnOneLine(t *testing.T) {
+	c, err := ParseCircuit("qreg q[1]; h q[0]; z q[0]")
+	if err != nil {
+		t.Fatalf("ParseCircuit: %v", err)
+	}
+	if len(c.Gates) != 2 {
+		t.Errorf("gates = %d, want 2", len(c.Gates))
+	}
+}
+
+func TestParseCircuitErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"gate before qreg", "h q[0]; qreg q[1];"},
+		{"duplicate qreg", "qreg q[1]; qreg r[1];"},
+		{"bad reg decl", "qreg q;"},
+		{"bad reg size", "qreg q[x];"},
+		{"unknown gate", "qreg q[1]; frob q[0];"},
+		{"unknown register", "qreg q[2]; h r[0];"},
+		{"qubit out of range", "qreg q[2]; h q[5];"},
+		{"negative qubit", "qreg q[2]; h q[-1];"},
+		{"missing operand", "qreg q[2]; h"},
+		{"too many operands", "qreg q[2]; h q[0], q[1];"},
+		{"cx needs two", "qreg q[2]; cx q[0];"},
+		{"cx same qubit", "qreg q[2]; cx q[0], q[0];"},
+		{"rotation without angle", "qreg q[1]; ry q[0];"},
+		{"angle on plain gate", "qreg q[1]; h(0.5) q[0];"},
+		{"unterminated angle", "qreg q[1]; ry(0.5 q[0];"},
+		{"bad angle", "qreg q[1]; ry(banana) q[0];"},
+		{"bad pi fraction", "qreg q[1]; ry(pi/zero) q[0];"},
+		{"bad operand syntax", "qreg q[2]; h q0;"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCircuit(tc.src); err == nil {
+				t.Errorf("ParseCircuit(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseAngleForms(t *testing.T) {
+	cases := map[string]float64{
+		"0.5":    0.5,
+		"pi":     math.Pi,
+		"pi/2":   math.Pi / 2,
+		"2*pi":   2 * math.Pi,
+		"-pi/4":  -math.Pi / 4,
+		"-1.25":  -1.25,
+		"0":      0,
+		"0.5*pi": 0.5 * math.Pi,
+	}
+	for expr, want := range cases {
+		got, err := parseAngle(expr)
+		if err != nil {
+			t.Errorf("parseAngle(%q): %v", expr, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("parseAngle(%q) = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestParseCircuitMatchesManualConstruction(t *testing.T) {
+	src := `qreg q[2]; ry(0.7) q[0]; cx q[0], q[1]; ry(1.1) q[1];`
+	parsed, err := ParseCircuit(src)
+	if err != nil {
+		t.Fatalf("ParseCircuit: %v", err)
+	}
+	manual, _ := NewCircuit(2)
+	manual.Append(
+		Gate{Kind: GateRY, Q: 0, Theta: 0.7},
+		Gate{Kind: GateCX, Control: 0, Q: 1},
+		Gate{Kind: GateRY, Q: 1, Theta: 1.1},
+	)
+	a, err := parsed.Run()
+	if err != nil {
+		t.Fatalf("parsed Run: %v", err)
+	}
+	b, err := manual.Run()
+	if err != nil {
+		t.Fatalf("manual Run: %v", err)
+	}
+	for i := range a.Amplitudes() {
+		if d := a.Amplitudes()[i] - b.Amplitudes()[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("parsed and manual circuits diverge at amplitude %d", i)
+		}
+	}
+}
+
+func TestGateKindStringNewGates(t *testing.T) {
+	for k, want := range map[GateKind]string{
+		GateS: "S", GateT: "T", GateRX: "RX", GateCZ: "CZ", GateSWAP: "SWAP",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseCircuitErrorMessagesNameLines(t *testing.T) {
+	_, err := ParseCircuit("qreg q[1];\nh q[0];\nbogus q[0];")
+	if err == nil {
+		t.Fatal("bogus gate succeeded")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+}

@@ -1,0 +1,207 @@
+package qsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("NewState(0) succeeded")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("NewState(too many) succeeded")
+	}
+	s, err := NewState(3)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if s.NumQubits() != 3 || len(s.Amplitudes()) != 8 {
+		t.Errorf("state dims wrong")
+	}
+	if s.Probability(0) != 1 {
+		t.Errorf("initial state not |000⟩")
+	}
+}
+
+func TestHadamardCreatesSuperposition(t *testing.T) {
+	s, _ := NewState(1)
+	if err := s.H(0); err != nil {
+		t.Fatalf("H: %v", err)
+	}
+	if math.Abs(s.Probability(0)-0.5) > eps || math.Abs(s.Probability(1)-0.5) > eps {
+		t.Errorf("probabilities after H: %v, %v", s.Probability(0), s.Probability(1))
+	}
+}
+
+func TestHadamardSelfInverse(t *testing.T) {
+	s, _ := NewState(2)
+	_ = s.H(0)
+	_ = s.H(1)
+	_ = s.H(0)
+	_ = s.H(1)
+	if math.Abs(s.Probability(0)-1) > eps {
+		t.Errorf("HH != I: P(00) = %v", s.Probability(0))
+	}
+}
+
+func TestXTruthTable(t *testing.T) {
+	s, _ := NewState(2)
+	_ = s.X(1)
+	// qubit 1 set: basis index 0b10 = 2.
+	if math.Abs(s.Probability(2)-1) > eps {
+		t.Errorf("X on qubit 1: P(10) = %v, want 1", s.Probability(2))
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s, _ := NewState(2)
+	_ = s.H(0)
+	if err := s.CX(0, 1); err != nil {
+		t.Fatalf("CX: %v", err)
+	}
+	// (|00⟩ + |11⟩)/√2
+	if math.Abs(s.Probability(0)-0.5) > eps {
+		t.Errorf("P(00) = %v, want 0.5", s.Probability(0))
+	}
+	if math.Abs(s.Probability(3)-0.5) > eps {
+		t.Errorf("P(11) = %v, want 0.5", s.Probability(3))
+	}
+	if s.Probability(1) > eps || s.Probability(2) > eps {
+		t.Errorf("P(01)=%v P(10)=%v, want 0", s.Probability(1), s.Probability(2))
+	}
+}
+
+func TestCXValidation(t *testing.T) {
+	s, _ := NewState(2)
+	if err := s.CX(0, 0); err == nil {
+		t.Error("CX with control==target succeeded")
+	}
+	if err := s.CX(0, 5); err == nil {
+		t.Error("CX with out-of-range target succeeded")
+	}
+	if err := s.H(9); err == nil {
+		t.Error("H on out-of-range qubit succeeded")
+	}
+}
+
+func TestRYRotation(t *testing.T) {
+	s, _ := NewState(1)
+	_ = s.RY(0, math.Pi) // |0⟩ -> |1⟩
+	if math.Abs(s.Probability(1)-1) > eps {
+		t.Errorf("RY(pi): P(1) = %v, want 1", s.Probability(1))
+	}
+	s2, _ := NewState(1)
+	_ = s2.RY(0, math.Pi/2)
+	if math.Abs(s2.Probability(0)-0.5) > eps {
+		t.Errorf("RY(pi/2): P(0) = %v, want 0.5", s2.Probability(0))
+	}
+}
+
+func TestRZPhaseOnly(t *testing.T) {
+	s, _ := NewState(1)
+	_ = s.H(0)
+	before0, before1 := s.Probability(0), s.Probability(1)
+	_ = s.RZ(0, 1.234)
+	if math.Abs(s.Probability(0)-before0) > eps || math.Abs(s.Probability(1)-before1) > eps {
+		t.Error("RZ changed measurement probabilities")
+	}
+}
+
+func TestYGate(t *testing.T) {
+	s, _ := NewState(1)
+	_ = s.Y(0)
+	// Y|0⟩ = i|1⟩.
+	if cmplx.Abs(s.Amplitudes()[1]-complex(0, 1)) > eps {
+		t.Errorf("Y|0⟩ amp = %v, want i", s.Amplitudes()[1])
+	}
+}
+
+func TestZGate(t *testing.T) {
+	s, _ := NewState(1)
+	_ = s.X(0)
+	_ = s.Z(0)
+	if cmplx.Abs(s.Amplitudes()[1]-complex(-1, 0)) > eps {
+		t.Errorf("ZX|0⟩ amp = %v, want -1", s.Amplitudes()[1])
+	}
+}
+
+// TestUnitarityProperty: random circuits preserve the norm.
+func TestUnitarityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		s, _ := NewState(n)
+		for i := 0; i < 30; i++ {
+			q := r.Intn(n)
+			switch r.Intn(6) {
+			case 0:
+				_ = s.H(q)
+			case 1:
+				_ = s.X(q)
+			case 2:
+				_ = s.RY(q, r.Float64()*2*math.Pi)
+			case 3:
+				_ = s.RZ(q, r.Float64()*2*math.Pi)
+			case 4:
+				_ = s.Y(q)
+			case 5:
+				q2 := r.Intn(n - 1)
+				if q2 >= q {
+					q2++
+				}
+				_ = s.CX(q, q2)
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureAllDistribution(t *testing.T) {
+	s, _ := NewState(1)
+	_ = s.H(0)
+	rng := rand.New(rand.NewSource(11))
+	hist := s.Sample(rng, 10000)
+	p1 := float64(hist[1]) / 10000
+	if math.Abs(p1-0.5) > 0.03 {
+		t.Errorf("sampled P(1) = %v, want ~0.5", p1)
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	a, _ := NewState(2)
+	b, _ := NewState(2)
+	ip, err := InnerProduct(a, b)
+	if err != nil {
+		t.Fatalf("InnerProduct: %v", err)
+	}
+	if cmplx.Abs(ip-1) > eps {
+		t.Errorf("⟨0|0⟩ = %v, want 1", ip)
+	}
+	_ = b.X(0)
+	ip, _ = InnerProduct(a, b)
+	if cmplx.Abs(ip) > eps {
+		t.Errorf("⟨0|1⟩ = %v, want 0", ip)
+	}
+	c, _ := NewState(3)
+	if _, err := InnerProduct(a, c); err == nil {
+		t.Error("mismatched widths succeeded")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a, _ := NewState(1)
+	b := a.Clone()
+	_ = b.X(0)
+	if a.Probability(1) != 0 {
+		t.Error("Clone shares amplitudes")
+	}
+}

@@ -1,0 +1,235 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircuitRunBell(t *testing.T) {
+	c, err := NewCircuit(2)
+	if err != nil {
+		t.Fatalf("NewCircuit: %v", err)
+	}
+	c.Append(
+		Gate{Kind: GateH, Q: 0},
+		Gate{Kind: GateCX, Control: 0, Q: 1},
+	)
+	s, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(s.Probability(0)-0.5) > eps || math.Abs(s.Probability(3)-0.5) > eps {
+		t.Errorf("Bell circuit probabilities wrong: %v %v", s.Probability(0), s.Probability(3))
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	if _, err := NewCircuit(0); err == nil {
+		t.Error("NewCircuit(0) succeeded")
+	}
+	c, _ := NewCircuit(2)
+	c.Append(Gate{Kind: GateKind(99), Q: 0})
+	if _, err := c.Run(); err == nil {
+		t.Error("unknown gate kind succeeded")
+	}
+	c2, _ := NewCircuit(2)
+	s3, _ := NewState(3)
+	if err := c2.Apply(s3); err == nil {
+		t.Error("width mismatch succeeded")
+	}
+}
+
+func TestGateKindString(t *testing.T) {
+	names := map[GateKind]string{
+		GateH: "H", GateX: "X", GateY: "Y", GateZ: "Z",
+		GateRY: "RY", GateRZ: "RZ", GateCX: "CX", GateKind(77): "Gate(77)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAmplitudeOps(t *testing.T) {
+	c, _ := NewCircuit(3)
+	c.Append(Gate{Kind: GateH, Q: 0}, Gate{Kind: GateX, Q: 1})
+	if got := c.AmplitudeOps(); got != 16 {
+		t.Errorf("AmplitudeOps = %v, want 16", got)
+	}
+}
+
+func TestRandomCXCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := RandomCXCircuit(rng, 4, 50)
+	if err != nil {
+		t.Fatalf("RandomCXCircuit: %v", err)
+	}
+	if len(c.Gates) != 54 { // 4 H + 50 CX
+		t.Errorf("gate count = %d, want 54", len(c.Gates))
+	}
+	for _, g := range c.Gates[4:] {
+		if g.Kind != GateCX {
+			t.Fatalf("non-CX gate %v in body", g.Kind)
+		}
+		if g.Control == g.Q {
+			t.Fatal("CX with control == target")
+		}
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := RandomCXCircuit(rng, 1, 5); err == nil {
+		t.Error("1-qubit CX circuit succeeded")
+	}
+}
+
+func TestHamiltonianValidate(t *testing.T) {
+	h := H2Hamiltonian()
+	if err := h.Validate(); err != nil {
+		t.Errorf("H2 hamiltonian invalid: %v", err)
+	}
+	bad := &Hamiltonian{NumQubits: 2, Terms: []PauliTerm{{1, "XQZ"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong-width term succeeded")
+	}
+	bad2 := &Hamiltonian{NumQubits: 3, Terms: []PauliTerm{{1, "XQZ"}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("invalid Pauli character succeeded")
+	}
+	bad3 := &Hamiltonian{NumQubits: 0}
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero-qubit hamiltonian succeeded")
+	}
+}
+
+func TestExpectationZBasis(t *testing.T) {
+	// ⟨0|Z|0⟩ = 1, ⟨1|Z|1⟩ = -1.
+	h := &Hamiltonian{NumQubits: 1, Terms: []PauliTerm{{1, "Z"}}}
+	s0, _ := NewState(1)
+	e, err := h.Expectation(s0)
+	if err != nil {
+		t.Fatalf("Expectation: %v", err)
+	}
+	if math.Abs(e-1) > eps {
+		t.Errorf("⟨0|Z|0⟩ = %v, want 1", e)
+	}
+	s1, _ := NewState(1)
+	_ = s1.X(0)
+	e, _ = h.Expectation(s1)
+	if math.Abs(e+1) > eps {
+		t.Errorf("⟨1|Z|1⟩ = %v, want -1", e)
+	}
+}
+
+func TestExpectationXBasis(t *testing.T) {
+	// ⟨+|X|+⟩ = 1.
+	h := &Hamiltonian{NumQubits: 1, Terms: []PauliTerm{{1, "X"}}}
+	s, _ := NewState(1)
+	_ = s.H(0)
+	e, err := h.Expectation(s)
+	if err != nil {
+		t.Fatalf("Expectation: %v", err)
+	}
+	if math.Abs(e-1) > eps {
+		t.Errorf("⟨+|X|+⟩ = %v, want 1", e)
+	}
+}
+
+func TestExpectationWidthMismatch(t *testing.T) {
+	h := H2Hamiltonian()
+	s, _ := NewState(3)
+	if _, err := h.Expectation(s); err == nil {
+		t.Error("width mismatch succeeded")
+	}
+}
+
+func TestAnsatzParamCount(t *testing.T) {
+	a := Ansatz{NumQubits: 2, Depth: 2}
+	if got := a.NumParams(); got != 6 {
+		t.Errorf("NumParams = %d, want 6", got)
+	}
+	if _, err := a.Circuit(make([]float64, 3)); err == nil {
+		t.Error("wrong param count succeeded")
+	}
+	c, err := a.Circuit(make([]float64, 6))
+	if err != nil {
+		t.Fatalf("Circuit: %v", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestVQEFindsH2GroundState is the core correctness test for the VQE
+// experiment: the optimizer must converge to the known H2 ground-state
+// energy of approximately -1.8573 Hartree.
+func TestVQEFindsH2GroundState(t *testing.T) {
+	v := &VQE{
+		Hamiltonian:  H2Hamiltonian(),
+		Ansatz:       Ansatz{NumQubits: 2, Depth: 2},
+		LearningRate: 0.3,
+	}
+	rng := rand.New(rand.NewSource(3))
+	start := make([]float64, v.Ansatz.NumParams())
+	for i := range start {
+		start[i] = rng.Float64() * 0.5
+	}
+	energy, params, err := v.Minimize(start, 60)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	const want = -1.8573
+	if math.Abs(energy-want) > 0.01 {
+		t.Errorf("VQE energy = %v, want ~%v", energy, want)
+	}
+	if len(params) != v.Ansatz.NumParams() {
+		t.Errorf("returned %d params", len(params))
+	}
+	if v.Evaluations() == 0 {
+		t.Error("no estimator evaluations recorded")
+	}
+}
+
+// TestVQEVariationalPrinciple: any parameter vector gives energy >= ground
+// state energy.
+func TestVQEVariationalPrinciple(t *testing.T) {
+	v := &VQE{Hamiltonian: H2Hamiltonian(), Ansatz: Ansatz{NumQubits: 2, Depth: 1}}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		params := make([]float64, v.Ansatz.NumParams())
+		for j := range params {
+			params[j] = rng.Float64() * 2 * math.Pi
+		}
+		e, err := v.Energy(params)
+		if err != nil {
+			t.Fatalf("Energy: %v", err)
+		}
+		if e < -1.8574 {
+			t.Errorf("energy %v below ground state", e)
+		}
+	}
+}
+
+func TestVQEGradientMatchesFiniteDifference(t *testing.T) {
+	v := &VQE{Hamiltonian: H2Hamiltonian(), Ansatz: Ansatz{NumQubits: 2, Depth: 1}}
+	params := []float64{0.3, -0.2, 0.7, 0.1}
+	grad, err := v.Gradient(params)
+	if err != nil {
+		t.Fatalf("Gradient: %v", err)
+	}
+	const h = 1e-6
+	for i := range params {
+		p := make([]float64, len(params))
+		copy(p, params)
+		p[i] += h
+		ep, _ := v.Energy(p)
+		p[i] -= 2 * h
+		em, _ := v.Energy(p)
+		numeric := (ep - em) / (2 * h)
+		if math.Abs(numeric-grad[i]) > 1e-5 {
+			t.Errorf("param %d: parameter-shift %v vs finite-diff %v", i, grad[i], numeric)
+		}
+	}
+}

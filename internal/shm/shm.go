@@ -1,0 +1,111 @@
+// Package shm simulates host-local shared memory regions used for
+// out-of-band data transfer between KaaS clients and task runners on the
+// same machine: the client writes a payload into a named region and sends
+// only the key over the wire, and the runner maps the region by key. This
+// mirrors the paper's single-node out-of-band path (§4.1) without
+// requiring OS shared-memory segments.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the registry.
+var (
+	// ErrNotFound indicates the region key is unknown.
+	ErrNotFound = errors.New("shm: region not found")
+	// ErrExists indicates the region key is already in use.
+	ErrExists = errors.New("shm: region already exists")
+	// ErrNoSpace indicates the registry capacity would be exceeded.
+	ErrNoSpace = errors.New("shm: capacity exceeded")
+)
+
+// Registry is a set of named in-memory regions with a capacity bound.
+// It is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	regions  map[string][]byte
+	seq      uint64
+}
+
+// NewRegistry creates a registry with the given total capacity in bytes
+// (0 means unlimited).
+func NewRegistry(capacity int64) *Registry {
+	return &Registry{
+		capacity: capacity,
+		regions:  make(map[string][]byte),
+	}
+}
+
+// Put stores data under key. The data is copied.
+func (r *Registry) Put(key string, data []byte) error {
+	if key == "" {
+		return fmt.Errorf("shm: empty key")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.regions[key]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, key)
+	}
+	if r.capacity > 0 && r.used+int64(len(data)) > r.capacity {
+		return fmt.Errorf("%w: want %d, used %d of %d", ErrNoSpace, len(data), r.used, r.capacity)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.regions[key] = cp
+	r.used += int64(len(cp))
+	return nil
+}
+
+// Create stores data under a fresh unique key and returns the key.
+func (r *Registry) Create(data []byte) (string, error) {
+	r.mu.Lock()
+	r.seq++
+	key := fmt.Sprintf("shm-%d", r.seq)
+	r.mu.Unlock()
+	if err := r.Put(key, data); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// Get returns a copy of the region's contents.
+func (r *Registry) Get(key string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, ok := r.regions[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete removes a region. Deleting a missing key is a no-op.
+func (r *Registry) Delete(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if data, ok := r.regions[key]; ok {
+		r.used -= int64(len(data))
+		delete(r.regions, key)
+	}
+}
+
+// Used returns the bytes currently stored.
+func (r *Registry) Used() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Len returns the number of live regions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.regions)
+}

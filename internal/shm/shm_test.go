@@ -1,0 +1,121 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := NewRegistry(0)
+	data := []byte{1, 2, 3, 4}
+	if err := r.Put("a", data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := r.Get("a")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("Get = %v, want %v", got, data)
+	}
+	// The registry holds a copy: mutating inputs/outputs is safe.
+	data[0] = 99
+	got[1] = 99
+	again, _ := r.Get("a")
+	if again[0] != 1 || again[1] != 2 {
+		t.Error("registry shares storage with caller slices")
+	}
+}
+
+func TestPutDuplicateKey(t *testing.T) {
+	r := NewRegistry(0)
+	if err := r.Put("k", nil); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := r.Put("k", nil); !errors.Is(err, ErrExists) {
+		t.Errorf("err = %v, want ErrExists", err)
+	}
+	if err := r.Put("", nil); err == nil {
+		t.Error("empty key succeeded")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := NewRegistry(0)
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	r := NewRegistry(10)
+	if err := r.Put("a", make([]byte, 8)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := r.Put("b", make([]byte, 8)); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+	r.Delete("a")
+	if err := r.Put("b", make([]byte, 8)); err != nil {
+		t.Errorf("Put after Delete: %v", err)
+	}
+}
+
+func TestDeleteAccounting(t *testing.T) {
+	r := NewRegistry(0)
+	_ = r.Put("a", make([]byte, 100))
+	if r.Used() != 100 || r.Len() != 1 {
+		t.Errorf("Used=%d Len=%d", r.Used(), r.Len())
+	}
+	r.Delete("a")
+	if r.Used() != 0 || r.Len() != 0 {
+		t.Errorf("after delete Used=%d Len=%d", r.Used(), r.Len())
+	}
+	r.Delete("a") // no-op
+}
+
+func TestCreateUniqueKeys(t *testing.T) {
+	r := NewRegistry(0)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		key, err := r.Create([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate key %q", key)
+		}
+		seen[key] = true
+	}
+	if r.Len() != 100 {
+		t.Errorf("Len = %d, want 100", r.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", i)
+			if err := r.Put(key, []byte{byte(i)}); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			if _, err := r.Get(key); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			if i%2 == 0 {
+				r.Delete(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 10 {
+		t.Errorf("Len = %d, want 10", r.Len())
+	}
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import "fmt"
+
+// Image is a single-channel 2D array used by the convolution and image
+// kernels, stored row major.
+type Image struct {
+	h, w int
+	pix  []float64
+}
+
+// NewImage creates a zero image of the given size.
+func NewImage(h, w int) (*Image, error) {
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("tensor: invalid image size %dx%d", h, w)
+	}
+	return &Image{h: h, w: w, pix: make([]float64, h*w)}, nil
+}
+
+// ImageFromSlice adopts pix (length h*w) as an image.
+func ImageFromSlice(h, w int, pix []float64) (*Image, error) {
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("tensor: invalid image size %dx%d", h, w)
+	}
+	if len(pix) != h*w {
+		return nil, fmt.Errorf("tensor: pixel count %d != %d*%d", len(pix), h, w)
+	}
+	return &Image{h: h, w: w, pix: pix}, nil
+}
+
+// H returns the image height.
+func (im *Image) H() int { return im.h }
+
+// W returns the image width.
+func (im *Image) W() int { return im.w }
+
+// Pix returns the underlying pixel storage.
+func (im *Image) Pix() []float64 { return im.pix }
+
+// At returns pixel (y, x).
+func (im *Image) At(y, x int) float64 { return im.pix[y*im.w+x] }
+
+// Set assigns pixel (y, x).
+func (im *Image) Set(y, x int, v float64) { im.pix[y*im.w+x] = v }
+
+// Conv2DValid computes the "valid" 2D cross-correlation of im with the
+// kernel k (no padding, stride 1). The output is (H-kh+1)×(W-kw+1). It
+// panics if the kernel is larger than the image.
+func Conv2DValid(im *Image, k *Matrix) *Image {
+	kh, kw := k.Rows(), k.Cols()
+	oh, ow := im.h-kh+1, im.w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: kernel %dx%d larger than image %dx%d", kh, kw, im.h, im.w))
+	}
+	out := &Image{h: oh, w: ow, pix: make([]float64, oh*ow)}
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var acc float64
+			for ky := 0; ky < kh; ky++ {
+				irow := im.pix[(y+ky)*im.w+x:]
+				krow := k.Row(ky)
+				for kx, kv := range krow {
+					acc += irow[kx] * kv
+				}
+			}
+			out.pix[y*ow+x] = acc
+		}
+	}
+	return out
+}
+
+// Conv2DSame computes a "same" 2D cross-correlation with zero padding so
+// the output has the input's size. The kernel's anchor is its center.
+func Conv2DSame(im *Image, k *Matrix) *Image {
+	kh, kw := k.Rows(), k.Cols()
+	py, px := kh/2, kw/2
+	out := &Image{h: im.h, w: im.w, pix: make([]float64, im.h*im.w)}
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			var acc float64
+			for ky := 0; ky < kh; ky++ {
+				iy := y + ky - py
+				if iy < 0 || iy >= im.h {
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := x + kx - px
+					if ix < 0 || ix >= im.w {
+						continue
+					}
+					acc += im.pix[iy*im.w+ix] * k.At(ky, kx)
+				}
+			}
+			out.pix[y*im.w+x] = acc
+		}
+	}
+	return out
+}
+
+// Conv2DFLOPs returns the floating-point operation count of a valid 2D
+// convolution of an h×w image with a kh×kw kernel.
+func Conv2DFLOPs(h, w, kh, kw int) float64 {
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		return 0
+	}
+	return 2 * float64(oh) * float64(ow) * float64(kh) * float64(kw)
+}
+
+// MaxPool2 downsamples the image by a factor of two using 2×2 max pooling.
+// Odd trailing rows/columns are dropped.
+func MaxPool2(im *Image) *Image {
+	oh, ow := im.h/2, im.w/2
+	out := &Image{h: oh, w: ow, pix: make([]float64, oh*ow)}
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			a := im.At(2*y, 2*x)
+			if b := im.At(2*y, 2*x+1); b > a {
+				a = b
+			}
+			if b := im.At(2*y+1, 2*x); b > a {
+				a = b
+			}
+			if b := im.At(2*y+1, 2*x+1); b > a {
+				a = b
+			}
+			out.pix[y*ow+x] = a
+		}
+	}
+	return out
+}
+
+// Downsample reduces the image by integer factor f using averaging.
+func Downsample(im *Image, f int) (*Image, error) {
+	if f <= 0 {
+		return nil, fmt.Errorf("tensor: invalid downsample factor %d", f)
+	}
+	oh, ow := im.h/f, im.w/f
+	if oh == 0 || ow == 0 {
+		return nil, fmt.Errorf("tensor: factor %d too large for %dx%d image", f, im.h, im.w)
+	}
+	out := &Image{h: oh, w: ow, pix: make([]float64, oh*ow)}
+	inv := 1 / float64(f*f)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var acc float64
+			for dy := 0; dy < f; dy++ {
+				for dx := 0; dx < f; dx++ {
+					acc += im.At(y*f+dy, x*f+dx)
+				}
+			}
+			out.pix[y*ow+x] = acc * inv
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewImageValidation(t *testing.T) {
+	if _, err := NewImage(0, 5); err == nil {
+		t.Error("NewImage(0,5) succeeded")
+	}
+	if _, err := ImageFromSlice(2, 2, []float64{1}); err == nil {
+		t.Error("ImageFromSlice with bad length succeeded")
+	}
+	im, err := NewImage(3, 4)
+	if err != nil {
+		t.Fatalf("NewImage: %v", err)
+	}
+	if im.H() != 3 || im.W() != 4 || len(im.Pix()) != 12 {
+		t.Errorf("image dims wrong: %dx%d", im.H(), im.W())
+	}
+}
+
+func TestConv2DValidIdentityKernel(t *testing.T) {
+	im, _ := ImageFromSlice(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	k, _ := FromSlice(1, 1, []float64{1})
+	out := Conv2DValid(im, k)
+	if out.H() != 3 || out.W() != 3 {
+		t.Fatalf("output dims %dx%d, want 3x3", out.H(), out.W())
+	}
+	for i, v := range out.Pix() {
+		if v != im.Pix()[i] {
+			t.Errorf("pixel %d = %v, want %v", i, v, im.Pix()[i])
+		}
+	}
+}
+
+func TestConv2DValidKnownResult(t *testing.T) {
+	im, _ := ImageFromSlice(3, 3, []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	k, _ := FromSlice(2, 2, []float64{
+		1, 0,
+		0, 1,
+	})
+	out := Conv2DValid(im, k)
+	want := []float64{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	if out.H() != 2 || out.W() != 2 {
+		t.Fatalf("dims %dx%d, want 2x2", out.H(), out.W())
+	}
+	for i, v := range out.Pix() {
+		if v != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestConv2DValidPanicsOnOversizeKernel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize kernel did not panic")
+		}
+	}()
+	im, _ := NewImage(2, 2)
+	k, _ := NewMatrix(3, 3)
+	Conv2DValid(im, k)
+}
+
+func TestConv2DSamePreservesSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im, _ := NewImage(7, 9)
+	for i := range im.Pix() {
+		im.Pix()[i] = rng.Float64()
+	}
+	k, _ := Randn(rng, 3, 3)
+	out := Conv2DSame(im, k)
+	if out.H() != 7 || out.W() != 9 {
+		t.Errorf("same conv dims %dx%d, want 7x9", out.H(), out.W())
+	}
+}
+
+func TestConv2DLinearityProperty(t *testing.T) {
+	// conv(a+b, k) == conv(a, k) + conv(b, k)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, w := 4+r.Intn(5), 4+r.Intn(5)
+		a, _ := NewImage(h, w)
+		b, _ := NewImage(h, w)
+		for i := range a.Pix() {
+			a.Pix()[i] = r.NormFloat64()
+			b.Pix()[i] = r.NormFloat64()
+		}
+		k, _ := Randn(r, 3, 3)
+		sum, _ := NewImage(h, w)
+		for i := range sum.Pix() {
+			sum.Pix()[i] = a.Pix()[i] + b.Pix()[i]
+		}
+		left := Conv2DValid(sum, k)
+		ca := Conv2DValid(a, k)
+		cb := Conv2DValid(b, k)
+		for i := range left.Pix() {
+			if math.Abs(left.Pix()[i]-(ca.Pix()[i]+cb.Pix()[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConv2DFLOPs(t *testing.T) {
+	if got := Conv2DFLOPs(5, 5, 3, 3); got != 2*3*3*3*3 {
+		t.Errorf("Conv2DFLOPs = %v, want %v", got, 2*3*3*3*3)
+	}
+	if got := Conv2DFLOPs(2, 2, 3, 3); got != 0 {
+		t.Errorf("Conv2DFLOPs undersized = %v, want 0", got)
+	}
+}
+
+func TestMaxPool2(t *testing.T) {
+	im, _ := ImageFromSlice(2, 4, []float64{
+		1, 5, 2, 0,
+		3, 4, 8, 1,
+	})
+	out := MaxPool2(im)
+	if out.H() != 1 || out.W() != 2 {
+		t.Fatalf("dims %dx%d, want 1x2", out.H(), out.W())
+	}
+	if out.At(0, 0) != 5 || out.At(0, 1) != 8 {
+		t.Errorf("pooled = %v, want [5 8]", out.Pix())
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im, _ := ImageFromSlice(2, 2, []float64{1, 3, 5, 7})
+	out, err := Downsample(im, 2)
+	if err != nil {
+		t.Fatalf("Downsample: %v", err)
+	}
+	if out.H() != 1 || out.W() != 1 || out.At(0, 0) != 4 {
+		t.Errorf("Downsample = %v, want [4]", out.Pix())
+	}
+	if _, err := Downsample(im, 0); err == nil {
+		t.Error("Downsample factor 0 succeeded")
+	}
+	if _, err := Downsample(im, 10); err == nil {
+		t.Error("Downsample factor larger than image succeeded")
+	}
+}
+
+func TestImageSetAt(t *testing.T) {
+	im, _ := NewImage(2, 3)
+	im.Set(1, 2, 4.5)
+	if got := im.At(1, 2); got != 4.5 {
+		t.Errorf("At = %v, want 4.5", got)
+	}
+}

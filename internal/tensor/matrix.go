@@ -1,0 +1,282 @@
+// Package tensor provides dense float64 matrices and small tensors used by
+// the KaaS kernel implementations (matrix multiplication, convolution,
+// neural-network layers).
+//
+// Shape agreement is part of each operation's contract: operations panic
+// on shape mismatch, like other numeric Go libraries, because a mismatch
+// is an unrecoverable programming error rather than a runtime condition.
+// Constructors validate user-supplied dimensions and return errors.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix creates a zero matrix with the given dimensions.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tensor: invalid dimensions %dx%d", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// FromSlice creates a matrix that adopts data (length rows*cols, row major).
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tensor: invalid dimensions %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
+// Randn creates a matrix with standard-normal entries drawn from rng.
+func Randn(rng *rand.Rand, rows, cols int) (*Matrix, error) {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m, nil
+}
+
+// Uniform creates a matrix with entries drawn uniformly from [lo, hi).
+func Uniform(rng *rand.Rand, rows, cols int, lo, hi float64) (*Matrix, error) {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	span := hi - lo
+	for i := range m.data {
+		m.data[i] = lo + rng.Float64()*span
+	}
+	return m, nil
+}
+
+// Eye creates an n-by-n identity matrix.
+func Eye(n int) (*Matrix, error) {
+	m, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data returns the underlying row-major storage. Mutations are visible to
+// the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	data := make([]float64, len(m.data))
+	copy(data, m.data)
+	return &Matrix{rows: m.rows, cols: m.cols, data: data}
+}
+
+// shapeEq panics unless a and b have identical shapes.
+func shapeEq(op string, a, b *Matrix) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d",
+			op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// MatMul returns a×b. It panics if a.Cols() != b.Rows().
+func MatMul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: matmul inner dimension mismatch %d vs %d", a.cols, b.rows))
+	}
+	out := &Matrix{rows: a.rows, cols: b.cols, data: make([]float64, a.rows*b.cols)}
+	// ikj loop order for cache-friendly access to b and out.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulFLOPs returns the floating-point operation count of multiplying an
+// m×k matrix by a k×n matrix (one multiply and one add per inner element).
+func MatMulFLOPs(m, k, n int) float64 {
+	return 2 * float64(m) * float64(k) * float64(n)
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	shapeEq("add", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	shapeEq("sub", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a∘b.
+func Hadamard(a, b *Matrix) *Matrix {
+	shapeEq("hadamard", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale(a *Matrix, s float64) *Matrix {
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	out := &Matrix{rows: a.cols, cols: a.rows, data: make([]float64, len(a.data))}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[j*out.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := a.Clone()
+	for i, v := range out.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Matrix) *Matrix {
+	return Apply(a, func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+}
+
+// SoftmaxRows returns a with a numerically stable softmax applied to each
+// row.
+func SoftmaxRows(a *Matrix) *Matrix {
+	out := a.Clone()
+	for i := 0; i < out.rows; i++ {
+		row := out.Row(i)
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Frob returns the Frobenius norm.
+func (m *Matrix) Frob() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// a and b.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	shapeEq("maxabsdiff", a, b)
+	var m float64
+	for i := range a.data {
+		d := math.Abs(a.data[i] - b.data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ArgmaxRows returns, for each row, the index of its maximum element.
+func ArgmaxRows(a *Matrix) []int {
+	out := make([]int, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

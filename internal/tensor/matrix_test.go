@@ -1,0 +1,241 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	for _, tt := range []struct{ r, c int }{{0, 1}, {1, 0}, {-1, 5}} {
+		if _, err := NewMatrix(tt.r, tt.c); err == nil {
+			t.Errorf("NewMatrix(%d,%d) succeeded, want error", tt.r, tt.c)
+		}
+	}
+	m, err := NewMatrix(3, 4)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Errorf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice(2, 2, []float64{1, 2, 3}); err == nil {
+		t.Error("FromSlice with wrong length succeeded")
+	}
+	if _, err := FromSlice(0, 2, nil); err == nil {
+		t.Error("FromSlice with zero rows succeeded")
+	}
+	m, err := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("FromSlice: %v", err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m, _ := NewMatrix(3, 3)
+	m.Set(2, 1, 7.5)
+	if got := m.At(2, 1); got != 7.5 {
+		t.Errorf("At = %v, want 7.5", got)
+	}
+	row := m.Row(2)
+	if row[1] != 7.5 {
+		t.Errorf("Row(2)[1] = %v, want 7.5", row[1])
+	}
+}
+
+func TestMatMulKnownResult(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want, _ := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Errorf("MatMul = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMatMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(2, 2)
+	MatMul(a, b)
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, _ := Randn(rng, n, n)
+		id, _ := Eye(n)
+		left := MatMul(id, a)
+		right := MatMul(a, id)
+		return MaxAbsDiff(left, a) < 1e-12 && MaxAbsDiff(right, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n, p := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, _ := Randn(r, m, k)
+		b, _ := Randn(r, k, n)
+		c, _ := Randn(r, n, p)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return MaxAbsDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		a, _ := Randn(r, m, n)
+		return MaxAbsDiff(Transpose(Transpose(a)), a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMatMulProperty(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, _ := Randn(r, m, k)
+		b, _ := Randn(r, k, n)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return MaxAbsDiff(left, right) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		a, _ := Randn(r, m, n)
+		b, _ := Randn(r, m, n)
+		return MaxAbsDiff(Sub(Add(a, b), b), a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a, _ := FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	if got := ReLU(a).Data(); got[0] != 0 || got[2] != 2 || got[3] != 0 {
+		t.Errorf("ReLU = %v", got)
+	}
+	if got := Scale(a, 2).Data(); got[2] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	b, _ := FromSlice(1, 4, []float64{2, 2, 2, 2})
+	if got := Hadamard(a, b).Data(); got[3] != -6 {
+		t.Errorf("Hadamard = %v", got)
+	}
+	if got := Apply(a, math.Abs).Data(); got[0] != 1 {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(8), 1+r.Intn(8)
+		a, _ := Uniform(r, m, n, -50, 50)
+		s := SoftmaxRows(a)
+		for i := 0; i < m; i++ {
+			var sum float64
+			for _, v := range s.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	a, _ := FromSlice(1, 3, []float64{1000, 1000, 1000})
+	s := SoftmaxRows(a)
+	for _, v := range s.Data() {
+		if math.IsNaN(v) || math.Abs(v-1.0/3) > 1e-9 {
+			t.Errorf("softmax of large equal values = %v", s.Data())
+			break
+		}
+	}
+}
+
+func TestSumFrobArgmax(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{3, 4, 0, 0})
+	if got := a.Sum(); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+	if got := a.Frob(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Frob = %v, want 5", got)
+	}
+	b, _ := FromSlice(2, 3, []float64{1, 5, 2, 9, 0, 3})
+	got := ArgmaxRows(b)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("ArgmaxRows = %v, want [1 0]", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a, _ := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	if got := MatMulFLOPs(10, 20, 30); got != 12000 {
+		t.Errorf("MatMulFLOPs = %v, want 12000", got)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := Uniform(rng, 10, 10, -2, 3)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	for _, v := range m.Data() {
+		if v < -2 || v >= 3 {
+			t.Fatalf("value %v outside [-2, 3)", v)
+		}
+	}
+}

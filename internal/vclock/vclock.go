@@ -1,0 +1,297 @@
+// Package vclock provides scaled virtual clocks for accelerator simulation.
+//
+// The KaaS accelerator simulators express costs in modeled time (the time
+// scale of the paper's hardware: hundreds of milliseconds of CUDA context
+// creation, seconds of kernel execution). Running experiments at that scale
+// would take hours, so the runtime executes against a Clock that maps
+// modeled durations onto a scaled-down wall clock. A scale of 1000 means
+// one modeled second passes in one wall millisecond.
+//
+// All components of the runtime take a Clock so that tests can use a large
+// scale factor for speed, and so the server can run in real time when
+// deployed as an actual service.
+package vclock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the time source used by the KaaS runtime and the device
+// simulators. Now and Sleep operate in modeled time.
+type Clock interface {
+	// Now returns the current modeled time.
+	Now() time.Time
+
+	// Sleep blocks for the given modeled duration.
+	Sleep(d time.Duration)
+
+	// AfterFunc calls f in its own goroutine after the given modeled
+	// duration. The returned Timer can be used to cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+
+	// Scale returns the number of modeled seconds that pass per wall
+	// second. A real-time clock returns 1.
+	Scale() float64
+}
+
+// Timer is a handle to a pending AfterFunc call.
+type Timer interface {
+	// Stop prevents the timer from firing. It reports whether the call
+	// was stopped before it ran.
+	Stop() bool
+}
+
+// Real returns a Clock backed directly by the wall clock (scale 1).
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+var _ Clock = realClock{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+func (realClock) Scale() float64        { return 1 }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return stdTimer{t: time.AfterFunc(d, f)}
+}
+
+type stdTimer struct{ t *time.Timer }
+
+func (s stdTimer) Stop() bool { return s.t.Stop() }
+
+// Scaled returns a Clock whose modeled time runs scale times faster than
+// the wall clock. Modeled time starts at the wall time of creation so that
+// timestamps remain recognizable. A scale of 1000 turns a modeled second
+// into a wall millisecond.
+func Scaled(scale float64) Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &scaledClock{
+		scale: scale,
+		epoch: time.Now(),
+	}
+}
+
+type scaledClock struct {
+	scale float64
+	epoch time.Time
+}
+
+var _ Clock = (*scaledClock)(nil)
+
+func (c *scaledClock) Now() time.Time {
+	wall := time.Since(c.epoch)
+	return c.epoch.Add(time.Duration(float64(wall) * c.scale))
+}
+
+// spinThreshold is the wall-time window near a deadline within which the
+// scaled clock spins instead of sleeping. time.Sleep routinely overshoots
+// by a millisecond or more (measured up to ~4 ms on loaded single-core
+// hosts); at high scale factors that overshoot would inflate modeled
+// durations by whole seconds, so precision matters more than the brief
+// busy-wait costs.
+const spinThreshold = 2 * time.Millisecond
+
+func (c *scaledClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(c.toWall(d))
+	sleepUntil(deadline)
+}
+
+// sleepUntil sleeps coarsely to near the wall deadline, then spins.
+func sleepUntil(deadline time.Time) {
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > spinThreshold {
+			time.Sleep(remaining - spinThreshold)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+func (c *scaledClock) AfterFunc(d time.Duration, f func()) Timer {
+	t := &spinTimer{
+		deadline: time.Now().Add(c.toWall(d)),
+		f:        f,
+		stop:     make(chan struct{}),
+	}
+	go t.run()
+	return t
+}
+
+// spinTimer is a precision timer for scaled clocks: it sleeps coarsely and
+// spins across the last stretch so the callback fires within microseconds
+// of the wall deadline.
+type spinTimer struct {
+	deadline time.Time
+	f        func()
+	stop     chan struct{}
+	stopped  atomic.Bool
+	fired    atomic.Bool
+}
+
+func (t *spinTimer) run() {
+	for {
+		remaining := time.Until(t.deadline)
+		if remaining <= 0 {
+			break
+		}
+		if remaining > spinThreshold {
+			timer := time.NewTimer(remaining - spinThreshold)
+			select {
+			case <-timer.C:
+			case <-t.stop:
+				timer.Stop()
+				return
+			}
+			continue
+		}
+		select {
+		case <-t.stop:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+	if t.stopped.Load() {
+		return
+	}
+	t.fired.Store(true)
+	t.f()
+}
+
+func (t *spinTimer) Stop() bool {
+	if t.stopped.Swap(true) {
+		return false
+	}
+	close(t.stop)
+	return !t.fired.Load()
+}
+
+func (c *scaledClock) Scale() float64 { return c.scale }
+
+func (c *scaledClock) toWall(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	w := time.Duration(float64(d) / c.scale)
+	if w <= 0 {
+		w = time.Nanosecond
+	}
+	return w
+}
+
+// Manual is a Clock driven entirely by explicit Advance calls, for
+// deterministic tests. Sleep blocks until enough virtual time has been
+// advanced by another goroutine.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	fire     func()        // non-nil for AfterFunc waiters
+	ch       chan struct{} // non-nil for Sleep waiters
+	stopped  bool
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at the given time.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the current manual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Scale reports 0 to indicate that manual time is not tied to wall time.
+func (m *Manual) Scale() float64 { return 0 }
+
+// Sleep blocks until Advance has moved the clock d past the current time.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	w := &manualWaiter{deadline: m.now.Add(d), ch: make(chan struct{})}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	<-w.ch
+}
+
+// AfterFunc schedules f to run when the clock has advanced past d.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{deadline: m.now.Add(d), fire: f}
+	if d <= 0 {
+		go f()
+		w.stopped = true
+		return manualTimer{m: m, w: w}
+	}
+	m.waiters = append(m.waiters, w)
+	return manualTimer{m: m, w: w}
+}
+
+type manualTimer struct {
+	m *Manual
+	w *manualWaiter
+}
+
+func (t manualTimer) Stop() bool {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.w.stopped {
+		return false
+	}
+	t.w.stopped = true
+	return true
+}
+
+// Advance moves the clock forward by d, releasing any sleepers and firing
+// any timers whose deadlines are reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	var due []*manualWaiter
+	remaining := m.waiters[:0]
+	for _, w := range m.waiters {
+		switch {
+		case w.stopped:
+			// drop
+		case !w.deadline.After(m.now):
+			due = append(due, w)
+		default:
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+
+	for _, w := range due {
+		if w.ch != nil {
+			close(w.ch)
+		}
+		if w.fire != nil {
+			w.fire()
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package wire implements the KaaS network protocol: a simple length-
+// prefixed binary framing with a JSON header and an opaque payload body,
+// used between clients, the KaaS server, and task runners.
+//
+// Frame layout:
+//
+//	magic   [4]byte  "KAAS"
+//	version uint8    protocol version (1)
+//	type    uint8    message type
+//	hdrLen  uint32   big endian, JSON header length
+//	header  []byte   JSON-encoded Header
+//	bodyLen uint32   big endian, payload length
+//	body    []byte   raw payload (in-band data)
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version emitted by this package.
+	Version = 1
+	// MaxHeaderLen bounds the JSON header size.
+	MaxHeaderLen = 1 << 20
+	// MaxBodyLen bounds the payload size (256 MiB).
+	MaxBodyLen = 256 << 20
+)
+
+var magic = [4]byte{'K', 'A', 'A', 'S'}
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgRegister asks the server to register a kernel.
+	MsgRegister MsgType = iota + 1
+	// MsgRegistered acknowledges a registration.
+	MsgRegistered
+	// MsgInvoke requests a kernel invocation.
+	MsgInvoke
+	// MsgResult returns a successful invocation result.
+	MsgResult
+	// MsgError reports a failure.
+	MsgError
+	// MsgList requests the registered kernel names.
+	MsgList
+	// MsgListResult returns the registered kernel names.
+	MsgListResult
+	// MsgStats requests server statistics.
+	MsgStats
+	// MsgStatsResult returns server statistics.
+	MsgStatsResult
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRegister:
+		return "register"
+	case MsgRegistered:
+		return "registered"
+	case MsgInvoke:
+		return "invoke"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	case MsgList:
+		return "list"
+	case MsgListResult:
+		return "list-result"
+	case MsgStats:
+		return "stats"
+	case MsgStatsResult:
+		return "stats-result"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Errors returned by frame decoding.
+var (
+	// ErrBadMagic indicates the stream is not speaking the KaaS protocol.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion indicates an unsupported protocol version.
+	ErrBadVersion = errors.New("wire: unsupported version")
+	// ErrTooLarge indicates a frame section exceeds its limit.
+	ErrTooLarge = errors.New("wire: frame too large")
+)
+
+// Header carries the JSON-encoded control fields of a message.
+type Header struct {
+	// Kernel is the kernel name for register/invoke.
+	Kernel string `json:"kernel,omitempty"`
+	// Kind is the device kind name for register.
+	Kind string `json:"kind,omitempty"`
+	// Params are the invocation parameters.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Values are the scalar results of an invocation.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Error is the failure description on MsgError.
+	Error string `json:"error,omitempty"`
+	// ShmKey names a shared-memory region holding the input payload
+	// (out-of-band transfer). Empty means the payload is in the body.
+	ShmKey string `json:"shmKey,omitempty"`
+	// ResultShmKey names the region where the server stored the output
+	// payload when the client requested out-of-band results.
+	ResultShmKey string `json:"resultShmKey,omitempty"`
+	// WantShmResult asks the server to return payloads out-of-band.
+	WantShmResult bool `json:"wantShmResult,omitempty"`
+	// Names lists kernel names in MsgListResult.
+	Names []string `json:"names,omitempty"`
+	// Stats is an opaque JSON stats document in MsgStatsResult.
+	Stats json.RawMessage `json:"stats,omitempty"`
+	// ColdStart reports whether the invocation started a new runner.
+	ColdStart bool `json:"coldStart,omitempty"`
+	// DurationNanos is the server-side modeled invocation time.
+	DurationNanos int64 `json:"durationNanos,omitempty"`
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type   MsgType
+	Header Header
+	Body   []byte
+}
+
+// Write encodes and writes a message to w.
+func Write(w io.Writer, msg *Message) error {
+	hdr, err := json.Marshal(&msg.Header)
+	if err != nil {
+		return fmt.Errorf("wire: encode header: %w", err)
+	}
+	if len(hdr) > MaxHeaderLen {
+		return fmt.Errorf("%w: header %d bytes", ErrTooLarge, len(hdr))
+	}
+	if len(msg.Body) > MaxBodyLen {
+		return fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(msg.Body))
+	}
+	buf := make([]byte, 0, 4+1+1+4+len(hdr)+4+len(msg.Body))
+	buf = append(buf, magic[:]...)
+	buf = append(buf, Version, byte(msg.Type))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg.Body)))
+	buf = append(buf, msg.Body...)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// Read decodes one message from r.
+func Read(r io.Reader) (*Message, error) {
+	var pre [10]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read preamble: %w", err)
+	}
+	if [4]byte(pre[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if pre[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, pre[4])
+	}
+	msg := &Message{Type: MsgType(pre[5])}
+	hdrLen := binary.BigEndian.Uint32(pre[6:10])
+	if hdrLen > MaxHeaderLen {
+		return nil, fmt.Errorf("%w: header %d bytes", ErrTooLarge, hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if err := json.Unmarshal(hdr, &msg.Header); err != nil {
+		return nil, fmt.Errorf("wire: decode header: %w", err)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("wire: read body length: %w", err)
+	}
+	bodyLen := binary.BigEndian.Uint32(lenBuf[:])
+	if bodyLen > MaxBodyLen {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+	}
+	if bodyLen > 0 {
+		msg.Body = make([]byte, bodyLen)
+		if _, err := io.ReadFull(r, msg.Body); err != nil {
+			return nil, fmt.Errorf("wire: read body: %w", err)
+		}
+	}
+	return msg, nil
+}
+
+// FrameSize returns the on-wire size of a message without writing it, used
+// by the network shaper to model transfer time.
+func FrameSize(msg *Message) (int64, error) {
+	hdr, err := json.Marshal(&msg.Header)
+	if err != nil {
+		return 0, fmt.Errorf("wire: encode header: %w", err)
+	}
+	return int64(4 + 1 + 1 + 4 + len(hdr) + 4 + len(msg.Body)), nil
+}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	msg := &Message{
+		Type: MsgInvoke,
+		Header: Header{
+			Kernel: "matmul",
+			Params: map[string]float64{"n": 500, "seed": 1},
+		},
+		Body: []byte("payload-bytes"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Type != MsgInvoke {
+		t.Errorf("Type = %v, want MsgInvoke", got.Type)
+	}
+	if got.Header.Kernel != "matmul" || got.Header.Params["n"] != 500 {
+		t.Errorf("Header = %+v", got.Header)
+	}
+	if !bytes.Equal(got.Body, msg.Body) {
+		t.Errorf("Body = %q", got.Body)
+	}
+}
+
+func TestRoundTripEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgList}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Type != MsgList || len(got.Body) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kernel string, n float64, body []byte) bool {
+		msg := &Message{
+			Type:   MsgResult,
+			Header: Header{Kernel: kernel, Values: map[string]float64{"n": n}},
+			Body:   body,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Header.Kernel == kernel &&
+			got.Header.Values["n"] == n &&
+			bytes.Equal(got.Body, body)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	data := []byte("NOPE\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00")
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgList}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	frame := buf.Bytes()
+	frame[4] = 99
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadRejectsOversizeHeader(t *testing.T) {
+	frame := append([]byte{}, 'K', 'A', 'A', 'S', Version, byte(MsgList))
+	frame = append(frame, 0xFF, 0xFF, 0xFF, 0xFF) // huge header length
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadEOFOnEmptyStream(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgResult, Body: []byte("1234567890")}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-5]
+	if _, err := Read(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated frame succeeded")
+	}
+}
+
+func TestWriteRejectsOversizeBody(t *testing.T) {
+	msg := &Message{Type: MsgResult, Body: make([]byte, MaxBodyLen+1)}
+	if err := Write(io.Discard, msg); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFrameSizeMatchesWrite(t *testing.T) {
+	msg := &Message{
+		Type:   MsgInvoke,
+		Header: Header{Kernel: "ga", Params: map[string]float64{"n": 32}},
+		Body:   make([]byte, 1000),
+	}
+	want, err := FrameSize(msg)
+	if err != nil {
+		t.Fatalf("FrameSize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if int64(buf.Len()) != want {
+		t.Errorf("FrameSize = %d, actual frame = %d", want, buf.Len())
+	}
+}
+
+func TestMultipleMessagesOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := Write(&buf, &Message{Type: MsgStats}); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+	}
+	if _, err := Read(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("after stream end err = %v, want EOF", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, tt := range []struct {
+		mt   MsgType
+		want string
+	}{
+		{MsgRegister, "register"}, {MsgRegistered, "registered"},
+		{MsgInvoke, "invoke"}, {MsgResult, "result"}, {MsgError, "error"},
+		{MsgList, "list"}, {MsgListResult, "list-result"},
+		{MsgStats, "stats"}, {MsgStatsResult, "stats-result"},
+		{MsgType(200), "msgtype(200)"},
+	} {
+		if got := tt.mt.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package workload generates the client load patterns of the evaluation:
+// closed-loop clients performing back-to-back invocations, fixed-count
+// parallel batches, and the ramping client population of the autoscaling
+// experiment (§5.5).
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+// Task performs one unit of client work (one kernel invocation end to
+// end) and returns its completion time in modeled time.
+type Task func(ctx context.Context, client int) (time.Duration, error)
+
+// RunParallel launches n clients that each perform one task concurrently
+// and returns all completion times. The first error aborts the run.
+func RunParallel(ctx context.Context, n int, task Task) ([]time.Duration, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: invalid client count %d", n)
+	}
+	durations := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			durations[i], errs[i] = task(ctx, i)
+		}()
+	}
+	wg.Wait()
+	return durations, errors.Join(errs...)
+}
+
+// ClosedLoop runs n clients that each perform iterations tasks back to
+// back, returning every completion time (n × iterations entries).
+func ClosedLoop(ctx context.Context, n, iterations int, task Task) ([]time.Duration, error) {
+	if n <= 0 || iterations <= 0 {
+		return nil, fmt.Errorf("workload: invalid shape clients=%d iterations=%d", n, iterations)
+	}
+	all := make([][]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iterations; j++ {
+				d, err := task(ctx, i)
+				if err != nil {
+					errs[i] = fmt.Errorf("client %d iteration %d: %w", i, j, err)
+					return
+				}
+				all[i] = append(all[i], d)
+			}
+		}()
+	}
+	wg.Wait()
+	var flat []time.Duration
+	for _, ds := range all {
+		flat = append(flat, ds...)
+	}
+	return flat, errors.Join(errs...)
+}
+
+// Completion is one finished task in a ramp run.
+type Completion struct {
+	// Client is the issuing client index.
+	Client int
+	// Start and End are modeled times relative to the ramp start.
+	Start, End time.Duration
+	// Duration is the task completion time.
+	Duration time.Duration
+}
+
+// RampConfig describes a growing closed-loop client population.
+type RampConfig struct {
+	// Clock is the time source (required).
+	Clock vclock.Clock
+	// Interval is how often a new client joins.
+	Interval time.Duration
+	// MaxClients bounds the population.
+	MaxClients int
+	// Total is the experiment duration; at Total all clients stop.
+	Total time.Duration
+	// ClientThinkTime is slept between a client's tasks (response
+	// handling, logging — the turnaround the paper observes).
+	ClientThinkTime time.Duration
+}
+
+// Validate reports configuration problems.
+func (c *RampConfig) Validate() error {
+	if c.Clock == nil {
+		return fmt.Errorf("workload: ramp needs a clock")
+	}
+	if c.Interval <= 0 || c.MaxClients <= 0 || c.Total <= 0 {
+		return fmt.Errorf("workload: invalid ramp config %+v", c)
+	}
+	return nil
+}
+
+// Ramp starts one closed-loop client every Interval up to MaxClients and
+// runs until Total has elapsed in modeled time. It returns every task
+// completion. Task errors stop the failing client but not the run.
+func Ramp(ctx context.Context, cfg RampConfig, task Task) ([]Completion, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := cfg.Clock.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu          sync.Mutex
+		completions []Completion
+		wg          sync.WaitGroup
+	)
+
+	runClient := func(id int) {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			tStart := cfg.Clock.Now()
+			if tStart.Sub(start) >= cfg.Total {
+				return
+			}
+			d, err := task(ctx, id)
+			if err != nil {
+				return // context cancelled or client failure
+			}
+			tEnd := cfg.Clock.Now()
+			mu.Lock()
+			completions = append(completions, Completion{
+				Client:   id,
+				Start:    tStart.Sub(start),
+				End:      tEnd.Sub(start),
+				Duration: d,
+			})
+			mu.Unlock()
+			if cfg.ClientThinkTime > 0 {
+				cfg.Clock.Sleep(cfg.ClientThinkTime)
+			}
+		}
+	}
+
+	// Launch clients on the ramp schedule.
+	for i := 0; i < cfg.MaxClients; i++ {
+		elapsed := cfg.Clock.Now().Sub(start)
+		if elapsed >= cfg.Total {
+			break
+		}
+		wg.Add(1)
+		go runClient(i)
+		if i < cfg.MaxClients-1 {
+			cfg.Clock.Sleep(cfg.Interval)
+		}
+	}
+	// Wait out the remainder of the experiment, then stop everyone.
+	if remaining := cfg.Total - cfg.Clock.Now().Sub(start); remaining > 0 {
+		cfg.Clock.Sleep(remaining)
+	}
+	cancel()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Completion, len(completions))
+	copy(out, completions)
+	return out, nil
+}

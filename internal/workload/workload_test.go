@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+func TestRunParallel(t *testing.T) {
+	var count atomic.Int32
+	durations, err := RunParallel(context.Background(), 5,
+		func(_ context.Context, client int) (time.Duration, error) {
+			count.Add(1)
+			return time.Duration(client) * time.Second, nil
+		})
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if count.Load() != 5 || len(durations) != 5 {
+		t.Errorf("count=%d durations=%d, want 5/5", count.Load(), len(durations))
+	}
+	if durations[3] != 3*time.Second {
+		t.Errorf("durations[3] = %v", durations[3])
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	if _, err := RunParallel(context.Background(), 0, nil); err == nil {
+		t.Error("zero clients succeeded")
+	}
+}
+
+func TestRunParallelPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunParallel(context.Background(), 3,
+		func(_ context.Context, client int) (time.Duration, error) {
+			if client == 1 {
+				return 0, boom
+			}
+			return time.Second, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	var count atomic.Int32
+	durations, err := ClosedLoop(context.Background(), 3, 4,
+		func(context.Context, int) (time.Duration, error) {
+			count.Add(1)
+			return time.Second, nil
+		})
+	if err != nil {
+		t.Fatalf("ClosedLoop: %v", err)
+	}
+	if count.Load() != 12 || len(durations) != 12 {
+		t.Errorf("count=%d durations=%d, want 12/12", count.Load(), len(durations))
+	}
+	if _, err := ClosedLoop(context.Background(), 0, 1, nil); err == nil {
+		t.Error("zero clients succeeded")
+	}
+}
+
+func TestClosedLoopStopsFailingClient(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	_, err := ClosedLoop(context.Background(), 1, 10,
+		func(context.Context, int) (time.Duration, error) {
+			if calls.Add(1) == 3 {
+				return 0, boom
+			}
+			return time.Second, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (stop at failure)", calls.Load())
+	}
+}
+
+func TestRampValidation(t *testing.T) {
+	if _, err := Ramp(context.Background(), RampConfig{}, nil); err == nil {
+		t.Error("empty config succeeded")
+	}
+	cfg := RampConfig{Clock: vclock.Scaled(1000), Interval: -1, MaxClients: 1, Total: time.Second}
+	if _, err := Ramp(context.Background(), cfg, nil); err == nil {
+		t.Error("negative interval succeeded")
+	}
+}
+
+func TestRampGrowsPopulation(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	cfg := RampConfig{
+		Clock:      clock,
+		Interval:   2 * time.Second,
+		MaxClients: 5,
+		Total:      12 * time.Second,
+	}
+	var maxClient atomic.Int32
+	completions, err := Ramp(context.Background(), cfg,
+		func(_ context.Context, client int) (time.Duration, error) {
+			if int32(client) > maxClient.Load() {
+				maxClient.Store(int32(client))
+			}
+			clock.Sleep(500 * time.Millisecond) // simulated task
+			return 500 * time.Millisecond, nil
+		})
+	if err != nil {
+		t.Fatalf("Ramp: %v", err)
+	}
+	if len(completions) == 0 {
+		t.Fatal("no completions recorded")
+	}
+	if maxClient.Load() != 4 {
+		t.Errorf("max client index = %d, want 4 (all five clients ran)", maxClient.Load())
+	}
+	// Early completions come from client 0 only; late ones from many.
+	for _, c := range completions {
+		if c.End < c.Start {
+			t.Fatalf("completion ends before start: %+v", c)
+		}
+		if c.Start > cfg.Total {
+			t.Fatalf("task started after experiment end: %+v", c)
+		}
+	}
+}
+
+func TestRampStopsAtTotal(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	cfg := RampConfig{
+		Clock:           clock,
+		Interval:        time.Second,
+		MaxClients:      2,
+		Total:           5 * time.Second,
+		ClientThinkTime: 100 * time.Millisecond,
+	}
+	start := clock.Now()
+	_, err := Ramp(context.Background(), cfg,
+		func(context.Context, int) (time.Duration, error) {
+			clock.Sleep(300 * time.Millisecond)
+			return 300 * time.Millisecond, nil
+		})
+	if err != nil {
+		t.Fatalf("Ramp: %v", err)
+	}
+	elapsed := clock.Now().Sub(start)
+	if elapsed < 5*time.Second {
+		t.Errorf("ramp ended at %v, want >= Total", elapsed)
+	}
+	if elapsed > 8*time.Second {
+		t.Errorf("ramp overran to %v, want ~Total", elapsed)
+	}
+}

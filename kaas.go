@@ -1,0 +1,331 @@
+// Package kaas is a serverless runtime for hardware accelerator kernels —
+// a Go implementation of the Kernel-as-a-Service programming model
+// (Pfandzelter et al., Middleware '23).
+//
+// Applications register kernels with a Platform that manages a pool of
+// simulated accelerators (GPU, FPGA, TPU, QPU and host CPU), then invoke
+// them in a request/response pattern, in process or over TCP. The
+// platform keeps kernel runtimes warm across invocations, places new task
+// runners across devices, and autoscales runners with in-flight demand —
+// so fine-grained tasks skip the initialization overhead that normally
+// erases the benefit of acceleration.
+//
+// A minimal session:
+//
+//	p, err := kaas.New(kaas.WithAccelerators(kaas.TeslaP100))
+//	// handle err
+//	defer p.Close()
+//	err = p.RegisterByName("matmul")
+//	resp, report, err := p.Invoke(ctx, "matmul", kaas.Params{"n": 500}, nil)
+//
+// Device time is modeled: accelerators are discrete-event simulators with
+// cost profiles calibrated to the paper's testbeds, running against a
+// scaled virtual clock (see WithTimeScale). Kernel results are computed
+// for real in Go.
+package kaas
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/client"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/netshape"
+	"kaas/internal/shm"
+	"kaas/internal/vclock"
+)
+
+// Re-exported core types. These aliases are the public names of the
+// platform's building blocks.
+type (
+	// DeviceProfile is an accelerator cost model.
+	DeviceProfile = accel.Profile
+	// DeviceKind identifies an accelerator architecture.
+	DeviceKind = accel.Kind
+	// Kernel is a registrable accelerator kernel.
+	Kernel = kernels.Kernel
+	// Params are named numeric invocation parameters.
+	Params = kernels.Params
+	// Request is a kernel invocation payload.
+	Request = kernels.Request
+	// Response is a kernel result.
+	Response = kernels.Response
+	// Cost is a kernel's modeled device cost.
+	Cost = kernels.Cost
+	// Report describes how an invocation was served.
+	Report = core.Report
+	// Stats is a server statistics snapshot.
+	Stats = core.Stats
+	// Client is a TCP client for a remote platform.
+	Client = client.Client
+	// ClientResult is a completed client invocation.
+	ClientResult = client.Result
+)
+
+// Device kinds.
+const (
+	CPU  = accel.CPU
+	GPU  = accel.GPU
+	FPGA = accel.FPGA
+	TPU  = accel.TPU
+	QPU  = accel.QPU
+)
+
+// Placement policies for new task runners.
+const (
+	PlaceLeastLoaded = core.PlaceLeastLoaded
+	PlaceRoundRobin  = core.PlaceRoundRobin
+	PlaceFirstFit    = core.PlaceFirstFit
+)
+
+// Predefined device profiles calibrated to the paper's testbeds.
+var (
+	TeslaP100        = accel.TeslaP100
+	TeslaV100        = accel.TeslaV100
+	NvidiaA100       = accel.NvidiaA100
+	AlveoU250        = accel.AlveoU250
+	TPUv3Chip        = accel.TPUv3Chip
+	AerSimulatorHost = accel.AerSimulatorHost
+	FalconR4T        = accel.FalconR4T
+	FalconR511H      = accel.FalconR511H
+	XeonE52698       = accel.XeonE52698
+	EPYC7513         = accel.EPYC7513
+)
+
+// KernelSuite returns one instance of every built-in kernel.
+func KernelSuite() []Kernel { return kernels.Suite() }
+
+// EncodeFloat64s packs a float64 slice into the kernel payload format
+// (little-endian), for in-band and out-of-band data transfer.
+func EncodeFloat64s(vals []float64) []byte { return kernels.Float64sToBytes(vals) }
+
+// DecodeFloat64s unpacks a kernel payload into float64s.
+func DecodeFloat64s(data []byte) ([]float64, error) { return kernels.BytesToFloat64s(data) }
+
+// KernelByName returns a built-in kernel by name.
+func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
+
+// Fuse combines two same-kind kernels into one, eliminating the
+// intermediate host round trip between them (the paper's kernel-fusion
+// optimization, §6). Register the result like any other kernel.
+func Fuse(name string, first, second Kernel) (Kernel, error) {
+	return kernels.Fuse(name, first, second)
+}
+
+// Retarget returns a kernel identical to k but targeting a different
+// device kind (e.g. a CPU fallback of a GPU kernel).
+func Retarget(k Kernel, kind DeviceKind) Kernel { return kernels.Retarget(k, kind) }
+
+// config collects Platform options.
+type config struct {
+	timeScale     float64
+	hostName      string
+	cpu           DeviceProfile
+	accels        []DeviceProfile
+	maxInFlight   int
+	maxPerDevice  int
+	placement     core.PlacementPolicy
+	idleTimeout   time.Duration
+	listenAddr    string
+	disableResult bool
+	logger        *slog.Logger
+}
+
+// Option configures a Platform.
+type Option func(*config)
+
+// WithTimeScale sets how many modeled seconds pass per wall second
+// (default 1000). Use 1 to run device costs in real time.
+func WithTimeScale(scale float64) Option {
+	return func(c *config) { c.timeScale = scale }
+}
+
+// WithHostName names the simulated host (default "kaas").
+func WithHostName(name string) Option {
+	return func(c *config) { c.hostName = name }
+}
+
+// WithCPU sets the host CPU profile (default XeonE52698).
+func WithCPU(p DeviceProfile) Option {
+	return func(c *config) { c.cpu = p }
+}
+
+// WithAccelerators attaches accelerator devices to the host.
+func WithAccelerators(profiles ...DeviceProfile) Option {
+	return func(c *config) { c.accels = append(c.accels, profiles...) }
+}
+
+// WithMaxInFlight sets the per-runner in-flight threshold that triggers
+// scale-out (default 4).
+func WithMaxInFlight(n int) Option {
+	return func(c *config) { c.maxInFlight = n }
+}
+
+// WithMaxRunnersPerDevice caps runners per device (default 1).
+func WithMaxRunnersPerDevice(n int) Option {
+	return func(c *config) { c.maxPerDevice = n }
+}
+
+// WithPlacement selects the runner placement policy.
+func WithPlacement(p core.PlacementPolicy) Option {
+	return func(c *config) { c.placement = p }
+}
+
+// WithIdleTimeout reaps task runners idle for longer than d.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(c *config) { c.idleTimeout = d }
+}
+
+// WithListenAddr serves the platform over TCP on the given address
+// (e.g. "127.0.0.1:7070" or ":0" for an ephemeral port).
+func WithListenAddr(addr string) Option {
+	return func(c *config) { c.listenAddr = addr }
+}
+
+// WithoutResultComputation disables real kernel computation; invocations
+// charge modeled device time only. Used by the benchmark harness.
+func WithoutResultComputation() Option {
+	return func(c *config) { c.disableResult = true }
+}
+
+// WithLogger routes the platform's structured lifecycle events
+// (registrations, cold starts, evictions, failovers) to the given logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
+// Platform is a KaaS deployment: a simulated accelerator host, the KaaS
+// server on top of it, and optionally a TCP endpoint.
+type Platform struct {
+	clock   vclock.Clock
+	host    *accel.Host
+	server  *core.Server
+	tcp     *core.TCPServer
+	regions *shm.Registry
+}
+
+// New creates a platform. With no options it models a host with a single
+// Tesla P100 GPU.
+func New(opts ...Option) (*Platform, error) {
+	cfg := config{
+		timeScale: 1000,
+		hostName:  "kaas",
+		cpu:       XeonE52698,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.accels) == 0 {
+		cfg.accels = []DeviceProfile{TeslaP100}
+	}
+	clock := vclock.Scaled(cfg.timeScale)
+	host, err := accel.NewHost(clock, cfg.hostName, cfg.cpu, cfg.accels...)
+	if err != nil {
+		return nil, fmt.Errorf("kaas: %w", err)
+	}
+	server, err := core.New(core.Config{
+		Clock:                clock,
+		Host:                 host,
+		MaxInFlightPerRunner: cfg.maxInFlight,
+		MaxRunnersPerDevice:  cfg.maxPerDevice,
+		Placement:            cfg.placement,
+		RunnerIdleTimeout:    cfg.idleTimeout,
+		DisableCompute:       cfg.disableResult,
+		Logger:               cfg.logger,
+	})
+	if err != nil {
+		host.Close()
+		return nil, fmt.Errorf("kaas: %w", err)
+	}
+	p := &Platform{
+		clock:   clock,
+		host:    host,
+		server:  server,
+		regions: shm.NewRegistry(4 << 30),
+	}
+	if cfg.listenAddr != "" {
+		tcp, err := core.ServeTCP(server, cfg.listenAddr, p.regions)
+		if err != nil {
+			server.Close()
+			host.Close()
+			return nil, fmt.Errorf("kaas: %w", err)
+		}
+		p.tcp = tcp
+	}
+	return p, nil
+}
+
+// Register deploys a kernel implementation on the platform.
+func (p *Platform) Register(k Kernel) error { return p.server.Register(k) }
+
+// RegisterByName deploys a built-in kernel from the library.
+func (p *Platform) RegisterByName(name string) error {
+	k, err := kernels.ByName(name)
+	if err != nil {
+		return err
+	}
+	return p.server.Register(k)
+}
+
+// Invoke calls a registered kernel in process.
+func (p *Platform) Invoke(ctx context.Context, name string, params Params, data []byte) (*Response, *Report, error) {
+	return p.server.Invoke(ctx, name, &kernels.Request{Params: params, Data: data})
+}
+
+// Kernels lists the registered kernel names.
+func (p *Platform) Kernels() []string { return p.server.Kernels() }
+
+// Stats returns the server's statistics snapshot.
+func (p *Platform) Stats() Stats { return p.server.Stats() }
+
+// Addr returns the TCP listen address, or "" when not serving.
+func (p *Platform) Addr() string {
+	if p.tcp == nil {
+		return ""
+	}
+	return p.tcp.Addr()
+}
+
+// NewClient returns a TCP client for this platform's endpoint, sharing
+// its shared-memory registry so out-of-band transfer works.
+func (p *Platform) NewClient() (*Client, error) {
+	if p.tcp == nil {
+		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
+	}
+	return client.Dial(p.tcp.Addr(), client.WithShm(p.regions)), nil
+}
+
+// NewShapedClient returns a TCP client whose traffic is shaped as a
+// 1 Gbps / 0.15 ms RTT link, modeling the paper's remote-invocation
+// testbed.
+func (p *Platform) NewShapedClient() (*Client, error) {
+	if p.tcp == nil {
+		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
+	}
+	link := netshape.GigabitEthernet(p.clock)
+	return client.Dial(p.tcp.Addr(), client.WithLink(link)), nil
+}
+
+// NewRDMAClient returns a TCP client shaped as an RDMA fabric
+// (100 Gbps, microsecond round trips) — the co-designed transport the
+// paper's §6 proposes for lower invocation overhead.
+func (p *Platform) NewRDMAClient() (*Client, error) {
+	if p.tcp == nil {
+		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
+	}
+	link := netshape.RDMA(p.clock)
+	return client.Dial(p.tcp.Addr(), client.WithLink(link)), nil
+}
+
+// Close shuts the platform down.
+func (p *Platform) Close() {
+	if p.tcp != nil {
+		p.tcp.Close()
+	}
+	p.server.Close()
+	p.host.Close()
+}

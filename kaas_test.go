@@ -1,0 +1,143 @@
+package kaas
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPlatformDefaults(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	if p.Addr() != "" {
+		t.Errorf("Addr = %q, want empty without TCP", p.Addr())
+	}
+	if _, err := p.NewClient(); err == nil {
+		t.Error("NewClient without TCP succeeded")
+	}
+}
+
+func TestPlatformRegisterInvoke(t *testing.T) {
+	p, err := New(WithAccelerators(TeslaP100, AlveoU250))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	if err := p.RegisterByName("matmul"); err != nil {
+		t.Fatalf("RegisterByName: %v", err)
+	}
+	if err := p.RegisterByName("histogram"); err != nil {
+		t.Fatalf("RegisterByName histogram: %v", err)
+	}
+	if err := p.RegisterByName("bogus"); err == nil {
+		t.Error("RegisterByName(bogus) succeeded")
+	}
+
+	resp, rep, err := p.Invoke(context.Background(), "matmul", Params{"n": 64}, nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Values["checksum"] <= 0 {
+		t.Errorf("checksum = %v", resp.Values["checksum"])
+	}
+	if !rep.Cold {
+		t.Error("first invocation not cold")
+	}
+	if got := len(p.Kernels()); got != 2 {
+		t.Errorf("Kernels = %d, want 2", got)
+	}
+	if st := p.Stats(); st.ColdStarts != 1 {
+		t.Errorf("ColdStarts = %d, want 1", st.ColdStarts)
+	}
+}
+
+func TestPlatformTCPEndToEnd(t *testing.T) {
+	p, err := New(WithListenAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	if p.Addr() == "" {
+		t.Fatal("no TCP address")
+	}
+	c, err := p.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	if err := c.Register("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	res, err := c.Invoke("mci", Params{"n": 10000}, nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if res.Values["estimate"] <= 0 {
+		t.Errorf("estimate = %v", res.Values["estimate"])
+	}
+}
+
+func TestPlatformShapedClient(t *testing.T) {
+	p, err := New(WithListenAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	c, err := p.NewShapedClient()
+	if err != nil {
+		t.Fatalf("NewShapedClient: %v", err)
+	}
+	defer c.Close()
+	if err := c.Register("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := c.Invoke("mci", Params{"n": 1000}, nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+}
+
+func TestPlatformOptions(t *testing.T) {
+	p, err := New(
+		WithTimeScale(2000),
+		WithHostName("node7"),
+		WithCPU(EPYC7513),
+		WithAccelerators(TeslaV100, TeslaV100),
+		WithMaxInFlight(2),
+		WithMaxRunnersPerDevice(2),
+		WithPlacement(PlaceRoundRobin),
+		WithIdleTimeout(10*time.Second),
+		WithoutResultComputation(),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	if err := p.RegisterByName("resnet"); err != nil {
+		t.Fatalf("RegisterByName: %v", err)
+	}
+	resp, _, err := p.Invoke(context.Background(), "resnet", Params{"batch": 8}, nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if _, ok := resp.Values["first_class"]; ok {
+		t.Error("results computed despite WithoutResultComputation")
+	}
+}
+
+func TestKernelLibraryAccessors(t *testing.T) {
+	suite := KernelSuite()
+	if len(suite) < 12 {
+		t.Errorf("KernelSuite = %d kernels, want >= 12", len(suite))
+	}
+	k, err := KernelByName("vqe")
+	if err != nil || k.Name() != "vqe" {
+		t.Errorf("KernelByName(vqe) = %v, %v", k, err)
+	}
+	if _, err := KernelByName("nothing"); err == nil {
+		t.Error("KernelByName(nothing) succeeded")
+	}
+}

@@ -1,0 +1,103 @@
+package kaas
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// WorkflowStage is one step of a kernel workflow.
+type WorkflowStage struct {
+	// Kernel names a registered kernel.
+	Kernel string
+	// Params are the stage's invocation parameters.
+	Params Params
+	// PassData feeds the previous stage's output payload into this
+	// stage's request, so heterogeneous kernels compose into pipelines
+	// (e.g. CPU preprocess → FPGA bitmap → GPU inference).
+	PassData bool
+}
+
+// Workflow is an ordered composition of kernels — the disaggregated
+// application model of the paper's §3.1/§3.4: each stage is a portable,
+// device-agnostic kernel, and the platform routes each invocation to
+// whatever hardware serves that kernel.
+type Workflow struct {
+	platform *Platform
+	stages   []WorkflowStage
+}
+
+// NewWorkflow builds a workflow over the platform's registered kernels.
+// Every referenced kernel must already be registered.
+func (p *Platform) NewWorkflow(stages ...WorkflowStage) (*Workflow, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("kaas: workflow needs at least one stage")
+	}
+	registered := make(map[string]bool)
+	for _, name := range p.Kernels() {
+		registered[name] = true
+	}
+	for i, st := range stages {
+		if st.Kernel == "" {
+			return nil, fmt.Errorf("kaas: workflow stage %d has no kernel", i)
+		}
+		if !registered[st.Kernel] {
+			return nil, fmt.Errorf("kaas: workflow stage %d: kernel %q not registered", i, st.Kernel)
+		}
+	}
+	copied := make([]WorkflowStage, len(stages))
+	copy(copied, stages)
+	return &Workflow{platform: p, stages: copied}, nil
+}
+
+// StageResult is the outcome of one workflow stage.
+type StageResult struct {
+	// Kernel is the stage's kernel name.
+	Kernel string
+	// Response is the kernel's output.
+	Response *Response
+	// Report describes how the invocation was served.
+	Report *Report
+}
+
+// WorkflowResult is a completed workflow run.
+type WorkflowResult struct {
+	// Stages holds per-stage outcomes, in order.
+	Stages []StageResult
+	// Total is the end-to-end modeled completion time.
+	Total time.Duration
+}
+
+// Output returns the final stage's response.
+func (r *WorkflowResult) Output() *Response {
+	if len(r.Stages) == 0 {
+		return nil
+	}
+	return r.Stages[len(r.Stages)-1].Response
+}
+
+// Run executes the stages in order, passing payloads between stages where
+// requested, and returns all stage results. data seeds the first stage's
+// payload (may be nil).
+func (w *Workflow) Run(ctx context.Context, data []byte) (*WorkflowResult, error) {
+	result := &WorkflowResult{Stages: make([]StageResult, 0, len(w.stages))}
+	payload := data
+	for i, st := range w.stages {
+		var in []byte
+		if i == 0 || st.PassData {
+			in = payload
+		}
+		resp, report, err := w.platform.Invoke(ctx, st.Kernel, st.Params, in)
+		if err != nil {
+			return nil, fmt.Errorf("kaas: workflow stage %d (%s): %w", i, st.Kernel, err)
+		}
+		result.Stages = append(result.Stages, StageResult{
+			Kernel:   st.Kernel,
+			Response: resp,
+			Report:   report,
+		})
+		result.Total += report.Total()
+		payload = resp.Data
+	}
+	return result, nil
+}
