@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz faultcheck ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing smoke run over the wire-protocol decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/wire
+
+# End-to-end invocation-path robustness check through a fault-injecting
+# listener (see internal/faults).
+faultcheck:
+	$(GO) run ./cmd/kaasbench -faultcheck
+
+ci: vet build test race fuzz
+
+clean:
+	$(GO) clean ./...

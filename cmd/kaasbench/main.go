@@ -7,14 +7,26 @@
 //	kaasbench -fig all           # every figure, in paper order
 //	kaasbench -fig 14 -quick     # reduced sweep
 //	kaasbench -list              # available figure IDs
+//	kaasbench -faultcheck        # invocation-path robustness smoke run
+//
+// -faultcheck stands apart from the figures: it serves a platform
+// through a fault-injecting listener (internal/faults) that breaks every
+// other connection — truncated frames, resets, corrupted bytes, slow
+// writes — and reports how many invocations a retrying client completed
+// and what the retries cost.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"net"
 	"os"
+	"time"
 
+	"kaas"
 	"kaas/internal/experiments"
+	"kaas/internal/faults"
 )
 
 func main() {
@@ -31,8 +43,14 @@ func run(args []string) error {
 	samples := fs.Int("samples", 3, "samples per measurement (the paper uses 10)")
 	scale := fs.Float64("scale", 2000, "modeled seconds per wall second")
 	list := fs.Bool("list", false, "list available figures")
+	faultcheck := fs.Bool("faultcheck", false, "run the invocation-path fault-injection smoke benchmark")
+	faultN := fs.Int("fault-invocations", 40, "invocations for -faultcheck")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faultcheck {
+		return runFaultCheck(os.Stdout, *faultN)
 	}
 
 	if *list {
@@ -64,5 +82,79 @@ func run(args []string) error {
 		return fmt.Errorf("figure %s: %w", *fig, err)
 	}
 	fmt.Println(table.String())
+	return nil
+}
+
+// runFaultCheck serves a platform through a fault-injecting listener and
+// measures how a retrying client fares: every other connection gets one
+// of the fault modes, so roughly half of all fresh connections fail and
+// must be retried. It prints the completion count and retry cost.
+func runFaultCheck(w *os.File, invocations int) error {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// Every connection is eventually fatal: frames truncate, the stream
+	// corrupts, or writes drop after a budget of bytes — so the client
+	// must keep replacing connections for the whole run. SlowWrite conns
+	// survive on their own and are killed by the periodic CloseRandom
+	// below, exercising the stale-pooled-connection path.
+	script := faults.Script(
+		faults.Plan{Mode: faults.CloseMidFrame},
+		faults.Plan{Mode: faults.DropAfterN, N: 800},
+		// Corrupt a magic byte: the client detects the desync on the
+		// next read instead of waiting out its deadline on a frame
+		// whose corrupted length field promises bytes that never come.
+		faults.Plan{Mode: faults.CorruptFrame, N: 2},
+		faults.Plan{Mode: faults.SlowWrite, Chunk: 64, Delay: 100 * time.Microsecond},
+	)
+	ln := faults.Wrap(raw, script)
+
+	p, err := kaas.New(
+		kaas.WithAccelerators(kaas.TeslaP100),
+		kaas.WithListener(ln),
+		kaas.WithInvokeTimeout(10*time.Second),
+		kaas.WithRetryPolicy(kaas.RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond}),
+	)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	c, err := p.NewClient()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Register("mci"); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	completed := 0
+	for i := 0; i < invocations; i++ {
+		if _, err := c.Invoke("mci", kaas.Params{"n": 1000, "seed": float64(i)}, nil); err != nil {
+			fmt.Fprintf(w, "invocation %d failed permanently: %v\n", i, err)
+			continue
+		}
+		completed++
+		if i%5 == 4 {
+			ln.CloseRandom(rng)
+		}
+	}
+	elapsed := time.Since(start)
+	m := c.Metrics()
+	fmt.Fprintf(w, "fault-injection smoke run: %d/%d invocations completed in %v\n",
+		completed, invocations, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  connections accepted: %d\n", ln.Accepted())
+	fmt.Fprintf(w, "  client attempts:      %d\n", m.Attempts)
+	fmt.Fprintf(w, "  retries:              %d\n", m.Retries)
+	fmt.Fprintf(w, "  stale pooled conns:   %d\n", m.StaleConns)
+	fmt.Fprintf(w, "  connection errors:    %d\n", m.ConnErrors)
+	fmt.Fprintf(w, "  remote errors:        %d\n", m.RemoteErrors)
+	if completed != invocations {
+		return fmt.Errorf("faultcheck: %d of %d invocations failed", invocations-completed, invocations)
+	}
 	return nil
 }

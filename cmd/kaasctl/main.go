@@ -5,12 +5,17 @@
 //
 //	kaasctl -server 127.0.0.1:7070 register matmul
 //	kaasctl -server 127.0.0.1:7070 invoke matmul n=500 seed=7
+//	kaasctl -server 127.0.0.1:7070 -timeout 5s -retries 2 invoke matmul n=500
 //	kaasctl -server 127.0.0.1:7070 list
 //	kaasctl -server 127.0.0.1:7070 stats
 //	kaasctl simulate circuit.qasm       # local quantum-circuit simulation
+//
+// -timeout bounds each call (deadline propagated to the server; 0 waits
+// forever) and -retries retries connection-level failures with backoff.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,23 +39,33 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kaasctl", flag.ContinueOnError)
 	server := fs.String("server", "127.0.0.1:7070", "KaaS server address")
+	timeout := fs.Duration("timeout", 0, "per-call deadline, propagated to the server (0 = none)")
+	retries := fs.Int("retries", 0, "retries of connection-level failures per call")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: kaasctl [-server addr] <register|invoke|list|stats> ...")
+		return fmt.Errorf("usage: kaasctl [-server addr] [-timeout d] [-retries n] <register|invoke|list|stats> ...")
 	}
 
-	c := client.Dial(*server)
+	var copts []client.Option
+	if *timeout > 0 {
+		copts = append(copts, client.WithTimeout(*timeout))
+	}
+	if *retries > 0 {
+		copts = append(copts, client.WithRetries(*retries+1))
+	}
+	c := client.Dial(*server, copts...)
 	defer c.Close()
+	ctx := context.Background()
 
 	switch rest[0] {
 	case "register":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: kaasctl register <kernel>")
 		}
-		if err := c.Register(rest[1]); err != nil {
+		if err := c.RegisterContext(ctx, rest[1]); err != nil {
 			return err
 		}
 		fmt.Printf("registered %s\n", rest[1])
@@ -64,7 +79,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := c.Invoke(rest[1], params, nil)
+		res, err := c.InvokeContext(ctx, rest[1], params, nil)
 		if err != nil {
 			return err
 		}
@@ -87,7 +102,7 @@ func run(args []string) error {
 		return nil
 
 	case "list":
-		names, err := c.List()
+		names, err := c.ListContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -99,7 +114,7 @@ func run(args []string) error {
 
 	case "stats":
 		var stats json.RawMessage
-		if err := c.Stats(&stats); err != nil {
+		if err := c.StatsContext(ctx, &stats); err != nil {
 			return err
 		}
 		var pretty map[string]any

@@ -71,6 +71,28 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLITimeoutAndRetries(t *testing.T) {
+	addr := startServer(t)
+	steps := [][]string{
+		{"-server", addr, "-timeout", "10s", "-retries", "2", "register", "matmul"},
+		{"-server", addr, "-timeout", "10s", "-retries", "2", "invoke", "matmul", "n=32"},
+		{"-server", addr, "-timeout", "10s", "list"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+	}
+	// A deadline that has effectively already expired must fail promptly
+	// instead of executing.
+	if err := run([]string{"-server", addr, "-timeout", "1ns", "invoke", "matmul", "n=32"}); err == nil {
+		t.Error("1ns timeout succeeded")
+	}
+	if err := run([]string{"-timeout", "bogus", "list"}); err == nil {
+		t.Error("bad -timeout value succeeded")
+	}
+}
+
 func TestCLISimulate(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/bell.qasm"

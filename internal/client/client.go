@@ -2,14 +2,26 @@
 // registration and invocation with in-band (serialized) or out-of-band
 // (shared-memory) data transfer, plus optional network shaping so
 // loopback deployments can be measured as if remote.
+//
+// The client is built for a long-lived shared service: every call has a
+// context-aware variant that propagates deadlines onto socket read/write
+// deadlines and into the wire header (so the server can reject expired
+// work and cancel in-flight kernels), and connection-level failures can
+// be retried under a bounded RetryPolicy with exponential backoff and
+// deterministic jitter. Server-reported failures (RemoteError) are never
+// retried — the request was executed. Retry activity is observable
+// through Metrics.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kaas/internal/kernels"
@@ -21,7 +33,8 @@ import (
 // ErrClosed indicates use of a closed client.
 var ErrClosed = errors.New("client: closed")
 
-// RemoteError is a failure reported by the server.
+// RemoteError is a failure reported by the server. It is never retried:
+// the server received and processed the request.
 type RemoteError struct {
 	// Message is the server's error text.
 	Message string
@@ -44,12 +57,63 @@ func WithShm(r *shm.Registry) Option {
 	return func(c *Client) { c.regions = r }
 }
 
+// WithTimeout sets a default per-call deadline applied whenever the
+// caller's context has none. Zero (the default) means calls without a
+// context deadline wait forever.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetryPolicy enables bounded retries of connection-level failures.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithRetries enables the default retry policy with the given total
+// attempt budget (including the first attempt).
+func WithRetries(attempts int) Option {
+	p := DefaultRetryPolicy()
+	p.MaxAttempts = attempts
+	return WithRetryPolicy(p)
+}
+
+// Metrics is a snapshot of the client's reliability counters.
+type Metrics struct {
+	// Attempts counts round-trip attempts, including retries.
+	Attempts uint64
+	// Retries counts policy-driven retry attempts.
+	Retries uint64
+	// StaleConns counts pooled connections found dead and replaced
+	// transparently.
+	StaleConns uint64
+	// ConnErrors counts connection-level failures observed.
+	ConnErrors uint64
+	// RemoteErrors counts server-reported (never retried) failures.
+	RemoteErrors uint64
+}
+
+// clientMetrics is the atomic backing store for Metrics.
+type clientMetrics struct {
+	attempts     atomic.Uint64
+	retries      atomic.Uint64
+	staleConns   atomic.Uint64
+	connErrors   atomic.Uint64
+	remoteErrors atomic.Uint64
+}
+
 // Client talks to a KaaS server. It is safe for concurrent use: each
 // in-flight request uses its own pooled connection.
 type Client struct {
 	addr    string
 	link    *netshape.Link
 	regions *shm.Registry
+	timeout time.Duration
+	retry   RetryPolicy
+
+	metrics clientMetrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -59,11 +123,23 @@ type Client struct {
 // Dial creates a client for the server at addr. Connections are opened
 // lazily.
 func Dial(addr string, opts ...Option) *Client {
-	c := &Client{addr: addr}
+	c := &Client{addr: addr, retry: RetryPolicy{MaxAttempts: 1}.withDefaults()}
 	for _, o := range opts {
 		o(c)
 	}
+	c.rng = rand.New(rand.NewSource(c.retry.Seed))
 	return c
+}
+
+// Metrics returns a snapshot of the client's reliability counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Attempts:     c.metrics.attempts.Load(),
+		Retries:      c.metrics.retries.Load(),
+		StaleConns:   c.metrics.staleConns.Load(),
+		ConnErrors:   c.metrics.connErrors.Load(),
+		RemoteErrors: c.metrics.remoteErrors.Load(),
+	}
 }
 
 // Close closes all pooled connections.
@@ -77,23 +153,35 @@ func (c *Client) Close() {
 	c.idle = nil
 }
 
-// getConn returns a pooled or fresh connection.
-func (c *Client) getConn() (net.Conn, error) {
+// getConn returns a pooled or fresh connection, reporting whether it came
+// from the pool (pooled connections may be stale and get one transparent
+// replacement on failure).
+func (c *Client) getConn(ctx context.Context) (conn net.Conn, pooled bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		return conn, true, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err = c.dial(ctx)
+	return conn, false, err
+}
+
+// dial opens a fresh connection, honoring the context deadline.
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, asConnError(fmt.Errorf("client: dial %s: %w", c.addr, err))
 	}
 	return conn, nil
 }
@@ -109,28 +197,152 @@ func (c *Client) putConn(conn net.Conn) {
 	c.idle = append(c.idle, conn)
 }
 
-// roundTrip sends one message and reads one reply, applying link shaping
-// to both directions.
-func (c *Client) roundTrip(msg *wire.Message) (*wire.Message, error) {
-	conn, err := c.getConn()
+// roundTrip sends one message and reads one reply under the client's
+// retry policy, propagating the context deadline to the socket and the
+// wire header.
+func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
+	if c.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+	// An already-expired context returns promptly without any network
+	// traffic — the kernel is never executed.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		msg.Header.DeadlineNanos = deadline.UnixNano()
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.metrics.retries.Add(1)
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		reply, err := c.attempt(ctx, msg)
+		if err == nil {
+			return reply, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			c.metrics.remoteErrors.Add(1)
+			return nil, err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if !isConnError(err) {
+			return nil, err
+		}
+		c.metrics.connErrors.Add(1)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps between retries, honoring cancellation.
+func (c *Client) backoff(ctx context.Context, retry int) error {
+	c.rngMu.Lock()
+	d := c.retry.delay(retry, c.rng)
+	c.rngMu.Unlock()
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attempt performs one round trip. A pooled connection that fails with a
+// connection-level error is replaced transparently exactly once: the pool
+// cannot know the server closed an idle connection until it is used.
+func (c *Client) attempt(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
+	conn, pooled, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
 	}
+	c.metrics.attempts.Add(1)
+	reply, err := c.do(ctx, conn, msg)
+	if err != nil && pooled && isConnError(err) && ctx.Err() == nil {
+		c.metrics.staleConns.Add(1)
+		fresh, derr := c.dial(ctx)
+		if derr != nil {
+			return nil, derr
+		}
+		c.metrics.attempts.Add(1)
+		return c.do(ctx, fresh, msg)
+	}
+	return reply, err
+}
+
+// ctxCause reports the context error behind a failed I/O operation, or
+// nil if the failure was not caused by the context. The socket deadline
+// is set to the context deadline, and the socket's timer can fire a
+// moment before the context's own — so a socket i/o timeout at or past
+// the context deadline counts as the deadline expiring.
+func ctxCause(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if deadline, ok := ctx.Deadline(); ok && !time.Now().Before(deadline) {
+			return context.DeadlineExceeded
+		}
+	}
+	return nil
+}
+
+// do performs one round trip on one connection, applying link shaping to
+// both directions. The context deadline becomes the socket deadline, and
+// cancellation closes the connection so blocked I/O unblocks — which the
+// server observes as a client disconnect and cancels the kernel.
+func (c *Client) do(ctx context.Context, conn net.Conn, msg *wire.Message) (*wire.Message, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
 	if size, err := wire.FrameSize(msg); err == nil {
 		c.link.Transfer(size)
 	}
 	if err := wire.Write(conn, msg); err != nil {
 		conn.Close()
-		return nil, err
+		if ctxErr := ctxCause(ctx, err); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, asConnError(err)
 	}
 	reply, err := wire.Read(conn)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("client: read reply: %w", err)
+		if ctxErr := ctxCause(ctx, err); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, asConnError(fmt.Errorf("client: read reply: %w", err))
 	}
 	if size, err := wire.FrameSize(reply); err == nil {
 		c.link.Transfer(size)
 	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Cancelled while the reply was in flight; the AfterFunc is
+		// closing the connection, so don't pool it.
+		conn.Close()
+		return nil, ctxErr
+	}
+	conn.SetDeadline(time.Time{})
 	c.putConn(conn)
 	if reply.Type == wire.MsgError {
 		return nil, &RemoteError{Message: reply.Header.Error}
@@ -140,7 +352,13 @@ func (c *Client) roundTrip(msg *wire.Message) (*wire.Message, error) {
 
 // Register registers a kernel (by library name) on the server.
 func (c *Client) Register(kernel string) error {
-	reply, err := c.roundTrip(&wire.Message{
+	return c.RegisterContext(context.Background(), kernel)
+}
+
+// RegisterContext registers a kernel, honoring the context's deadline and
+// cancellation.
+func (c *Client) RegisterContext(ctx context.Context, kernel string) error {
+	reply, err := c.roundTrip(ctx, &wire.Message{
 		Type:   wire.MsgRegister,
 		Header: wire.Header{Kernel: kernel},
 	})
@@ -167,7 +385,16 @@ type Result struct {
 
 // Invoke calls a kernel with parameters and an optional in-band payload.
 func (c *Client) Invoke(kernel string, params kernels.Params, data []byte) (*Result, error) {
-	return c.invoke(&wire.Message{
+	return c.InvokeContext(context.Background(), kernel, params, data)
+}
+
+// InvokeContext calls a kernel, honoring the context's deadline and
+// cancellation: an expired context returns before any network traffic,
+// the deadline rides the wire header so the server rejects stale work,
+// and cancelling mid-flight closes the connection, which the server
+// observes and cancels the kernel's context.
+func (c *Client) InvokeContext(ctx context.Context, kernel string, params kernels.Params, data []byte) (*Result, error) {
+	return c.invoke(ctx, &wire.Message{
 		Type:   wire.MsgInvoke,
 		Header: wire.Header{Kernel: kernel, Params: params},
 		Body:   data,
@@ -178,6 +405,12 @@ func (c *Client) Invoke(kernel string, params kernels.Params, data []byte) (*Res
 // memory: only the region key crosses the wire. Requires WithShm and a
 // same-host server. Results are also returned out-of-band when possible.
 func (c *Client) InvokeOutOfBand(kernel string, params kernels.Params, data []byte) (*Result, error) {
+	return c.InvokeOutOfBandContext(context.Background(), kernel, params, data)
+}
+
+// InvokeOutOfBandContext is InvokeOutOfBand with deadline and
+// cancellation propagation.
+func (c *Client) InvokeOutOfBandContext(ctx context.Context, kernel string, params kernels.Params, data []byte) (*Result, error) {
 	if c.regions == nil {
 		return nil, errors.New("client: out-of-band transfer needs WithShm")
 	}
@@ -186,7 +419,7 @@ func (c *Client) InvokeOutOfBand(kernel string, params kernels.Params, data []by
 		return nil, err
 	}
 	defer c.regions.Delete(key)
-	return c.invoke(&wire.Message{
+	return c.invoke(ctx, &wire.Message{
 		Type: wire.MsgInvoke,
 		Header: wire.Header{
 			Kernel:        kernel,
@@ -197,8 +430,8 @@ func (c *Client) InvokeOutOfBand(kernel string, params kernels.Params, data []by
 	})
 }
 
-func (c *Client) invoke(msg *wire.Message) (*Result, error) {
-	reply, err := c.roundTrip(msg)
+func (c *Client) invoke(ctx context.Context, msg *wire.Message) (*Result, error) {
+	reply, err := c.roundTrip(ctx, msg)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +457,12 @@ func (c *Client) invoke(msg *wire.Message) (*Result, error) {
 
 // List returns the kernel names registered on the server.
 func (c *Client) List() ([]string, error) {
-	reply, err := c.roundTrip(&wire.Message{Type: wire.MsgList})
+	return c.ListContext(context.Background())
+}
+
+// ListContext is List with deadline and cancellation propagation.
+func (c *Client) ListContext(ctx context.Context) ([]string, error) {
+	reply, err := c.roundTrip(ctx, &wire.Message{Type: wire.MsgList})
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +474,12 @@ func (c *Client) List() ([]string, error) {
 
 // Stats fetches the server's statistics document.
 func (c *Client) Stats(out any) error {
-	reply, err := c.roundTrip(&wire.Message{Type: wire.MsgStats})
+	return c.StatsContext(context.Background(), out)
+}
+
+// StatsContext is Stats with deadline and cancellation propagation.
+func (c *Client) StatsContext(ctx context.Context, out any) error {
+	reply, err := c.roundTrip(ctx, &wire.Message{Type: wire.MsgStats})
 	if err != nil {
 		return err
 	}

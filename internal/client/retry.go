@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+
+	"kaas/internal/wire"
+)
+
+// RetryPolicy bounds how a Client retries connection-level failures:
+// exponential backoff with deterministic jitter and a hard attempt
+// budget. Remote errors (the server executed the request and reported a
+// failure) are never retried; only dial errors, resets, EOFs, and
+// corrupted streams are, because those mean the request may never have
+// reached a healthy server.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 500 ms).
+	MaxDelay time.Duration
+	// Multiplier grows the delay each retry (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1] (default 0.2). Jitter draws from a PRNG seeded with Seed,
+	// so retry schedules are reproducible.
+	Jitter float64
+	// Seed seeds the jitter PRNG (default 1).
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the policy used by WithRetries: three total
+// attempts, 5 ms base delay doubling to a 500 ms cap, 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        1,
+	}
+}
+
+// withDefaults fills zero fields with the default values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// delay returns the backoff before retry number retry (1-based), with
+// jitter drawn from rng.
+func (p RetryPolicy) delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		// Spread the delay across [1-j, 1+j] of its nominal value.
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// connError marks a transport-level failure: the request may never have
+// reached a healthy server, so the call is safe to retry under the
+// client's policy. Remote errors are deliberately never wrapped in it.
+type connError struct {
+	err error
+}
+
+// Error implements error.
+func (e *connError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying failure.
+func (e *connError) Unwrap() error { return e.err }
+
+// isConnError reports whether err is a retryable connection-level
+// failure.
+func isConnError(err error) bool {
+	var ce *connError
+	return errors.As(err, &ce)
+}
+
+// asConnError classifies a raw transport failure, wrapping it so the
+// retry loop can recognize it. Errors that prove the server processed the
+// request (RemoteError) or that retrying cannot fix (ErrClosed, context
+// expiry) pass through unwrapped.
+func asConnError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	if transportFailure(err) {
+		return &connError{err: err}
+	}
+	return err
+}
+
+// transportFailure reports whether err is a connection-level failure:
+// a dial error, a peer reset/EOF, or a desynchronized (corrupted) wire
+// stream.
+func transportFailure(err error) bool {
+	if errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A frame that fails to decode means the stream is desynchronized —
+	// the connection is useless, equivalent to a reset.
+	if errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrBadVersion) {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op)
+}

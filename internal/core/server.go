@@ -173,6 +173,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Logger returns the server's structured logger (never nil; a discarding
+// logger when none was configured).
+func (s *Server) Logger() *slog.Logger { return s.cfg.Logger }
+
 // SetComputeResults toggles real host computation of kernel results.
 func (s *Server) SetComputeResults(on bool) {
 	s.mu.Lock()

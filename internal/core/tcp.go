@@ -8,17 +8,27 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"kaas/internal/kernels"
 	"kaas/internal/shm"
 	"kaas/internal/wire"
 )
 
+// aLongTimeAgo is a non-zero past deadline used to unblock pending reads.
+var aLongTimeAgo = time.Unix(1, 0)
+
 // TCPServer exposes a Server over the KaaS wire protocol — the
 // request/response invocation endpoint of Fig. 5. Clients register
 // kernels from the built-in kernel library by name (standing in for code
 // upload) and invoke them with in-band payloads or out-of-band
 // shared-memory keys.
+//
+// The server is deadline-aware: invocations carrying an expired
+// wire.Header.DeadlineNanos are rejected before touching a runner, a
+// live deadline bounds the kernel's context, and a client that
+// disconnects mid-invocation cancels the kernel's context so the runner
+// stops burning device time for an answer nobody will read.
 type TCPServer struct {
 	srv     *Server
 	ln      net.Listener
@@ -37,6 +47,17 @@ func ServeTCP(s *Server, addr string, regions *shm.Registry) (*TCPServer, error)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+	return ServeTCPListener(s, ln, regions)
+}
+
+// ServeTCPListener serves the KaaS protocol on a caller-provided
+// listener. Test and benchmark harnesses use it to interpose
+// fault-injecting listeners (see internal/faults) between clients and
+// the server.
+func ServeTCPListener(s *Server, ln net.Listener, regions *shm.Registry) (*TCPServer, error) {
+	if ln == nil {
+		return nil, fmt.Errorf("core: nil listener")
 	}
 	t := &TCPServer{
 		srv:     s,
@@ -95,6 +116,25 @@ func (t *TCPServer) acceptLoop() {
 	}
 }
 
+// serverConn wraps one client connection with a pushback buffer: the
+// mid-invocation disconnect watcher may read (at most) one byte that
+// belongs to the next request, which is replayed here before the real
+// socket is read again.
+type serverConn struct {
+	net.Conn
+	pending []byte
+}
+
+// Read serves pushed-back bytes before touching the socket.
+func (c *serverConn) Read(p []byte) (int, error) {
+	if len(c.pending) > 0 {
+		n := copy(p, c.pending)
+		c.pending = c.pending[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
 func (t *TCPServer) handle(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -104,18 +144,19 @@ func (t *TCPServer) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
+	sc := &serverConn{Conn: conn}
 	for {
-		msg, err := wire.Read(conn)
+		msg, err := wire.Read(sc)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				t.reply(conn, &wire.Message{
+				t.reply(sc, &wire.Message{
 					Type:   wire.MsgError,
 					Header: wire.Header{Error: err.Error()},
 				})
 			}
 			return
 		}
-		if !t.dispatch(conn, msg) {
+		if !t.dispatch(sc, msg) {
 			return
 		}
 	}
@@ -123,71 +164,128 @@ func (t *TCPServer) handle(conn net.Conn) {
 
 // dispatch handles one message; it reports whether the connection should
 // stay open.
-func (t *TCPServer) dispatch(conn net.Conn, msg *wire.Message) bool {
+func (t *TCPServer) dispatch(sc *serverConn, msg *wire.Message) bool {
 	switch msg.Type {
 	case wire.MsgRegister:
-		t.handleRegister(conn, msg)
+		return t.handleRegister(sc, msg)
 	case wire.MsgInvoke:
-		t.handleInvoke(conn, msg)
+		return t.handleInvoke(sc, msg)
 	case wire.MsgList:
-		t.reply(conn, &wire.Message{
+		return t.reply(sc, &wire.Message{
 			Type:   wire.MsgListResult,
 			Header: wire.Header{Names: t.srv.Kernels()},
 		})
 	case wire.MsgStats:
 		stats, err := json.Marshal(t.srv.Stats())
 		if err != nil {
-			t.replyErr(conn, fmt.Errorf("encode stats: %w", err))
-			return true
+			return t.replyErr(sc, fmt.Errorf("encode stats: %w", err))
 		}
-		t.reply(conn, &wire.Message{
+		return t.reply(sc, &wire.Message{
 			Type:   wire.MsgStatsResult,
 			Header: wire.Header{Stats: stats},
 		})
 	default:
-		t.replyErr(conn, fmt.Errorf("unexpected message type %s", msg.Type))
+		return t.replyErr(sc, fmt.Errorf("unexpected message type %s", msg.Type))
 	}
-	return true
 }
 
-func (t *TCPServer) handleRegister(conn net.Conn, msg *wire.Message) {
+func (t *TCPServer) handleRegister(sc *serverConn, msg *wire.Message) bool {
 	k, err := kernels.ByName(msg.Header.Kernel)
 	if err != nil {
-		t.replyErr(conn, err)
-		return
+		return t.replyErr(sc, err)
 	}
 	if err := t.srv.Register(k); err != nil && !errors.Is(err, ErrAlreadyRegistered) {
-		t.replyErr(conn, err)
-		return
+		return t.replyErr(sc, err)
 	}
-	t.reply(conn, &wire.Message{
+	return t.reply(sc, &wire.Message{
 		Type:   wire.MsgRegistered,
 		Header: wire.Header{Kernel: msg.Header.Kernel},
 	})
 }
 
-func (t *TCPServer) handleInvoke(conn net.Conn, msg *wire.Message) {
+// invokeContext builds the invocation context from the request's wire
+// deadline. It returns an error when the deadline already passed, so
+// expired work is rejected before it reaches a runner.
+func invokeContext(msg *wire.Message) (context.Context, context.CancelFunc, error) {
+	if dl := msg.Header.DeadlineNanos; dl > 0 {
+		deadline := time.Unix(0, dl)
+		if !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("core: %w: deadline passed %v ago",
+				context.DeadlineExceeded, time.Since(deadline).Round(time.Microsecond))
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return ctx, cancel, nil
+}
+
+// watchPeer watches for the client vanishing while an invocation is in
+// flight: a read on an idle request/response connection only returns
+// when the peer disconnects (or, rarely, pipelines the next request —
+// whose first byte is pushed back). The returned stop function must be
+// called before the connection is read or replied to again.
+func (t *TCPServer) watchPeer(sc *serverConn, cancel context.CancelFunc) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1)
+		n, err := sc.Conn.Read(buf)
+		if n > 0 {
+			sc.pending = append(sc.pending, buf[:n]...)
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return // unblocked by stop()
+			}
+			cancel() // peer gone: cancel the kernel's context
+		}
+	}()
+	return func() {
+		sc.Conn.SetReadDeadline(aLongTimeAgo)
+		<-done
+		sc.Conn.SetReadDeadline(time.Time{})
+	}
+}
+
+func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 	req := &kernels.Request{Params: kernels.Params(msg.Header.Params)}
 	switch {
 	case msg.Header.ShmKey != "":
 		if t.regions == nil {
-			t.replyErr(conn, errors.New("out-of-band transfer not configured"))
-			return
+			return t.replyErr(sc, errors.New("out-of-band transfer not configured"))
 		}
 		data, err := t.regions.Get(msg.Header.ShmKey)
 		if err != nil {
-			t.replyErr(conn, err)
-			return
+			return t.replyErr(sc, err)
 		}
 		req.Data = data
 	case len(msg.Body) > 0:
 		req.Data = msg.Body
 	}
 
-	resp, report, err := t.srv.Invoke(context.Background(), msg.Header.Kernel, req)
+	ctx, cancel, err := invokeContext(msg)
 	if err != nil {
-		t.replyErr(conn, err)
-		return
+		t.srv.Logger().Warn("rejecting expired invocation",
+			"kernel", msg.Header.Kernel, "remote", sc.RemoteAddr(), "err", err)
+		return t.replyErr(sc, err)
+	}
+	defer cancel()
+	stopWatch := t.watchPeer(sc, cancel)
+
+	resp, report, err := t.srv.Invoke(ctx, msg.Header.Kernel, req)
+	stopWatch()
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client gave up (deadline or disconnect): the reply is
+			// best-effort and the connection is not worth keeping.
+			t.srv.Logger().Info("invocation cancelled",
+				"kernel", msg.Header.Kernel, "remote", sc.RemoteAddr(), "cause", ctx.Err())
+			t.replyErr(sc, err)
+			return false
+		}
+		return t.replyErr(sc, err)
 	}
 
 	out := &wire.Message{
@@ -202,24 +300,32 @@ func (t *TCPServer) handleInvoke(conn net.Conn, msg *wire.Message) {
 	if msg.Header.WantShmResult && t.regions != nil && len(resp.Data) > 0 {
 		key, err := t.regions.Create(resp.Data)
 		if err != nil {
-			t.replyErr(conn, err)
-			return
+			return t.replyErr(sc, err)
 		}
 		out.Header.ResultShmKey = key
 	} else {
 		out.Body = resp.Data
 	}
-	t.reply(conn, out)
+	return t.reply(sc, out)
 }
 
-func (t *TCPServer) replyErr(conn net.Conn, err error) {
-	t.reply(conn, &wire.Message{
+func (t *TCPServer) replyErr(conn net.Conn, err error) bool {
+	return t.reply(conn, &wire.Message{
 		Type:   wire.MsgError,
 		Header: wire.Header{Error: err.Error()},
 	})
 }
 
-func (t *TCPServer) reply(conn net.Conn, msg *wire.Message) {
-	// A write failure means the peer is gone; the read loop will notice.
-	_ = wire.Write(conn, msg)
+// reply writes one message, reporting whether the connection is still
+// usable. A failed write means the peer is gone: the connection is
+// closed (so the handler loop stops reading from a dead peer) and the
+// failure is logged rather than silently swallowed.
+func (t *TCPServer) reply(conn net.Conn, msg *wire.Message) bool {
+	if err := wire.Write(conn, msg); err != nil {
+		t.srv.Logger().Warn("reply write failed, closing connection",
+			"remote", conn.RemoteAddr(), "type", msg.Type.String(), "err", err)
+		conn.Close()
+		return false
+	}
+	return true
 }

@@ -1,0 +1,344 @@
+// Package faults provides deterministic fault injection for the KaaS
+// invocation path: a net.Conn wrapper that breaks traffic in controlled
+// ways (drop after N bytes, stall, slow writes, close mid-frame, corrupt
+// a frame) and a net.Listener wrapper that applies a scripted fault plan
+// to each accepted connection.
+//
+// All faults are parameterized explicitly and any randomness comes from a
+// caller-seeded PRNG, so a failing test reproduces from its seed — the
+// same discipline the vclock package applies to time. The robustness
+// tests in internal/client and internal/core drive every mode, and the
+// benchmark harness (kaasbench -faultcheck) uses the listener wrapper to
+// measure client retry behaviour under injected failures.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks an I/O failure produced by fault injection rather
+// than the real network.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Mode selects how a connection misbehaves. All modes act on the wrapped
+// side's write path (the direction under test) except Stall, which delays
+// reads as well.
+type Mode int
+
+// Fault modes.
+const (
+	// None passes traffic through untouched.
+	None Mode = iota
+	// DropAfterN closes the connection after N bytes have been written
+	// through it, truncating whatever frame is in flight.
+	DropAfterN
+	// Stall sleeps Delay before every read and write, simulating a
+	// hung peer; combined with deadlines it produces timeouts.
+	Stall
+	// SlowWrite splits writes into Chunk-byte pieces with Delay between
+	// them, simulating a congested link without breaking frames.
+	SlowWrite
+	// CloseMidFrame writes roughly half of the first multi-byte write,
+	// then closes the connection.
+	CloseMidFrame
+	// CorruptFrame flips one byte (at offset N of the first write)
+	// and then passes traffic through, desynchronizing the stream.
+	CorruptFrame
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case DropAfterN:
+		return "drop-after-n"
+	case Stall:
+		return "stall"
+	case SlowWrite:
+		return "slow-write"
+	case CloseMidFrame:
+		return "close-mid-frame"
+	case CorruptFrame:
+		return "corrupt-frame"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Plan configures the faults on one connection.
+type Plan struct {
+	// Mode is the fault to inject.
+	Mode Mode
+	// N is the byte threshold: bytes written before DropAfterN trips,
+	// the truncation point for CloseMidFrame (0 = half the write), or
+	// the corrupted byte offset for CorruptFrame.
+	N int64
+	// Chunk is the SlowWrite piece size (default 64 bytes).
+	Chunk int
+	// Delay paces Stall and SlowWrite (default 1 ms).
+	Delay time.Duration
+}
+
+// Conn wraps a net.Conn with a fault plan. It is safe for the usual
+// net.Conn concurrency (one reader plus one writer).
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu      sync.Mutex
+	written int64
+	tripped bool
+	closed  bool
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// NewConn wraps a connection with the given fault plan.
+func NewConn(inner net.Conn, plan Plan) *Conn {
+	if plan.Chunk <= 0 {
+		plan.Chunk = 64
+	}
+	if plan.Delay <= 0 {
+		plan.Delay = time.Millisecond
+	}
+	return &Conn{inner: inner, plan: plan}
+}
+
+// Read reads from the connection, stalling first when the plan says so.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.plan.Mode == Stall {
+		time.Sleep(c.plan.Delay)
+	}
+	return c.inner.Read(p)
+}
+
+// Write writes through the connection, injecting the planned fault.
+func (c *Conn) Write(p []byte) (int, error) {
+	switch c.plan.Mode {
+	case DropAfterN:
+		return c.writeDrop(p)
+	case Stall:
+		time.Sleep(c.plan.Delay)
+		return c.inner.Write(p)
+	case SlowWrite:
+		return c.writeSlow(p)
+	case CloseMidFrame:
+		return c.writeCloseMidFrame(p)
+	case CorruptFrame:
+		return c.writeCorrupt(p)
+	default:
+		return c.inner.Write(p)
+	}
+}
+
+// writeDrop forwards bytes until the threshold, then closes the conn.
+func (c *Conn) writeDrop(p []byte) (int, error) {
+	c.mu.Lock()
+	remaining := c.plan.N - c.written
+	c.mu.Unlock()
+	if remaining <= 0 {
+		c.Close()
+		return 0, ErrInjected
+	}
+	if int64(len(p)) <= remaining {
+		n, err := c.inner.Write(p)
+		c.account(n)
+		return n, err
+	}
+	n, _ := c.inner.Write(p[:remaining])
+	c.account(n)
+	c.Close()
+	return n, ErrInjected
+}
+
+// writeSlow forwards the buffer in paced chunks.
+func (c *Conn) writeSlow(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		end := total + c.plan.Chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.inner.Write(p[total:end])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if total < len(p) {
+			time.Sleep(c.plan.Delay)
+		}
+	}
+	return total, nil
+}
+
+// writeCloseMidFrame truncates the first multi-byte write and closes.
+func (c *Conn) writeCloseMidFrame(p []byte) (int, error) {
+	c.mu.Lock()
+	trip := !c.tripped && len(p) > 1
+	if trip {
+		c.tripped = true
+	}
+	c.mu.Unlock()
+	if !trip {
+		return c.inner.Write(p)
+	}
+	cut := len(p) / 2
+	if c.plan.N > 0 && c.plan.N < int64(len(p)) {
+		cut = int(c.plan.N)
+	}
+	n, _ := c.inner.Write(p[:cut])
+	c.Close()
+	return n, ErrInjected
+}
+
+// writeCorrupt flips one byte of the first write, then passes through.
+func (c *Conn) writeCorrupt(p []byte) (int, error) {
+	c.mu.Lock()
+	trip := !c.tripped && len(p) > 0
+	if trip {
+		c.tripped = true
+	}
+	c.mu.Unlock()
+	if !trip {
+		return c.inner.Write(p)
+	}
+	off := int(c.plan.N)
+	if off >= len(p) {
+		off = len(p) - 1
+	}
+	corrupted := make([]byte, len(p))
+	copy(corrupted, p)
+	corrupted[off] ^= 0xFF
+	return c.inner.Write(corrupted)
+}
+
+func (c *Conn) account(n int) {
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+}
+
+// Close closes the underlying connection once.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// Closed reports whether the connection has been closed (by a fault, the
+// peer, or the harness).
+func (c *Conn) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// LocalAddr returns the wrapped connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the wrapped connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline forwards to the wrapped connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the wrapped connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the wrapped connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener, applying a scripted Plan to each
+// accepted connection and tracking the live wrapped connections so
+// harnesses can kill them at will.
+type Listener struct {
+	inner net.Listener
+	plans func(i int) Plan
+
+	mu    sync.Mutex
+	next  int
+	conns []*Conn
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Wrap decorates a listener. plans maps the i-th accepted connection
+// (0-based) to its fault plan; a nil plans injects nothing.
+func Wrap(ln net.Listener, plans func(i int) Plan) *Listener {
+	return &Listener{inner: ln, plans: plans}
+}
+
+// Accept accepts the next connection and applies its scripted plan.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	plan := Plan{}
+	if l.plans != nil {
+		plan = l.plans(l.next)
+	}
+	l.next++
+	fc := NewConn(conn, plan)
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the underlying listener address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Accepted returns how many connections have been accepted.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// CloseRandom closes one random live accepted connection, reporting
+// whether one was found. The PRNG is caller-seeded for determinism.
+func (l *Listener) CloseRandom(rng *rand.Rand) bool {
+	l.mu.Lock()
+	live := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		if !c.Closed() {
+			live = append(live, c)
+		}
+	}
+	var victim *Conn
+	if len(live) > 0 {
+		victim = live[rng.Intn(len(live))]
+	}
+	l.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	victim.Close()
+	return true
+}
+
+// Script returns a deterministic per-connection plan function that cycles
+// through the given plans in order, seeded so harnesses can also shuffle
+// deterministically. An empty plans list injects nothing.
+func Script(plans ...Plan) func(i int) Plan {
+	return func(i int) Plan {
+		if len(plans) == 0 {
+			return Plan{}
+		}
+		return plans[i%len(plans)]
+	}
+}

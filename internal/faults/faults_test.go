@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected client/server TCP pair on loopback.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- res{conn, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("accept: %v", r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.conn.Close() })
+	return client, r.conn
+}
+
+func TestNonePassesThrough(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: None})
+	go fc.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("read %q", buf)
+	}
+}
+
+func TestDropAfterN(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: DropAfterN, N: 4})
+	n, err := fc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Errorf("wrote %d bytes, want 4", n)
+	}
+	got, _ := io.ReadAll(client)
+	if string(got) != "0123" {
+		t.Errorf("peer read %q, want 0123", got)
+	}
+	// Further writes fail immediately.
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-drop write err = %v", err)
+	}
+}
+
+func TestCloseMidFrame(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: CloseMidFrame})
+	frame := []byte("0123456789")
+	n, err := fc.Write(frame)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != len(frame)/2 {
+		t.Errorf("wrote %d, want %d", n, len(frame)/2)
+	}
+	got, _ := io.ReadAll(client)
+	if len(got) != len(frame)/2 {
+		t.Errorf("peer read %d bytes, want %d", len(got), len(frame)/2)
+	}
+}
+
+func TestCorruptFrameFlipsOneByte(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: CorruptFrame, N: 2})
+	payload := []byte("KAASKAAS")
+	go func() {
+		fc.Write(payload)
+		fc.Close()
+	}()
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Error("stream not corrupted")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	if got[2] != payload[2]^0xFF {
+		t.Errorf("corrupted byte = %x, want %x", got[2], payload[2]^0xFF)
+	}
+}
+
+func TestSlowWriteDeliversEverything(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: SlowWrite, Chunk: 3, Delay: time.Millisecond})
+	payload := []byte("0123456789")
+	go func() {
+		fc.Write(payload)
+		fc.Close()
+	}()
+	start := time.Now()
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read %q", got)
+	}
+	// 10 bytes in 3-byte chunks = 4 writes, 3 sleeps.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("slow write took %v, want >= 3ms", elapsed)
+	}
+}
+
+func TestStallDelaysIO(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewConn(server, Plan{Mode: Stall, Delay: 20 * time.Millisecond})
+	go fc.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("stalled write arrived in %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestListenerAppliesScript(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := Wrap(raw, Script(Plan{Mode: None}, Plan{Mode: DropAfterN, N: 1}))
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+	}
+	first := (<-accepted).(*Conn)
+	second := (<-accepted).(*Conn)
+	if first.plan.Mode != None || second.plan.Mode != DropAfterN {
+		t.Errorf("plans = %v, %v", first.plan.Mode, second.plan.Mode)
+	}
+	if ln.Accepted() != 2 {
+		t.Errorf("Accepted = %d", ln.Accepted())
+	}
+}
+
+func TestCloseRandomIsDeterministic(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := Wrap(raw, nil)
+	defer ln.Close()
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conns := make([]net.Conn, 3)
+	for i := range conns {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conns[i] = c
+		defer c.Close()
+	}
+	// Wait for all accepts.
+	deadline := time.Now().Add(2 * time.Second)
+	for ln.Accepted() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("accepts did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	closed := 0
+	for ln.CloseRandom(rng) {
+		closed++
+	}
+	if closed != 3 {
+		t.Errorf("closed %d conns, want 3", closed)
+	}
+}

@@ -75,7 +75,10 @@ func TestNegativeWorkRejected(t *testing.T) {
 }
 
 func TestProcessorSharingSlowdown(t *testing.T) {
-	e := mustEngine(t, testClock(), Config{Capacity: 100})
+	// Scaled(1000) rather than testClock(): the ~10s expectation assumes
+	// the jobs overlap fully, and at scale 100000 the µs-level skew
+	// between the two goroutines' submissions costs modeled seconds.
+	e := mustEngine(t, vclock.Scaled(1000), Config{Capacity: 100})
 	// Two simultaneous jobs of 500 units each share capacity, so both
 	// should take ~10 modeled seconds instead of 5.
 	var wg sync.WaitGroup
@@ -100,7 +103,11 @@ func TestProcessorSharingSlowdown(t *testing.T) {
 }
 
 func TestFIFOSerializes(t *testing.T) {
-	e := mustEngine(t, testClock(), Config{Capacity: 100, Discipline: FIFO})
+	// A gentler scale than testClock(): the expected ~10s queue+service
+	// time assumes both jobs arrive together, and at scale 100000 even a
+	// few µs of goroutine-wakeup skew (tens of µs under -race) is worth
+	// whole modeled seconds of queue time.
+	e := mustEngine(t, vclock.Scaled(1000), Config{Capacity: 100, Discipline: FIFO})
 	start := make(chan struct{})
 	var wg sync.WaitGroup
 	elapsedCh := make(chan time.Duration, 2)

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// seedFrames returns encoded frames covering the message types exercised
+// by wire_test.go, used as the fuzz corpus.
+func seedFrames(t testing.TB) [][]byte {
+	t.Helper()
+	msgs := []*Message{
+		{Type: MsgInvoke, Header: Header{
+			Kernel: "matmul",
+			Params: map[string]float64{"n": 500, "seed": 1},
+		}, Body: []byte("payload-bytes")},
+		{Type: MsgList},
+		{Type: MsgResult, Header: Header{
+			Kernel: "matmul",
+			Values: map[string]float64{"checksum": 42},
+		}, Body: make([]byte, 100)},
+		{Type: MsgError, Header: Header{Error: "boom"}},
+		{Type: MsgInvoke, Header: Header{
+			Kernel:        "bitmap",
+			ShmKey:        "region-1",
+			WantShmResult: true,
+			DeadlineNanos: 1700000000000000000,
+		}},
+		{Type: MsgStatsResult, Header: Header{Stats: []byte(`{"Kernels":1}`)}},
+	}
+	frames := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("seed Write: %v", err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	return frames
+}
+
+// FuzzRead throws arbitrary byte streams at the frame decoder: it must
+// never panic, and any frame it accepts must re-encode and decode to the
+// same message.
+func FuzzRead(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		f.Add(frame)
+	}
+	// Hand-built hostile frames: truncations, oversized sections, bad
+	// magic, and future protocol versions.
+	f.Add([]byte("KAAS"))
+	f.Add([]byte("NOPE\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte{'K', 'A', 'A', 'S', 99, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{'K', 'A', 'A', 'S', Version, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	huge := []byte{'K', 'A', 'A', 'S', Version, 1, 0, 0, 0, 2, '{', '}'}
+	huge = binary.BigEndian.AppendUint32(huge, 0xFFFFFFF0) // body length lie
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted frames must survive a round trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			t.Fatalf("re-encode accepted frame: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode accepted frame: %v", err)
+		}
+		if again.Type != msg.Type || !bytes.Equal(again.Body, msg.Body) {
+			t.Fatalf("round trip changed frame: %+v != %+v", again, msg)
+		}
+	})
+}
+
+// FuzzRoundTrip encodes arbitrary well-formed messages and checks the
+// decoder returns them unchanged.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(MsgInvoke), "matmul", "", float64(500), []byte("data"), int64(0))
+	f.Add(uint8(MsgError), "", "cost model: bad n", float64(-1), []byte(nil), int64(0))
+	f.Add(uint8(MsgResult), "dtw", "", float64(3.5), make([]byte, 300), int64(1700000000000000000))
+	f.Fuzz(func(t *testing.T, typ uint8, kernel, errText string, n float64, body []byte, deadline int64) {
+		msg := &Message{
+			Type: MsgType(typ),
+			Header: Header{
+				Kernel:        kernel,
+				Error:         errText,
+				Params:        map[string]float64{"n": n},
+				DeadlineNanos: deadline,
+			},
+			Body: body,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			// Unencodable headers (NaN/Inf params don't marshal to
+			// JSON) are a caller error, not a protocol bug.
+			t.Skip()
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read of own Write failed: %v", err)
+		}
+		if got.Type != msg.Type {
+			t.Errorf("Type = %v, want %v", got.Type, msg.Type)
+		}
+		if !bytes.Equal(got.Body, msg.Body) {
+			t.Errorf("Body = %q, want %q", got.Body, msg.Body)
+		}
+		if got.Header.DeadlineNanos != deadline {
+			t.Errorf("DeadlineNanos = %d, want %d", got.Header.DeadlineNanos, deadline)
+		}
+		if !reflect.DeepEqual(got.Header.Params, msg.Header.Params) {
+			t.Errorf("Params = %v, want %v", got.Header.Params, msg.Header.Params)
+		}
+	})
+}

@@ -11,6 +11,19 @@
 //	header  []byte   JSON-encoded Header
 //	bodyLen uint32   big endian, payload length
 //	body    []byte   raw payload (in-band data)
+//
+// The JSON header carries the control fields of the message (see Header).
+// Invocation requests may set Header.DeadlineNanos — an absolute wall-clock
+// deadline in Unix nanoseconds — so a server can reject work that is
+// already expired when it arrives and cancel in-flight kernels whose
+// client has given up. A zero DeadlineNanos means the request never
+// expires. Unknown header fields are ignored on decode, so adding fields
+// is backward compatible within a protocol version.
+//
+// Read never trusts the length prefixes for allocation: header and body
+// buffers grow incrementally as bytes actually arrive, so a frame that
+// claims a huge body on a truncated stream cannot force a large
+// allocation.
 package wire
 
 import (
@@ -122,6 +135,11 @@ type Header struct {
 	ColdStart bool `json:"coldStart,omitempty"`
 	// DurationNanos is the server-side modeled invocation time.
 	DurationNanos int64 `json:"durationNanos,omitempty"`
+	// DeadlineNanos is the absolute wall-clock deadline of the request in
+	// Unix nanoseconds. Servers reject frames whose deadline has already
+	// passed and cancel the invocation when it expires mid-flight. Zero
+	// means no deadline.
+	DeadlineNanos int64 `json:"deadlineNanos,omitempty"`
 }
 
 // Message is one protocol frame.
@@ -176,8 +194,8 @@ func Read(r io.Reader) (*Message, error) {
 	if hdrLen > MaxHeaderLen {
 		return nil, fmt.Errorf("%w: header %d bytes", ErrTooLarge, hdrLen)
 	}
-	hdr := make([]byte, hdrLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	hdr, err := readSection(r, int(hdrLen))
+	if err != nil {
 		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
 	if err := json.Unmarshal(hdr, &msg.Header); err != nil {
@@ -192,12 +210,45 @@ func Read(r io.Reader) (*Message, error) {
 		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
 	}
 	if bodyLen > 0 {
-		msg.Body = make([]byte, bodyLen)
-		if _, err := io.ReadFull(r, msg.Body); err != nil {
+		msg.Body, err = readSection(r, int(bodyLen))
+		if err != nil {
 			return nil, fmt.Errorf("wire: read body: %w", err)
 		}
 	}
 	return msg, nil
+}
+
+// allocChunk caps how much readSection allocates ahead of the bytes that
+// have actually arrived.
+const allocChunk = 64 << 10
+
+// readSection reads exactly n bytes, growing the buffer chunk by chunk so
+// a frame that lies about its length on a truncated stream only costs as
+// much memory as the stream really delivers.
+func readSection(r io.Reader, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	cap0 := n
+	if cap0 > allocChunk {
+		cap0 = allocChunk
+	}
+	buf := make([]byte, 0, cap0)
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > allocChunk {
+			chunk = allocChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			if errors.Is(err, io.EOF) && start > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // FrameSize returns the on-wire size of a message without writing it, used

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net"
 	"time"
 
 	"kaas/internal/accel"
@@ -64,7 +65,18 @@ type (
 	Client = client.Client
 	// ClientResult is a completed client invocation.
 	ClientResult = client.Result
+	// RetryPolicy bounds client retries of connection-level failures.
+	RetryPolicy = client.RetryPolicy
+	// ClientMetrics is a snapshot of a client's reliability counters.
+	ClientMetrics = client.Metrics
+	// RemoteError is a failure reported by the server; it is never
+	// retried by the client.
+	RemoteError = client.RemoteError
 )
+
+// DefaultRetryPolicy returns the client retry policy used when retries
+// are enabled without an explicit policy.
+func DefaultRetryPolicy() RetryPolicy { return client.DefaultRetryPolicy() }
 
 // Device kinds.
 const (
@@ -131,8 +143,25 @@ type config struct {
 	placement     core.PlacementPolicy
 	idleTimeout   time.Duration
 	listenAddr    string
+	listener      net.Listener
 	disableResult bool
 	logger        *slog.Logger
+	invokeTimeout time.Duration
+	retryPolicy   *client.RetryPolicy
+}
+
+// clientOptions returns the client options implied by the platform
+// configuration (timeouts and retry policy), which every client
+// constructor applies.
+func (c *config) clientOptions() []client.Option {
+	var opts []client.Option
+	if c.invokeTimeout > 0 {
+		opts = append(opts, client.WithTimeout(c.invokeTimeout))
+	}
+	if c.retryPolicy != nil {
+		opts = append(opts, client.WithRetryPolicy(*c.retryPolicy))
+	}
+	return opts
 }
 
 // Option configures a Platform.
@@ -186,6 +215,30 @@ func WithListenAddr(addr string) Option {
 	return func(c *config) { c.listenAddr = addr }
 }
 
+// WithListener serves the platform over a caller-provided listener
+// instead of opening one. Test and benchmark harnesses use it to
+// interpose fault-injecting listeners (internal/faults) between clients
+// and the server. It overrides WithListenAddr.
+func WithListener(ln net.Listener) Option {
+	return func(c *config) { c.listener = ln }
+}
+
+// WithInvokeTimeout sets a default per-call deadline for clients created
+// by NewClient, NewShapedClient, and NewRDMAClient, applied whenever the
+// caller's context carries no deadline. The deadline propagates to
+// socket deadlines and over the wire, so the server rejects expired work
+// and cancels kernels whose deadline passes mid-flight.
+func WithInvokeTimeout(d time.Duration) Option {
+	return func(c *config) { c.invokeTimeout = d }
+}
+
+// WithRetryPolicy makes clients created by this platform retry
+// connection-level failures (dial errors, resets, EOFs) under the given
+// bounded backoff policy. Server-reported errors are never retried.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) { c.retryPolicy = &p }
+}
+
 // WithoutResultComputation disables real kernel computation; invocations
 // charge modeled device time only. Used by the benchmark harness.
 func WithoutResultComputation() Option {
@@ -201,11 +254,12 @@ func WithLogger(l *slog.Logger) Option {
 // Platform is a KaaS deployment: a simulated accelerator host, the KaaS
 // server on top of it, and optionally a TCP endpoint.
 type Platform struct {
-	clock   vclock.Clock
-	host    *accel.Host
-	server  *core.Server
-	tcp     *core.TCPServer
-	regions *shm.Registry
+	clock      vclock.Clock
+	host       *accel.Host
+	server     *core.Server
+	tcp        *core.TCPServer
+	regions    *shm.Registry
+	clientOpts []client.Option
 }
 
 // New creates a platform. With no options it models a host with a single
@@ -242,12 +296,22 @@ func New(opts ...Option) (*Platform, error) {
 		return nil, fmt.Errorf("kaas: %w", err)
 	}
 	p := &Platform{
-		clock:   clock,
-		host:    host,
-		server:  server,
-		regions: shm.NewRegistry(4 << 30),
+		clock:      clock,
+		host:       host,
+		server:     server,
+		regions:    shm.NewRegistry(4 << 30),
+		clientOpts: cfg.clientOptions(),
 	}
-	if cfg.listenAddr != "" {
+	switch {
+	case cfg.listener != nil:
+		tcp, err := core.ServeTCPListener(server, cfg.listener, p.regions)
+		if err != nil {
+			server.Close()
+			host.Close()
+			return nil, fmt.Errorf("kaas: %w", err)
+		}
+		p.tcp = tcp
+	case cfg.listenAddr != "":
 		tcp, err := core.ServeTCP(server, cfg.listenAddr, p.regions)
 		if err != nil {
 			server.Close()
@@ -296,7 +360,8 @@ func (p *Platform) NewClient() (*Client, error) {
 	if p.tcp == nil {
 		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
 	}
-	return client.Dial(p.tcp.Addr(), client.WithShm(p.regions)), nil
+	opts := append([]client.Option{client.WithShm(p.regions)}, p.clientOpts...)
+	return client.Dial(p.tcp.Addr(), opts...), nil
 }
 
 // NewShapedClient returns a TCP client whose traffic is shaped as a
@@ -307,7 +372,8 @@ func (p *Platform) NewShapedClient() (*Client, error) {
 		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
 	}
 	link := netshape.GigabitEthernet(p.clock)
-	return client.Dial(p.tcp.Addr(), client.WithLink(link)), nil
+	opts := append([]client.Option{client.WithLink(link)}, p.clientOpts...)
+	return client.Dial(p.tcp.Addr(), opts...), nil
 }
 
 // NewRDMAClient returns a TCP client shaped as an RDMA fabric
@@ -318,7 +384,8 @@ func (p *Platform) NewRDMAClient() (*Client, error) {
 		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
 	}
 	link := netshape.RDMA(p.clock)
-	return client.Dial(p.tcp.Addr(), client.WithLink(link)), nil
+	opts := append([]client.Option{client.WithLink(link)}, p.clientOpts...)
+	return client.Dial(p.tcp.Addr(), opts...), nil
 }
 
 // Close shuts the platform down.

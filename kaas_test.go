@@ -2,8 +2,11 @@ package kaas
 
 import (
 	"context"
+	"net"
 	"testing"
 	"time"
+
+	"kaas/internal/faults"
 )
 
 func TestPlatformDefaults(t *testing.T) {
@@ -125,6 +128,53 @@ func TestPlatformOptions(t *testing.T) {
 	}
 	if _, ok := resp.Values["first_class"]; ok {
 		t.Error("results computed despite WithoutResultComputation")
+	}
+}
+
+func TestPlatformListenerTimeoutRetry(t *testing.T) {
+	// Serve through a fault-injecting listener whose first connection
+	// dies mid-frame: the platform-configured retry policy must recover
+	// transparently, and the deadline must ride along on every call.
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := faults.Wrap(raw, func(i int) faults.Plan {
+		if i == 0 {
+			return faults.Plan{Mode: faults.CloseMidFrame}
+		}
+		return faults.Plan{}
+	})
+	p, err := New(
+		WithAccelerators(TeslaP100),
+		WithListener(ln),
+		WithInvokeTimeout(10*time.Second),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	if p.Addr() == "" {
+		t.Fatal("no address from custom listener")
+	}
+	c, err := p.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	if err := c.Register("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := c.Invoke("mci", Params{"n": 1000}, nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	m := c.Metrics()
+	if m.Retries == 0 {
+		t.Errorf("Metrics = %+v, want at least one retry through the faulty connection", m)
+	}
+	if m.RemoteErrors != 0 {
+		t.Errorf("RemoteErrors = %d, want 0", m.RemoteErrors)
 	}
 }
 
