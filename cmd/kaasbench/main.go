@@ -8,25 +8,38 @@
 //	kaasbench -fig 14 -quick     # reduced sweep
 //	kaasbench -list              # available figure IDs
 //	kaasbench -faultcheck        # invocation-path robustness smoke run
+//	kaasbench -loadgen 200 -loadgen-conc 8 n=1000    # latency percentiles
+//	kaasbench -loadgen 100 -server 127.0.0.1:7070    # against a running kaasd
 //
 // -faultcheck stands apart from the figures: it serves a platform
 // through a fault-injecting listener (internal/faults) that breaks every
 // other connection — truncated frames, resets, corrupted bytes, slow
 // writes — and reports how many invocations a retrying client completed
 // and what the retries cost.
+//
+// -loadgen drives N concurrent invocations of one kernel — against a
+// running kaasd when -server is set, else against an in-process platform
+// — and prints client-observed p50/p95/p99 latency split by cold and
+// warm starts, the client-side view of the server's latency histograms.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"kaas"
+	"kaas/internal/client"
 	"kaas/internal/experiments"
 	"kaas/internal/faults"
+	"kaas/internal/metrics"
 )
 
 func main() {
@@ -45,12 +58,24 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list available figures")
 	faultcheck := fs.Bool("faultcheck", false, "run the invocation-path fault-injection smoke benchmark")
 	faultN := fs.Int("fault-invocations", 40, "invocations for -faultcheck")
+	loadgen := fs.Int("loadgen", 0, "drive this many invocations and print latency percentiles (0 = off)")
+	server := fs.String("server", "", "kaasd address for -loadgen (empty = in-process platform)")
+	lgKernel := fs.String("loadgen-kernel", "mci", "kernel for -loadgen")
+	lgConc := fs.Int("loadgen-conc", 8, "concurrent clients for -loadgen")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *faultcheck {
 		return runFaultCheck(os.Stdout, *faultN)
+	}
+
+	if *loadgen > 0 {
+		params, err := parseParams(fs.Args())
+		if err != nil {
+			return err
+		}
+		return runLoadgen(os.Stdout, *server, *lgKernel, *loadgen, *lgConc, *scale, params)
 	}
 
 	if *list {
@@ -133,11 +158,14 @@ func runFaultCheck(w *os.File, invocations int) error {
 	rng := rand.New(rand.NewSource(1))
 	start := time.Now()
 	completed := 0
+	var lat metrics.Sample
 	for i := 0; i < invocations; i++ {
+		t0 := time.Now()
 		if _, err := c.Invoke("mci", kaas.Params{"n": 1000, "seed": float64(i)}, nil); err != nil {
 			fmt.Fprintf(w, "invocation %d failed permanently: %v\n", i, err)
 			continue
 		}
+		lat.AddDuration(time.Since(t0))
 		completed++
 		if i%5 == 4 {
 			ln.CloseRandom(rng)
@@ -153,8 +181,124 @@ func runFaultCheck(w *os.File, invocations int) error {
 	fmt.Fprintf(w, "  stale pooled conns:   %d\n", m.StaleConns)
 	fmt.Fprintf(w, "  connection errors:    %d\n", m.ConnErrors)
 	fmt.Fprintf(w, "  remote errors:        %d\n", m.RemoteErrors)
+	fmt.Fprintf(w, "  latency (incl. retries): %s\n", percentileLine(&lat))
 	if completed != invocations {
 		return fmt.Errorf("faultcheck: %d of %d invocations failed", invocations-completed, invocations)
 	}
 	return nil
+}
+
+// runLoadgen fires n invocations of one kernel at conc concurrency and
+// prints the client-observed latency distribution split by cold and warm
+// starts. With a -server address it drives a running kaasd; otherwise it
+// hosts an in-process platform at the given time scale.
+func runLoadgen(w io.Writer, server, kernel string, n, conc int, scale float64, params kaas.Params) error {
+	var c *kaas.Client
+	if server == "" {
+		p, err := kaas.New(
+			kaas.WithListenAddr("127.0.0.1:0"),
+			kaas.WithTimeScale(scale),
+			kaas.WithAccelerators(kaas.TeslaP100, kaas.TeslaP100),
+		)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		c, err = p.NewClient()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loadgen: in-process platform (2x Tesla P100, scale %.0fx)\n", scale)
+	} else {
+		c = client.Dial(server)
+		fmt.Fprintf(w, "loadgen: driving %s\n", server)
+	}
+	defer c.Close()
+	if err := c.Register(kernel); err != nil {
+		return err
+	}
+
+	if conc < 1 {
+		conc = 1
+	}
+	var (
+		mu         sync.Mutex
+		cold, warm metrics.Sample
+		lastID     string
+		failures   int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				res, err := c.Invoke(kernel, params, nil)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					failures++
+				} else if res.Cold {
+					cold.AddDuration(d)
+					lastID = res.InvocationID
+				} else {
+					warm.AddDuration(d)
+					lastID = res.InvocationID
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "loadgen: %d invocations of %q at concurrency %d in %v (%.1f/s)\n",
+		n, kernel, conc, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if failures > 0 {
+		fmt.Fprintf(w, "  failures: %d\n", failures)
+	}
+	fmt.Fprintf(w, "  cold starts: %s\n", percentileLine(&cold))
+	fmt.Fprintf(w, "  warm starts: %s\n", percentileLine(&warm))
+	if lastID != "" {
+		fmt.Fprintf(w, "  last invocation ID: %s\n", lastID)
+	}
+	if failures > 0 {
+		return fmt.Errorf("loadgen: %d of %d invocations failed", failures, n)
+	}
+	return nil
+}
+
+// percentileLine renders a latency sample as count + p50/p95/p99.
+func percentileLine(s *metrics.Sample) string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	sec := func(p float64) time.Duration {
+		return time.Duration(s.Percentile(p) * float64(time.Second)).Round(10 * time.Microsecond)
+	}
+	return fmt.Sprintf("n=%d  p50=%v  p95=%v  p99=%v", s.N(), sec(50), sec(95), sec(99))
+}
+
+// parseParams converts trailing key=value arguments to kernel params.
+func parseParams(args []string) (kaas.Params, error) {
+	params := make(kaas.Params, len(args))
+	for _, a := range args {
+		key, value, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad parameter %q, want key=value", a)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", a, err)
+		}
+		params[key] = v
+	}
+	return params, nil
 }

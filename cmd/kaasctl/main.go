@@ -8,6 +8,7 @@
 //	kaasctl -server 127.0.0.1:7070 -timeout 5s -retries 2 invoke matmul n=500
 //	kaasctl -server 127.0.0.1:7070 list
 //	kaasctl -server 127.0.0.1:7070 stats
+//	kaasctl -server 127.0.0.1:7070 stats -v   # per-kernel p50/p95/p99 + device tables
 //	kaasctl simulate circuit.qasm       # local quantum-circuit simulation
 //
 // -timeout bounds each call (deadline propagated to the server; 0 waits
@@ -19,12 +20,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"kaas/internal/client"
+	"kaas/internal/core"
 	"kaas/internal/kernels"
 	"kaas/internal/qsim"
 )
@@ -113,6 +118,13 @@ func run(args []string) error {
 		return nil
 
 	case "stats":
+		if len(rest) > 1 && rest[1] == "-v" {
+			var stats core.Stats
+			if err := c.StatsContext(ctx, &stats); err != nil {
+				return err
+			}
+			return printVerboseStats(os.Stdout, &stats)
+		}
 		var stats json.RawMessage
 		if err := c.StatsContext(ctx, &stats); err != nil {
 			return err
@@ -185,6 +197,82 @@ func simulate(path string) error {
 		fmt.Printf("  ... %d more states\n", len(outcomes)-limit)
 	}
 	return nil
+}
+
+// printVerboseStats renders the server's per-kernel latency distributions
+// and per-device occupancy as aligned tables — the CLI view of the
+// paper's Fig. 2/Fig. 7 breakdowns.
+func printVerboseStats(w io.Writer, st *core.Stats) error {
+	fmt.Fprintf(w, "kernels: %d  runners: %d  in-flight: %d  cold starts: %d  failovers: %d  evictions: %d  reaps: %d\n\n",
+		st.Kernels, st.Runners, st.InFlight, st.ColdStarts, st.Failovers, st.Evictions, st.Reaps)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "KERNEL\tINV\tERR\tCOLD\tFAILOVER\tRUNNERS\tWARM p50/p95/p99\tCOLD p50/p95/p99")
+	names := make([]string, 0, len(st.PerKernel))
+	for name := range st.PerKernel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ks := st.PerKernel[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			name, ks.Invocations, ks.Errors, ks.ColdStarts, ks.Failovers, ks.Runners,
+			formatPercentiles(ks.Warm), formatPercentiles(ks.Cold))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DEVICE\tKIND\tRUNNERS\tCTX/SLOTS\tUTIL\tBUSY\tMEM\tEVICT\tREAP")
+	ids := make([]string, 0, len(st.PerDevice))
+	for id := range st.PerDevice {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ds := st.PerDevice[id]
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d/%d\t%.0f%%\t%s\t%s\t%d\t%d\n",
+			id, ds.Kind, ds.Runners, ds.ActiveContexts, ds.Slots, ds.Utilization*100,
+			formatDuration(ds.ComputeBusy), formatBytes(ds.MemoryUsed), ds.Evictions, ds.Reaps)
+	}
+	return tw.Flush()
+}
+
+// formatPercentiles renders a latency summary as "p50/p95/p99 (n=N)".
+func formatPercentiles(ls core.LatencySummary) string {
+	if ls.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s/%s (n=%d)",
+		formatDuration(ls.P50), formatDuration(ls.P95), formatDuration(ls.P99), ls.Count)
+}
+
+// formatDuration rounds a duration to a readable precision.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // parseParams converts key=value arguments to kernel params.

@@ -4,14 +4,19 @@
 // Usage:
 //
 //	kaasd -listen 127.0.0.1:7070 -gpus 4 -fpgas 1 -scale 1
+//	kaasd -listen 127.0.0.1:7070 -metrics 127.0.0.1:9090
 //
 // With -scale 1 the device cost models run in real time; larger scales
-// compress modeled time for demonstrations.
+// compress modeled time for demonstrations. With -metrics the server
+// exposes its per-kernel and per-device counters, gauges, and latency
+// histograms in the Prometheus text format at http://<addr>/metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +40,7 @@ func run(args []string) error {
 	qpus := fs.Int("qpus", 0, "number of simulated QPU backends")
 	scale := fs.Float64("scale", 1, "modeled seconds per wall second")
 	idle := fs.Duration("idle-timeout", 0, "reap task runners idle this long (0 = never)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics over HTTP on this address (e.g. 127.0.0.1:9090)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +77,18 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "kaasd: skip %s: %v\n", k.Name(), err)
 			}
 		}
+	}
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", p.MetricsHandler())
+		go http.Serve(mln, mux)
+		fmt.Printf("kaasd metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	fmt.Printf("kaasd listening on %s (%d devices, scale %.0fx)\n",

@@ -379,6 +379,9 @@ type Result struct {
 	Data []byte
 	// Cold reports whether the invocation started a new runner.
 	Cold bool
+	// InvocationID is the server-assigned identifier of this invocation,
+	// joinable against the server's structured logs and metrics.
+	InvocationID string
 	// ServerTime is the server-side modeled invocation duration.
 	ServerTime time.Duration
 }
@@ -439,10 +442,11 @@ func (c *Client) invoke(ctx context.Context, msg *wire.Message) (*Result, error)
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
 	res := &Result{
-		Values:     reply.Header.Values,
-		Data:       reply.Body,
-		Cold:       reply.Header.ColdStart,
-		ServerTime: time.Duration(reply.Header.DurationNanos),
+		Values:       reply.Header.Values,
+		Data:         reply.Body,
+		Cold:         reply.Header.ColdStart,
+		InvocationID: reply.Header.InvocationID,
+		ServerTime:   time.Duration(reply.Header.DurationNanos),
 	}
 	if key := reply.Header.ResultShmKey; key != "" && c.regions != nil {
 		data, err := c.regions.Get(key)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"kaas/internal/metrics"
+)
+
+// Metric family names exported by the server's registry. Durations in
+// histogram families are expressed in seconds on export; phase
+// accumulators are integer nanosecond counters.
+const (
+	metricInvocations = "kaas_invocations_total"
+	metricErrors      = "kaas_invocation_errors_total"
+	metricColdStarts  = "kaas_cold_starts_total"
+	metricFailovers   = "kaas_failovers_total"
+	metricInFlight    = "kaas_in_flight"
+	metricQueueDepth  = "kaas_queue_depth"
+	metricLatency     = "kaas_invocation_latency_seconds"
+	metricPhaseNanos  = "kaas_phase_nanoseconds_total"
+	metricEvictions   = "kaas_evictions_total"
+	metricReaps       = "kaas_reaps_total"
+	metricRunners     = "kaas_runners"
+	metricDeviceQueue = "kaas_device_queue_depth"
+)
+
+// registerHelp attaches HELP text to the server's metric families once
+// per registry.
+func registerHelp(reg *metrics.Registry) {
+	reg.Help(metricInvocations, "Invocations accepted per kernel.")
+	reg.Help(metricErrors, "Invocations that returned an error, per kernel.")
+	reg.Help(metricColdStarts, "Task runner cold starts per kernel.")
+	reg.Help(metricFailovers, "Failover retries after device failures, per kernel.")
+	reg.Help(metricInFlight, "Invocations currently being served, per kernel.")
+	reg.Help(metricQueueDepth, "Invocations waiting for a runner to finish starting, per kernel.")
+	reg.Help(metricLatency, "Modeled invocation latency per kernel, split cold/warm by the temp label.")
+	reg.Help(metricPhaseNanos, "Cumulative modeled time per invocation phase, per kernel, split cold/warm.")
+	reg.Help(metricEvictions, "Runners evicted for device slot pressure, per device.")
+	reg.Help(metricReaps, "Idle runners reaped by the scale-down timer, per device.")
+	reg.Help(metricRunners, "Live task runners per device.")
+	reg.Help(metricDeviceQueue, "Cold starts waiting for a device context slot, per device.")
+}
+
+// kernelMetrics caches one kernel's metric instances so the invocation
+// hot path updates them with single atomic operations, never touching the
+// registry maps.
+type kernelMetrics struct {
+	invocations *metrics.Counter
+	errors      *metrics.Counter
+	coldStarts  *metrics.Counter
+	failovers   *metrics.Counter
+	inFlight    *metrics.Gauge
+	queueDepth  *metrics.Gauge
+
+	latCold   *metrics.Histogram
+	latWarm   *metrics.Histogram
+	phaseCold map[string]*metrics.Counter
+	phaseWarm map[string]*metrics.Counter
+}
+
+func newKernelMetrics(reg *metrics.Registry, kernel string) *kernelMetrics {
+	km := &kernelMetrics{
+		invocations: reg.Counter(metricInvocations, "kernel", kernel),
+		errors:      reg.Counter(metricErrors, "kernel", kernel),
+		coldStarts:  reg.Counter(metricColdStarts, "kernel", kernel),
+		failovers:   reg.Counter(metricFailovers, "kernel", kernel),
+		inFlight:    reg.Gauge(metricInFlight, "kernel", kernel),
+		queueDepth:  reg.Gauge(metricQueueDepth, "kernel", kernel),
+		latCold:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "cold"),
+		latWarm:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "warm"),
+		phaseCold:   make(map[string]*metrics.Counter),
+		phaseWarm:   make(map[string]*metrics.Counter),
+	}
+	for _, p := range (metrics.Breakdown{}).Phases() {
+		km.phaseCold[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "cold")
+		km.phaseWarm[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "warm")
+	}
+	return km
+}
+
+// observe records one completed invocation's latency and phase breakdown
+// under the cold or warm series.
+func (km *kernelMetrics) observe(cold bool, b metrics.Breakdown) {
+	lat, phases := km.latWarm, km.phaseWarm
+	if cold {
+		lat, phases = km.latCold, km.phaseCold
+	}
+	lat.Observe(b.Total())
+	for _, p := range b.Phases() {
+		if p.D > 0 {
+			phases[p.Name].Add(uint64(p.D))
+		}
+	}
+}
+
+// deviceMetrics caches one device's metric instances.
+type deviceMetrics struct {
+	evictions  *metrics.Counter
+	reaps      *metrics.Counter
+	runners    *metrics.Gauge
+	queueDepth *metrics.Gauge
+}
+
+func newDeviceMetrics(reg *metrics.Registry, id string) *deviceMetrics {
+	return &deviceMetrics{
+		evictions:  reg.Counter(metricEvictions, "device", id),
+		reaps:      reg.Counter(metricReaps, "device", id),
+		runners:    reg.Gauge(metricRunners, "device", id),
+		queueDepth: reg.Gauge(metricDeviceQueue, "device", id),
+	}
+}

@@ -21,15 +21,26 @@ import (
 // Report describes how one invocation was served, with the modeled time
 // breakdown the evaluation plots.
 type Report struct {
+	// InvocationID uniquely identifies the invocation on this server. It
+	// appears in every structured log line of the invocation path and
+	// rides the wire back to the client, so client-side measurements and
+	// server-side events can be joined.
+	InvocationID string
 	// Kernel is the invoked kernel name.
 	Kernel string
 	// Device is the device the invocation executed on.
 	Device string
 	// Runner is the task runner that served the invocation.
 	Runner string
-	// Cold reports whether this invocation started a new runner.
+	// Cold reports whether this invocation started a new runner (or was
+	// retried after a device failure, in which case the retry's cold
+	// start is part of the invocation).
 	Cold bool
-	// Breakdown is the phase decomposition of the modeled time.
+	// Attempts counts placement attempts: 1 for a normally served
+	// invocation, more when device failures forced failover retries.
+	Attempts int
+	// Breakdown is the phase decomposition of the modeled time,
+	// accumulated across failover retries.
 	Breakdown metrics.Breakdown
 }
 

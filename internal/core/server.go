@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kaas/internal/accel"
@@ -25,6 +26,12 @@ var (
 	// ErrNoDevice indicates the host has no device of the kernel's kind.
 	ErrNoDevice = errors.New("core: no device of required kind")
 )
+
+// errColdStartAborted signals that the runner this invocation queued on
+// had its cold start abandoned because the spawning invocation's context
+// was cancelled; the waiter itself is still live and retries on a fresh
+// runner.
+var errColdStartAborted = errors.New("core: cold start aborted by another invocation")
 
 // PlacementPolicy selects the device for a new task runner.
 type PlacementPolicy int
@@ -86,12 +93,19 @@ type Config struct {
 	// Logger receives structured lifecycle events (registrations, cold
 	// starts, evictions, failovers). Nil disables logging.
 	Logger *slog.Logger
+	// Metrics is the registry the server feeds per-kernel and per-device
+	// counters, gauges, and latency histograms. Nil creates a private
+	// registry, readable through Server.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Server is the KaaS control plane for one host.
 type Server struct {
-	cfg   Config
-	clock vclock.Clock
+	cfg    Config
+	clock  vclock.Clock
+	reg    *metrics.Registry
+	devMet map[string]*deviceMetrics // immutable after New
+	invSeq atomic.Uint64
 
 	mu         sync.Mutex
 	entries    map[string]*entry
@@ -106,7 +120,14 @@ type Server struct {
 
 // entry is the per-kernel state.
 type entry struct {
-	kernel     kernels.Kernel
+	name   string
+	kernel kernels.Kernel
+	// met is created lazily on first use (see Server.kernelMet):
+	// registration sits on the modeled-time critical path, and building
+	// the ~two dozen metric series for a kernel is wall-clock work that
+	// would inflate the scaled clock.
+	metOnce    sync.Once
+	met        *kernelMetrics
 	runners    []*runner
 	rrNext     int
 	lastRunner int
@@ -160,12 +181,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(discardHandler{})
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	registerHelp(cfg.Metrics)
 	s := &Server{
 		cfg:       cfg,
 		clock:     cfg.Clock,
+		reg:       cfg.Metrics,
+		devMet:    make(map[string]*deviceMetrics),
 		entries:   make(map[string]*entry),
 		libInit:   make(map[accel.Kind]bool),
 		runnersOn: make(map[string]int),
+	}
+	for _, d := range append(cfg.Host.Devices(), cfg.Host.CPU()) {
+		s.devMet[d.ID()] = newDeviceMetrics(s.reg, d.ID())
 	}
 	if cfg.RunnerIdleTimeout > 0 {
 		s.scheduleReapLocked()
@@ -176,6 +206,9 @@ func New(cfg Config) (*Server, error) {
 // Logger returns the server's structured logger (never nil; a discarding
 // logger when none was configured).
 func (s *Server) Logger() *slog.Logger { return s.cfg.Logger }
+
+// Metrics returns the registry the server feeds.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // SetComputeResults toggles real host computation of kernel results.
 func (s *Server) SetComputeResults(on bool) {
@@ -208,7 +241,11 @@ func (s *Server) Register(k kernels.Kernel) error {
 	}
 	needLibInit := !s.libInit[kind]
 	s.libInit[kind] = true
-	s.entries[k.Name()] = &entry{kernel: k, runnersOn: make(map[string]int)}
+	s.entries[k.Name()] = &entry{
+		name:      k.Name(),
+		kernel:    k,
+		runnersOn: make(map[string]int),
+	}
 	s.mu.Unlock()
 
 	if needLibInit {
@@ -228,6 +265,13 @@ func (s *Server) libraryInitCost(kind accel.Kind) time.Duration {
 	return devs[0].Profile().LibraryInit
 }
 
+// kernelMet returns the entry's cached metric instances, creating them on
+// first use.
+func (s *Server) kernelMet(e *entry) *kernelMetrics {
+	e.metOnce.Do(func() { e.met = newKernelMetrics(s.reg, e.name) })
+	return e.met
+}
+
 // Kernels returns the registered kernel names.
 func (s *Server) Kernels() []string {
 	s.mu.Lock()
@@ -241,6 +285,12 @@ func (s *Server) Kernels() []string {
 
 // Invoke routes one invocation to a warm or new runner and returns the
 // kernel response plus a report of how it was served.
+//
+// A device failure mid-invocation retires the failed runner and retries
+// on whatever healthy capacity remains, at most once per device of the
+// kernel's kind; when every retry budget is spent the invocation fails
+// with an error wrapping accel.ErrDeviceFailed. The retries' modeled time
+// accumulates into the returned report.
 func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) (*kernels.Response, *Report, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -253,20 +303,74 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownKernel, name)
 	}
 	s.inFlight++
+	kind := e.kernel.Kind()
+	s.mu.Unlock()
 
+	met := s.kernelMet(e)
+	met.invocations.Inc()
+	met.inFlight.Inc()
+	defer func() {
+		met.inFlight.Dec()
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	report := &Report{
+		InvocationID: fmt.Sprintf("inv-%d", s.invSeq.Add(1)),
+		Kernel:       name,
+	}
+	// One attempt per device of the kind on top of the first, so a
+	// flapping device cannot keep an invocation bouncing forever.
+	maxAttempts := 1 + len(s.cfg.Host.DevicesByKind(kind))
+
+	var resp *kernels.Response
+	var err error
+	for attempt := 1; ; attempt++ {
+		report.Attempts = attempt
+		resp, err = s.invokeOnce(ctx, e, req, report)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		failover := errors.Is(err, accel.ErrDeviceFailed)
+		if !failover && !errors.Is(err, errColdStartAborted) {
+			break
+		}
+		if attempt >= maxAttempts {
+			err = fmt.Errorf("core: failover exhausted after %d attempts for %q: %w",
+				attempt, name, err)
+			break
+		}
+		if failover {
+			met.failovers.Inc()
+			// A failed-over invocation pays (at least part of) a cold
+			// start, matching how the evaluation classifies it.
+			report.Cold = true
+		}
+	}
+	if err != nil {
+		met.errors.Inc()
+		return nil, nil, err
+	}
+	met.observe(report.Cold, report.Breakdown)
+	return resp, report, nil
+}
+
+// invokeOnce performs one placement attempt of an invocation,
+// accumulating modeled time into the report.
+func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request, report *Report) (*kernels.Response, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
 	// Snapshot the implementation: ReplaceKernel may swap e.kernel while
 	// this invocation is in flight.
 	k := e.kernel
 	r, spawner := s.selectRunnerLocked(e)
 	s.mu.Unlock()
 
-	defer func() {
-		s.mu.Lock()
-		s.inFlight--
-		s.mu.Unlock()
-	}()
-
-	report := &Report{Kernel: name, Runner: r.id}
+	report.Runner = r.id
 
 	// Modeled request routing cost.
 	s.clock.Sleep(s.cfg.RoutingOverhead)
@@ -274,52 +378,48 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 
 	if spawner {
 		report.Cold = true
-		s.coldStart(k, r, &report.Breakdown)
+		s.coldStart(ctx, report.InvocationID, k, r, &report.Breakdown)
 	} else {
 		// Wait for the runner to finish starting if necessary.
 		waitStart := s.clock.Now()
+		s.kernelMet(e).queueDepth.Inc()
 		select {
 		case <-r.ready:
+			s.kernelMet(e).queueDepth.Dec()
 		case <-ctx.Done():
+			s.kernelMet(e).queueDepth.Dec()
 			s.releaseRunner(e, r)
-			return nil, nil, ctx.Err()
+			return nil, ctx.Err()
 		}
 		report.Breakdown.Queue += s.clock.Now().Sub(waitStart)
 	}
 	if r.startErr != nil {
 		err := r.startErr
 		s.removeRunner(e, r)
-		return nil, nil, fmt.Errorf("core: runner start: %w", err)
+		if !spawner && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The spawner's context expired and took the cold start with
+			// it; this waiter is still live and deserves a fresh runner.
+			return nil, errColdStartAborted
+		}
+		return nil, fmt.Errorf("core: runner start: %w", err)
 	}
 
 	resp, err := s.serve(ctx, k, r, req, report)
 	s.releaseRunner(e, r)
 	if err != nil {
 		if errors.Is(err, accel.ErrDeviceFailed) {
-			// The runner's device failed: retire the runner and retry
-			// once; the autoscaler will place a new runner on a healthy
-			// device.
+			// The runner's device failed: retire the runner; the Invoke
+			// loop retries on whatever healthy capacity remains.
 			s.cfg.Logger.Warn("device failure, failing over",
-				"kernel", name, "runner", r.id, "device", r.device.ID())
+				"inv", report.InvocationID, "kernel", report.Kernel,
+				"runner", r.id, "device", r.device.ID())
 			s.removeRunner(e, r)
-			return s.failover(ctx, name, req, report)
 		}
-		return nil, nil, err
+		return nil, err
 	}
 	report.Device = r.device.ID()
-	return resp, report, nil
-}
-
-// failover retries an invocation after a device failure, accumulating the
-// time already spent into the retried report.
-func (s *Server) failover(ctx context.Context, name string, req *kernels.Request, prior *Report) (*kernels.Response, *Report, error) {
-	resp, report, err := s.Invoke(ctx, name, req)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: failover for %q: %w", name, err)
-	}
-	report.Breakdown = report.Breakdown.Add(prior.Breakdown)
-	report.Cold = true
-	return resp, report, nil
+	return resp, nil
 }
 
 // selectRunnerLocked picks a runner for a new invocation, creating one if
@@ -342,36 +442,21 @@ func (s *Server) selectRunnerLocked(e *entry) (*runner, bool) {
 	}
 	if best != nil {
 		best.inflight++
-		for i, r := range e.runners {
-			if r == best {
-				e.lastRunner = i
-				break
-			}
-		}
+		s.setLastRunnerLocked(e, best)
 		return best, false
 	}
 
 	// All runners saturated: scale out if a device has capacity.
 	if dev := s.placeLocked(e); dev != nil {
-		s.runnerSeq++
-		r := &runner{
-			id:       fmt.Sprintf("runner-%d", s.runnerSeq),
-			device:   dev,
-			ready:    make(chan struct{}),
-			inflight: 1,
-			lastUsed: s.clock.Now(),
-		}
-		e.runners = append(e.runners, r)
-		s.runnersOn[dev.ID()]++
-		e.runnersOn[dev.ID()]++
-		s.coldStarts++
-		return r, true
+		return s.newRunnerLocked(e, dev), true
 	}
 
-	// No capacity for new runners: overbook the least-loaded one. The
+	// No capacity for new runners: overbook the least-loaded one,
+	// rotating through ties so saturated pools still spread load. The
 	// in-flight limit is a scaling trigger, not an admission limit
 	// (§5.5: the GPU can take more parallel work than the threshold).
-	for _, r := range e.runners {
+	for i := 0; i < n; i++ {
+		r := e.runners[(e.lastRunner+1+i)%n]
 		if r.removed || r.draining {
 			continue
 		}
@@ -383,23 +468,43 @@ func (s *Server) selectRunnerLocked(e *entry) (*runner, bool) {
 		// No runner exists and no device capacity: create one anyway on
 		// the overall least-loaded device so the invocation can queue on
 		// the device slot instead of failing.
-		dev := s.leastLoadedDeviceLocked(e)
-		s.runnerSeq++
-		r := &runner{
-			id:       fmt.Sprintf("runner-%d", s.runnerSeq),
-			device:   dev,
-			ready:    make(chan struct{}),
-			inflight: 1,
-			lastUsed: s.clock.Now(),
-		}
-		e.runners = append(e.runners, r)
-		s.runnersOn[dev.ID()]++
-		e.runnersOn[dev.ID()]++
-		s.coldStarts++
-		return r, true
+		return s.newRunnerLocked(e, s.leastLoadedDeviceLocked(e)), true
 	}
 	best.inflight++
+	s.setLastRunnerLocked(e, best)
 	return best, false
+}
+
+// setLastRunnerLocked records the rotation point for tie-breaking.
+func (s *Server) setLastRunnerLocked(e *entry, picked *runner) {
+	for i, r := range e.runners {
+		if r == picked {
+			e.lastRunner = i
+			return
+		}
+	}
+}
+
+// newRunnerLocked creates a runner on dev with one in-flight invocation —
+// the caller becomes its spawner.
+func (s *Server) newRunnerLocked(e *entry, dev *accel.Device) *runner {
+	s.runnerSeq++
+	r := &runner{
+		id:       fmt.Sprintf("runner-%d", s.runnerSeq),
+		device:   dev,
+		ready:    make(chan struct{}),
+		inflight: 1,
+		lastUsed: s.clock.Now(),
+	}
+	e.runners = append(e.runners, r)
+	s.runnersOn[dev.ID()]++
+	e.runnersOn[dev.ID()]++
+	s.coldStarts++
+	s.kernelMet(e).coldStarts.Inc()
+	if dm := s.devMet[dev.ID()]; dm != nil {
+		dm.runners.Inc()
+	}
+	return r
 }
 
 // placeLocked returns the device for a new runner, or nil if every device
@@ -458,31 +563,32 @@ func (s *Server) leastLoadedDeviceLocked(e *entry) *accel.Device {
 }
 
 // coldStart brings a new runner up: spawn the host process, create the
-// device context (RuntimeInit), and run kernel setup work. If the target
-// device has no free context slot, an idle runner of another kernel is
-// evicted first so single-slot devices (FPGAs) can serve multiple
-// registered kernels without deadlocking.
-func (s *Server) coldStart(k kernels.Kernel, r *runner, b *metrics.Breakdown) {
+// device context (RuntimeInit), and run kernel setup work. The caller's
+// context bounds the whole sequence, so a cancelled client stops paying
+// for spawn and never blocks on a saturated device; the abandoned runner
+// is surfaced to waiters through startErr. If the target device has no
+// free context slot, an idle runner of another kernel is evicted first so
+// single-slot devices (FPGAs) can serve multiple registered kernels
+// without deadlocking.
+func (s *Server) coldStart(ctx context.Context, inv string, k kernels.Kernel, r *runner, b *metrics.Breakdown) {
 	defer close(r.ready)
 
+	if err := ctx.Err(); err != nil {
+		r.startErr = err
+		return
+	}
 	s.clock.Sleep(s.cfg.RunnerSpawnCost)
 	b.Spawn += s.cfg.RunnerSpawnCost
 
-	if st := r.device.Stats(); st.ActiveContexts >= r.device.Profile().Slots {
-		s.mu.Lock()
-		s.evictIdleRunnerLocked(r.device)
-		s.mu.Unlock()
-	}
-
 	initStart := s.clock.Now()
-	dctx, err := r.device.Acquire(context.Background())
+	dctx, err := s.acquireSlot(ctx, r.device)
 	if err != nil {
 		r.startErr = fmt.Errorf("acquire %s: %w", r.device.ID(), err)
 		return
 	}
 	b.RuntimeInit += s.clock.Now().Sub(initStart)
 	r.dctx = dctx
-	s.cfg.Logger.Info("runner started", "runner", r.id, "device", r.device.ID())
+	s.cfg.Logger.Info("runner started", "inv", inv, "runner", r.id, "device", r.device.ID())
 
 	// Kernel setup (weight loading, transpilation): a fixed modeled
 	// duration independent of the device's compute rate.
@@ -490,6 +596,46 @@ func (s *Server) coldStart(k kernels.Kernel, r *runner, b *metrics.Breakdown) {
 	if err == nil && cost.SetupTime > 0 {
 		s.clock.Sleep(cost.SetupTime)
 		b.Setup += cost.SetupTime
+	}
+}
+
+// evictRetrySlice bounds (in wall time) how long a blocked cold start
+// waits on a saturated device before re-checking for an evictable idle
+// runner. It makes slot acquisition race-free without holding the server
+// lock across the blocking wait: two concurrent cold starts on a
+// single-slot device may both pass the pressure check and find only one
+// evictable runner, but the loser retries its eviction instead of
+// blocking forever.
+const evictRetrySlice = 2 * time.Millisecond
+
+// acquireSlot obtains a device context for a cold start, evicting idle
+// runners under slot pressure and retrying the eviction for as long as
+// the caller's context allows.
+func (s *Server) acquireSlot(ctx context.Context, dev *accel.Device) (*accel.Context, error) {
+	dm := s.devMet[dev.ID()]
+	if dm != nil {
+		dm.queueDepth.Inc()
+		defer dm.queueDepth.Dec()
+	}
+	for {
+		if st := dev.Stats(); st.ActiveContexts >= dev.Profile().Slots {
+			s.mu.Lock()
+			s.evictIdleRunnerLocked(dev)
+			s.mu.Unlock()
+		}
+		actx, cancel := context.WithTimeout(ctx, evictRetrySlice)
+		dctx, err := dev.Acquire(actx)
+		cancel()
+		if err == nil {
+			return dctx, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			continue // every slot still held: re-check for an evictable runner
+		}
+		return nil, err
 	}
 }
 
@@ -575,6 +721,9 @@ func (s *Server) evictIdleRunnerLocked(dev *accel.Device) bool {
 			}
 			r.inflight++ // balance the decrement in removeRunnerLocked
 			s.removeRunnerLocked(e, r)
+			if dm := s.devMet[dev.ID()]; dm != nil {
+				dm.evictions.Inc()
+			}
 			s.cfg.Logger.Info("runner evicted for slot pressure",
 				"runner", r.id, "device", dev.ID())
 			return true
@@ -598,6 +747,9 @@ func (s *Server) removeRunnerLocked(e *entry, r *runner) {
 	r.inflight--
 	s.runnersOn[r.device.ID()]--
 	e.runnersOn[r.device.ID()]--
+	if dm := s.devMet[r.device.ID()]; dm != nil {
+		dm.runners.Dec()
+	}
 	for i, x := range e.runners {
 		if x == r {
 			e.runners = append(e.runners[:i], e.runners[i+1:]...)
@@ -638,6 +790,9 @@ func (s *Server) reap() {
 	for _, v := range victims {
 		v.r.inflight++ // balance the decrement in removeRunnerLocked
 		s.removeRunnerLocked(v.e, v.r)
+		if dm := s.devMet[v.r.device.ID()]; dm != nil {
+			dm.reaps.Inc()
+		}
 		s.cfg.Logger.Info("idle runner reaped",
 			"runner", v.r.id, "device", v.r.device.ID())
 	}
@@ -652,41 +807,6 @@ func (s *Server) scheduleReapLocked() {
 		interval = s.cfg.RunnerIdleTimeout
 	}
 	s.reapTimer = s.clock.AfterFunc(interval, s.reap)
-}
-
-// Stats is a snapshot of server state.
-type Stats struct {
-	// Kernels is the number of registered kernels.
-	Kernels int
-	// Runners is the number of live task runners.
-	Runners int
-	// InFlight is the number of invocations currently being served.
-	InFlight int
-	// ColdStarts counts runner creations.
-	ColdStarts int
-	// RunnersPerDevice maps device IDs to live runner counts.
-	RunnersPerDevice map[string]int
-}
-
-// Stats returns current server statistics.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{
-		Kernels:          len(s.entries),
-		InFlight:         s.inFlight,
-		ColdStarts:       s.coldStarts,
-		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
-	}
-	for _, e := range s.entries {
-		st.Runners += len(e.runners)
-	}
-	for id, n := range s.runnersOn {
-		if n > 0 {
-			st.RunnersPerDevice[id] = n
-		}
-	}
-	return st
 }
 
 // Close shuts the server down, releasing all runners.

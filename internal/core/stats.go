@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/metrics"
+)
+
+// LatencySummary condenses one latency histogram: observation count,
+// mean, extremes, and the percentiles the paper's Fig. 7 reports.
+type LatencySummary struct {
+	// Count is the number of completed invocations observed.
+	Count uint64
+	// Mean is the average modeled latency.
+	Mean time.Duration
+	// Min and Max are the observed extremes.
+	Min, Max time.Duration
+	// P50, P95, P99 are estimated from the histogram buckets.
+	P50, P95, P99 time.Duration
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// KernelStats is the per-kernel slice of a Stats snapshot.
+type KernelStats struct {
+	// Invocations counts accepted invocations (including failed ones).
+	Invocations uint64
+	// ColdStarts counts runner creations for this kernel.
+	ColdStarts uint64
+	// Failovers counts device-failure retries.
+	Failovers uint64
+	// Errors counts invocations that returned an error.
+	Errors uint64
+	// InFlight is the number of invocations being served right now.
+	InFlight int64
+	// QueueDepth is the number of invocations waiting on a starting
+	// runner right now.
+	QueueDepth int64
+	// Runners is the kernel's live runner count.
+	Runners int
+	// Warm and Cold summarize the modeled latency distributions split by
+	// start temperature.
+	Warm, Cold LatencySummary
+	// PhasesWarm and PhasesCold are cumulative modeled time per
+	// invocation phase (queue, spawn, runtime_init, ...).
+	PhasesWarm, PhasesCold map[string]time.Duration
+}
+
+// DeviceStats is the per-device slice of a Stats snapshot.
+type DeviceStats struct {
+	// Kind is the device's accelerator kind name.
+	Kind string
+	// Runners is the number of live task runners placed on the device.
+	Runners int
+	// ActiveContexts and Slots describe context-slot occupancy.
+	ActiveContexts, Slots int
+	// QueueDepth is the number of cold starts waiting for a slot.
+	QueueDepth int64
+	// MemoryUsed is the current device memory allocation in bytes.
+	MemoryUsed int64
+	// ColdStarts counts device context creations.
+	ColdStarts int
+	// Evictions counts runners evicted for slot pressure.
+	Evictions uint64
+	// Reaps counts idle runners reaped from this device.
+	Reaps uint64
+	// ComputeBusy is total modeled time the compute fabric was active.
+	ComputeBusy time.Duration
+	// Uptime is modeled time since device creation.
+	Uptime time.Duration
+	// Utilization is the instantaneous compute utilization in [0, 1].
+	Utilization float64
+}
+
+// Stats is a snapshot of server state: the coarse totals plus per-kernel
+// latency distributions and per-device occupancy tables.
+type Stats struct {
+	// Kernels is the number of registered kernels.
+	Kernels int
+	// Runners is the number of live task runners.
+	Runners int
+	// InFlight is the number of invocations currently being served.
+	InFlight int
+	// ColdStarts counts runner creations.
+	ColdStarts int
+	// Failovers counts device-failure retries across all kernels.
+	Failovers uint64
+	// Evictions counts slot-pressure evictions across all devices.
+	Evictions uint64
+	// Reaps counts idle-runner reaps across all devices.
+	Reaps uint64
+	// RunnersPerDevice maps device IDs to live runner counts.
+	RunnersPerDevice map[string]int
+	// PerKernel holds per-kernel counters and latency summaries.
+	PerKernel map[string]KernelStats
+	// PerDevice holds per-device occupancy and utilization.
+	PerDevice map[string]DeviceStats
+}
+
+// Stats returns current server statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Kernels:          len(s.entries),
+		InFlight:         s.inFlight,
+		ColdStarts:       s.coldStarts,
+		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
+		PerKernel:        make(map[string]KernelStats, len(s.entries)),
+		PerDevice:        make(map[string]DeviceStats),
+	}
+	for name, e := range s.entries {
+		st.Runners += len(e.runners)
+		met := s.kernelMet(e)
+		ks := KernelStats{
+			Invocations: met.invocations.Value(),
+			ColdStarts:  met.coldStarts.Value(),
+			Failovers:   met.failovers.Value(),
+			Errors:      met.errors.Value(),
+			InFlight:    met.inFlight.Value(),
+			QueueDepth:  met.queueDepth.Value(),
+			Runners:     len(e.runners),
+			Warm:        summarize(met.latWarm),
+			Cold:        summarize(met.latCold),
+			PhasesWarm:  phaseTotals(met.phaseWarm),
+			PhasesCold:  phaseTotals(met.phaseCold),
+		}
+		st.Failovers += ks.Failovers
+		st.PerKernel[name] = ks
+	}
+	for id, n := range s.runnersOn {
+		if n > 0 {
+			st.RunnersPerDevice[id] = n
+		}
+	}
+	for _, d := range append(s.cfg.Host.Devices(), s.cfg.Host.CPU()) {
+		ds := d.Stats()
+		dm := s.devMet[d.ID()]
+		dev := DeviceStats{
+			Kind:           d.Kind().String(),
+			Runners:        s.runnersOn[d.ID()],
+			ActiveContexts: ds.ActiveContexts,
+			Slots:          d.Profile().Slots,
+			MemoryUsed:     ds.MemoryUsed,
+			ColdStarts:     ds.ColdStarts,
+			ComputeBusy:    ds.ComputeBusy,
+			Uptime:         ds.Uptime,
+			Utilization:    d.Utilization(),
+		}
+		if dm != nil {
+			dev.QueueDepth = dm.queueDepth.Value()
+			dev.Evictions = dm.evictions.Value()
+			dev.Reaps = dm.reaps.Value()
+		}
+		st.Evictions += dev.Evictions
+		st.Reaps += dev.Reaps
+		st.PerDevice[d.ID()] = dev
+	}
+	return st
+}
+
+// phaseTotals snapshots a phase accumulator map into durations, dropping
+// phases that never occurred.
+func phaseTotals(phases map[string]*metrics.Counter) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(phases))
+	for name, c := range phases {
+		if v := c.Value(); v > 0 {
+			out[name] = time.Duration(v)
+		}
+	}
+	return out
+}
+
+// WriteMetrics writes the server's metrics in the Prometheus text
+// exposition format: everything the registry holds plus live per-device
+// gauges (context occupancy, utilization, busy time, memory, energy)
+// sampled at call time.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+
+	devices := append(s.cfg.Host.Devices(), s.cfg.Host.CPU())
+	sort.Slice(devices, func(i, j int) bool { return devices[i].ID() < devices[j].ID() })
+
+	families := []struct {
+		name, typ, help string
+		value           func(d deviceSample) float64
+	}{
+		{"kaas_device_active_contexts", "gauge", "Device contexts currently held.",
+			func(d deviceSample) float64 { return float64(d.stats.ActiveContexts) }},
+		{"kaas_device_slots", "gauge", "Device context slot capacity.",
+			func(d deviceSample) float64 { return float64(d.slots) }},
+		{"kaas_device_utilization", "gauge", "Instantaneous compute utilization in [0, 1].",
+			func(d deviceSample) float64 { return d.util }},
+		{"kaas_device_busy_seconds_total", "counter", "Modeled time the compute fabric was active.",
+			func(d deviceSample) float64 { return d.stats.ComputeBusy.Seconds() }},
+		{"kaas_device_memory_bytes", "gauge", "Device memory currently allocated.",
+			func(d deviceSample) float64 { return float64(d.stats.MemoryUsed) }},
+		{"kaas_device_cold_starts_total", "counter", "Device context creations (each paid RuntimeInit).",
+			func(d deviceSample) float64 { return float64(d.stats.ColdStarts) }},
+		{"kaas_device_energy_joules_total", "counter", "Modeled energy consumed by the device.",
+			func(d deviceSample) float64 { return d.energy }},
+	}
+
+	samples := make([]deviceSample, len(devices))
+	for i, d := range devices {
+		samples[i] = deviceSample{
+			id:     d.ID(),
+			stats:  d.Stats(),
+			slots:  d.Profile().Slots,
+			util:   d.Utilization(),
+			energy: d.Energy(),
+		}
+	}
+	for _, f := range families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, d := range samples {
+			if _, err := fmt.Fprintf(w, "%s{device=%q} %g\n", f.name, d.id, f.value(d)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deviceSample is one device's live readings for WriteMetrics.
+type deviceSample struct {
+	id     string
+	stats  accel.Stats
+	slots  int
+	util   float64
+	energy float64
+}
+
+// MetricsHandler returns an HTTP handler serving WriteMetrics, mountable
+// as a Prometheus scrape endpoint.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+}

@@ -294,6 +294,7 @@ func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 			Kernel:        msg.Header.Kernel,
 			Values:        resp.Values,
 			ColdStart:     report.Cold,
+			InvocationID:  report.InvocationID,
 			DurationNanos: int64(report.Total()),
 		},
 	}

@@ -69,6 +69,31 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 	}
 }
 
+// Phase is one named component of a Breakdown.
+type Phase struct {
+	// Name is the snake_case phase label used in metric and stats output.
+	Name string
+	// D is the phase's duration.
+	D time.Duration
+}
+
+// Phases lists every phase of the breakdown in plot order, including
+// zero-valued ones, for metric accumulation and export.
+func (b Breakdown) Phases() []Phase {
+	return []Phase{
+		{"queue", b.Queue},
+		{"spawn", b.Spawn},
+		{"library_init", b.LibraryInit},
+		{"runtime_init", b.RuntimeInit},
+		{"setup", b.Setup},
+		{"network", b.Network},
+		{"copy_in", b.CopyIn},
+		{"copy_out", b.CopyOut},
+		{"exec", b.Exec},
+		{"other", b.Other},
+	}
+}
+
 // Sample is a set of float64 observations.
 type Sample struct {
 	vals []float64
@@ -159,8 +184,10 @@ func (s *Sample) Max() float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank interpolation.
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between the two closest ranks (the "exclusive" C = 1
+// variant: rank p/100 * (n-1) over the sorted sample). p <= 0 returns the
+// minimum, p >= 100 the maximum, and an empty sample returns 0.
 func (s *Sample) Percentile(p float64) float64 {
 	n := len(s.vals)
 	if n == 0 {

@@ -120,6 +120,42 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileInterpolation pins the documented behaviour: linear
+// interpolation between the two closest ranks (rank p/100 * (n-1) over
+// the sorted sample), not nearest-rank.
+func TestPercentileInterpolation(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", []float64{42}, 0, 42},
+		{"single p50", []float64{42}, 50, 42},
+		{"single p100", []float64{42}, 100, 42},
+		{"two p50 midpoint", []float64{10, 20}, 50, 15},
+		{"two p25", []float64{10, 20}, 25, 12.5},
+		{"two p75", []float64{10, 20}, 75, 17.5},
+		{"unsorted input", []float64{30, 10, 20}, 50, 20},
+		{"three p25 interpolates", []float64{10, 20, 30}, 25, 15},
+		{"four p50 between ranks", []float64{1, 2, 3, 4}, 50, 2.5},
+		{"four p90", []float64{1, 2, 3, 4}, 90, 3.7},
+		{"below range clamps to min", []float64{5, 6}, -10, 5},
+		{"above range clamps to max", []float64{5, 6}, 200, 6},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			var s Sample
+			for _, v := range tt.vals {
+				s.Add(v)
+			}
+			if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Percentile(%v) of %v = %v, want %v", tt.p, tt.vals, got, tt.want)
+			}
+		})
+	}
+}
+
 func TestMeanWithinMinMaxProperty(t *testing.T) {
 	f := func(vals []float64) bool {
 		var s Sample

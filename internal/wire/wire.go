@@ -133,6 +133,10 @@ type Header struct {
 	Stats json.RawMessage `json:"stats,omitempty"`
 	// ColdStart reports whether the invocation started a new runner.
 	ColdStart bool `json:"coldStart,omitempty"`
+	// InvocationID is the server-assigned invocation identifier returned
+	// on MsgResult. It joins the client-observed result with the server's
+	// structured log lines and metrics for that invocation.
+	InvocationID string `json:"invocationID,omitempty"`
 	// DurationNanos is the server-side modeled invocation time.
 	DurationNanos int64 `json:"durationNanos,omitempty"`
 	// DeadlineNanos is the absolute wall-clock deadline of the request in

@@ -27,8 +27,10 @@ package kaas
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"time"
 
 	"kaas/internal/accel"
@@ -345,6 +347,16 @@ func (p *Platform) Kernels() []string { return p.server.Kernels() }
 
 // Stats returns the server's statistics snapshot.
 func (p *Platform) Stats() Stats { return p.server.Stats() }
+
+// WriteMetrics writes the platform's metrics in the Prometheus text
+// exposition format: per-kernel invocation counters and latency
+// histograms (split cold/warm), per-device runner and eviction counters,
+// and live device occupancy gauges.
+func (p *Platform) WriteMetrics(w io.Writer) error { return p.server.WriteMetrics(w) }
+
+// MetricsHandler returns an HTTP handler serving WriteMetrics, mountable
+// as a Prometheus scrape endpoint (see kaasd's -metrics flag).
+func (p *Platform) MetricsHandler() http.Handler { return p.server.MetricsHandler() }
 
 // Addr returns the TCP listen address, or "" when not serving.
 func (p *Platform) Addr() string {
