@@ -10,6 +10,7 @@
 //	kaasbench -faultcheck        # invocation-path robustness smoke run
 //	kaasbench -loadgen 200 -loadgen-conc 8 n=1000    # latency percentiles
 //	kaasbench -loadgen 100 -server 127.0.0.1:7070    # against a running kaasd
+//	kaasbench -overload 400 -overload-conc 64        # admission + breaker report
 //
 // -faultcheck stands apart from the figures: it serves a platform
 // through a fault-injecting listener (internal/faults) that breaks every
@@ -21,6 +22,11 @@
 // running kaasd when -server is set, else against an in-process platform
 // — and prints client-observed p50/p95/p99 latency split by cold and
 // warm starts, the client-side view of the server's latency histograms.
+//
+// -overload drives an in-process platform configured with admission
+// limits well below the offered concurrency while one of its two GPUs
+// flaps, and reports the shed rate, the latency percentiles of the
+// admitted requests, and the circuit-breaker transition counts.
 package main
 
 import (
@@ -62,12 +68,18 @@ func run(args []string) error {
 	server := fs.String("server", "", "kaasd address for -loadgen (empty = in-process platform)")
 	lgKernel := fs.String("loadgen-kernel", "mci", "kernel for -loadgen")
 	lgConc := fs.Int("loadgen-conc", 8, "concurrent clients for -loadgen")
+	overload := fs.Int("overload", 0, "drive this many invocations past the admission limits and report shed rate, admitted p99, and breaker transitions (0 = off)")
+	ovConc := fs.Int("overload-conc", 64, "concurrent clients for -overload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *faultcheck {
 		return runFaultCheck(os.Stdout, *faultN)
+	}
+
+	if *overload > 0 {
+		return runOverload(os.Stdout, *overload, *ovConc, *scale)
 	}
 
 	if *loadgen > 0 {

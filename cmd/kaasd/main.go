@@ -10,9 +10,14 @@
 // compress modeled time for demonstrations. With -metrics the server
 // exposes its per-kernel and per-device counters, gauges, and latency
 // histograms in the Prometheus text format at http://<addr>/metrics.
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting
+// work, lets in-flight invocations finish (bounded by -drain-timeout),
+// and only then exits. A second signal cuts the drain short.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -20,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kaas"
 )
@@ -31,7 +37,10 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// run starts the daemon and blocks until a shutdown signal has been
+// handled. ready, when non-nil, receives the TCP listen address once the
+// server is serving (tests use it to connect before signaling).
+func run(args []string, ready ...chan<- string) error {
 	fs := flag.NewFlagSet("kaasd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "TCP listen address")
 	gpus := fs.Int("gpus", 4, "number of simulated Tesla P100 GPUs")
@@ -40,6 +49,7 @@ func run(args []string) error {
 	qpus := fs.Int("qpus", 0, "number of simulated QPU backends")
 	scale := fs.Float64("scale", 1, "modeled seconds per wall second")
 	idle := fs.Duration("idle-timeout", 0, "reap task runners idle this long (0 = never)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight invocations (0 = exit immediately)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics over HTTP on this address (e.g. 127.0.0.1:9090)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
 	if err := fs.Parse(args); err != nil {
@@ -93,10 +103,32 @@ func run(args []string) error {
 
 	fmt.Printf("kaasd listening on %s (%d devices, scale %.0fx)\n",
 		p.Addr(), len(profiles), *scale)
+	for _, ch := range ready {
+		ch <- p.Addr()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	<-sigCh
-	fmt.Println("kaasd: shutting down")
+	if *drainTimeout <= 0 {
+		fmt.Println("kaasd: shutting down")
+		return nil
+	}
+
+	// Graceful drain: stop accepting, finish in-flight invocations, exit.
+	// A second signal (or the timeout) cuts the drain short; p.Close in
+	// the defer then fences whatever is left.
+	fmt.Printf("kaasd: draining (timeout %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		cancel()
+	}()
+	if err := p.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kaasd: drain cut short:", err)
+	} else {
+		fmt.Println("kaasd: drained, shutting down")
+	}
 	return nil
 }

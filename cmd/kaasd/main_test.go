@@ -1,9 +1,13 @@
 package main
 
 import (
+	"errors"
 	"syscall"
 	"testing"
 	"time"
+
+	"kaas/internal/client"
+	"kaas/internal/kernels"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -17,6 +21,64 @@ func TestRunBadListenAddr(t *testing.T) {
 		t.Error("bad listen address succeeded")
 	}
 }
+
+// TestSIGTERMDrainsInFlightInvocation: a shutdown signal arriving while
+// an invocation is being served must drain — the invocation completes
+// and delivers its result — instead of cutting the connection.
+func TestSIGTERMDrainsInFlightInvocation(t *testing.T) {
+	ready := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-gpus", "1", "-fpgas", "0",
+			"-scale", "1", // real time: the cold start alone takes ~0.8s
+			"-register-suite",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	c := client.Dial(addr)
+	defer c.Close()
+	// ~1s of modeled exec on top of the ~0.8s cold start: the signal
+	// below lands squarely mid-invocation.
+	invDone := make(chan error, 1)
+	go func() {
+		res, err := c.Invoke("mci", kernels.Params{"n": 1e11}, nil)
+		if err == nil && res.Values["estimate"] == 0 {
+			err = errEmptyResult
+		}
+		invDone <- err
+	}()
+	time.Sleep(600 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	select {
+	case err := <-invDone:
+		if err != nil {
+			t.Fatalf("in-flight invocation was dropped by shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight invocation never returned after SIGTERM")
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after draining")
+	}
+}
+
+var errEmptyResult = errors.New("invocation returned an empty result")
 
 // TestRunServesUntilSignal starts the daemon on an ephemeral port and
 // shuts it down with SIGTERM.

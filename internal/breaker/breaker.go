@@ -1,0 +1,266 @@
+// Package breaker implements per-device circuit breakers for the KaaS
+// control plane: cross-invocation memory of device health, so a device
+// that keeps failing is excluded from placement instead of being
+// rediscovered failing by every new invocation.
+//
+// A breaker follows the classic three-state machine:
+//
+//	Closed ── N consecutive failures ──▶ Open
+//	Open ── open timeout elapses ──▶ HalfOpen (one probe admitted)
+//	HalfOpen ── probe succeeds ──▶ Closed
+//	HalfOpen ── probe fails ──▶ Open
+//
+// The per-invocation `Failed()` flag on a device only protects placement
+// while the device is down; a flapping device (healthy at placement,
+// failed by execution) passes that check every time. The breaker counts
+// the resulting failures across invocations and opens after a threshold,
+// and placement consults it before choosing a device.
+//
+// Time is measured on a vclock.Clock so breakers run in modeled time
+// alongside the device simulators, and tests are deterministic at any
+// clock scale. A stuck half-open probe (e.g. its invocation was cancelled
+// before the device reported an outcome) self-heals: after another open
+// timeout the probe slot is handed to the next caller.
+package breaker
+
+import (
+	"sync"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+// State is a breaker's position in the state machine.
+type State int
+
+// Breaker states. The numeric values are stable: they are exported as
+// gauge values (kaas_breaker_state) and must not be reordered.
+const (
+	// Closed admits all traffic (the healthy state).
+	Closed State = iota
+	// Open rejects all traffic until the open timeout elapses.
+	Open
+	// HalfOpen admits a single probe to test whether the device healed.
+	HalfOpen
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "state(?)"
+	}
+}
+
+// Config parameterizes a breaker Set.
+type Config struct {
+	// Clock is the time source (required). Breakers measure the open
+	// timeout in this clock's (modeled) time.
+	Clock vclock.Clock
+	// Threshold is the number of consecutive failures that opens the
+	// breaker. Default 3.
+	Threshold int
+	// OpenTimeout is how long an open breaker waits before admitting a
+	// half-open probe, in modeled time. Default 5s.
+	OpenTimeout time.Duration
+	// OnTransition, when non-nil, is called after every state change
+	// with the breaker's key and the states involved. It runs with the
+	// breaker unlocked and must not call back into the Set.
+	OnTransition func(key string, from, to State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is one circuit breaker. All methods are safe for concurrent
+// use.
+type Breaker struct {
+	key   string
+	cfg   Config
+	clock vclock.Clock
+
+	mu          sync.Mutex
+	state       State
+	consecutive int       // failures since the last success (Closed)
+	openedAt    time.Time // modeled time the breaker last opened
+	probing     bool      // a half-open probe is in flight
+	probeAt     time.Time // modeled time the probe was admitted
+}
+
+func newBreaker(key string, cfg Config) *Breaker {
+	return &Breaker{key: key, cfg: cfg, clock: cfg.Clock}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Eligible reports, without side effects, whether a request for this
+// device could currently be admitted: the breaker is closed, or has been
+// open long enough to probe, or is half-open with a free (or expired)
+// probe slot. Placement uses it to filter candidate devices before
+// claiming one with Allow.
+func (b *Breaker) Eligible() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.eligibleLocked(b.clock.Now())
+}
+
+func (b *Breaker) eligibleLocked(now time.Time) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		return now.Sub(b.openedAt) >= b.cfg.OpenTimeout
+	default: // HalfOpen
+		return !b.probing || now.Sub(b.probeAt) >= b.cfg.OpenTimeout
+	}
+}
+
+// Allow claims admission for one request. In the closed state it always
+// succeeds. In the open state it fails until the open timeout elapses,
+// then transitions to half-open and admits the caller as the probe. In
+// the half-open state only the probe is admitted; a probe that never
+// reports an outcome is forfeited after another open timeout so the
+// breaker cannot wedge.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	now := b.clock.Now()
+	switch b.state {
+	case Closed:
+		b.mu.Unlock()
+		return true
+	case Open:
+		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
+			b.mu.Unlock()
+			return false
+		}
+		notify := b.transitionLocked(HalfOpen)
+		b.probing = true
+		b.probeAt = now
+		b.mu.Unlock()
+		notify()
+		return true
+	default: // HalfOpen
+		if b.probing && now.Sub(b.probeAt) < b.cfg.OpenTimeout {
+			b.mu.Unlock()
+			return false
+		}
+		b.probing = true
+		b.probeAt = now
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// RecordSuccess reports a successful operation on the device. Any
+// non-closed breaker closes: a success is direct evidence the device
+// works, whether it came from the half-open probe or from a straggling
+// in-flight invocation.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.probing = false
+	notify := func() {}
+	if b.state != Closed {
+		notify = b.transitionLocked(Closed)
+	}
+	b.mu.Unlock()
+	notify()
+}
+
+// RecordFailure reports a device-failure-class error. In the closed
+// state it counts toward the threshold; in the half-open state it sends
+// the breaker straight back to open; in the open state it is ignored
+// (a straggler from before the breaker opened must not extend the open
+// period and delay the next probe).
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	notify := func() {}
+	switch b.state {
+	case Closed:
+		b.consecutive++
+		if b.consecutive >= b.cfg.Threshold {
+			notify = b.transitionLocked(Open)
+			b.openedAt = b.clock.Now()
+		}
+	case HalfOpen:
+		b.probing = false
+		notify = b.transitionLocked(Open)
+		b.openedAt = b.clock.Now()
+	case Open:
+		// ignore
+	}
+	b.mu.Unlock()
+	notify()
+}
+
+// transitionLocked changes state and returns the notification thunk to
+// run after unlocking.
+func (b *Breaker) transitionLocked(to State) func() {
+	from := b.state
+	b.state = to
+	if hook := b.cfg.OnTransition; hook != nil {
+		key := b.key
+		return func() { hook(key, from, to) }
+	}
+	return func() {}
+}
+
+// Set is a collection of breakers keyed by device ID, created on demand
+// with a shared configuration.
+type Set struct {
+	cfg Config
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewSet creates a breaker set. The config's Clock is required.
+func NewSet(cfg Config) *Set {
+	return &Set{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for key, creating it (closed) on first use.
+func (s *Set) For(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = newBreaker(key, s.cfg)
+		s.m[key] = b
+	}
+	return b
+}
+
+// Eligible reports whether key's breaker would admit a request (see
+// Breaker.Eligible). A key never seen before is eligible.
+func (s *Set) Eligible(key string) bool { return s.For(key).Eligible() }
+
+// Allow claims admission for one request on key's breaker.
+func (s *Set) Allow(key string) bool { return s.For(key).Allow() }
+
+// RecordSuccess reports a successful device operation on key.
+func (s *Set) RecordSuccess(key string) { s.For(key).RecordSuccess() }
+
+// RecordFailure reports a device-failure-class error on key.
+func (s *Set) RecordFailure(key string) { s.For(key).RecordFailure() }
+
+// State returns the current state of key's breaker.
+func (s *Set) State(key string) State { return s.For(key).State() }

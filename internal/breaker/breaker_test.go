@@ -1,0 +1,203 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+// newTestSet builds a set on a manual clock with a small threshold.
+func newTestSet(t *testing.T, hook func(key string, from, to State)) (*Set, *vclock.Manual) {
+	t.Helper()
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := NewSet(Config{
+		Clock:        clock,
+		Threshold:    3,
+		OpenTimeout:  10 * time.Second,
+		OnTransition: hook,
+	})
+	return s, clock
+}
+
+func TestClosedUntilThreshold(t *testing.T) {
+	s, _ := newTestSet(t, nil)
+	for i := 0; i < 2; i++ {
+		s.RecordFailure("d")
+		if got := s.State("d"); got != Closed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, got)
+		}
+		if !s.Allow("d") {
+			t.Fatalf("Allow rejected while closed after %d failures", i+1)
+		}
+	}
+	s.RecordFailure("d")
+	if got := s.State("d"); got != Open {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if s.Allow("d") {
+		t.Error("Allow admitted while open before the timeout")
+	}
+	if s.Eligible("d") {
+		t.Error("Eligible true while open before the timeout")
+	}
+}
+
+func TestSuccessResetsConsecutiveCount(t *testing.T) {
+	s, _ := newTestSet(t, nil)
+	s.RecordFailure("d")
+	s.RecordFailure("d")
+	s.RecordSuccess("d")
+	s.RecordFailure("d")
+	s.RecordFailure("d")
+	if got := s.State("d"); got != Closed {
+		t.Fatalf("state = %v, want closed (success must reset the failure streak)", got)
+	}
+}
+
+func TestHalfOpenProbeAndRecovery(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []State
+	s, clock := newTestSet(t, func(_ string, _, to State) {
+		mu.Lock()
+		transitions = append(transitions, to)
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("d")
+	}
+	if got := s.State("d"); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Before the timeout: rejected. After: exactly one probe admitted.
+	if s.Allow("d") {
+		t.Fatal("probe admitted before the open timeout")
+	}
+	clock.Advance(10 * time.Second)
+	if !s.Eligible("d") {
+		t.Fatal("not eligible after the open timeout")
+	}
+	if !s.Allow("d") {
+		t.Fatal("probe rejected after the open timeout")
+	}
+	if got := s.State("d"); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if s.Allow("d") {
+		t.Error("second concurrent probe admitted in half-open")
+	}
+
+	s.RecordSuccess("d")
+	if got := s.State("d"); got != Closed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []State{Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i, st := range want {
+		if transitions[i] != st {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], st)
+		}
+	}
+}
+
+func TestFailedProbeReopens(t *testing.T) {
+	s, clock := newTestSet(t, nil)
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("d")
+	}
+	clock.Advance(10 * time.Second)
+	if !s.Allow("d") {
+		t.Fatal("probe rejected")
+	}
+	s.RecordFailure("d")
+	if got := s.State("d"); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The open window restarts from the failed probe.
+	if s.Allow("d") {
+		t.Error("admitted immediately after a failed probe")
+	}
+	clock.Advance(10 * time.Second)
+	if !s.Allow("d") {
+		t.Error("probe rejected after the second open timeout")
+	}
+}
+
+func TestAbandonedProbeExpires(t *testing.T) {
+	s, clock := newTestSet(t, nil)
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("d")
+	}
+	clock.Advance(10 * time.Second)
+	if !s.Allow("d") {
+		t.Fatal("probe rejected")
+	}
+	// The probe invocation vanishes without reporting an outcome (e.g.
+	// its context was cancelled). The slot must not wedge forever.
+	if s.Allow("d") {
+		t.Fatal("second probe admitted while the first is live")
+	}
+	clock.Advance(10 * time.Second)
+	if !s.Allow("d") {
+		t.Error("probe slot did not expire after an abandoned probe")
+	}
+}
+
+func TestLateFailureWhileOpenIsIgnored(t *testing.T) {
+	s, clock := newTestSet(t, nil)
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("d")
+	}
+	clock.Advance(9 * time.Second)
+	// A straggling in-flight invocation fails late; the open window must
+	// not be extended by it.
+	s.RecordFailure("d")
+	clock.Advance(time.Second)
+	if !s.Allow("d") {
+		t.Error("late failure extended the open window")
+	}
+}
+
+func TestLateSuccessWhileOpenCloses(t *testing.T) {
+	s, _ := newTestSet(t, nil)
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("d")
+	}
+	// A straggler succeeds on the supposedly dead device: direct
+	// evidence it works again.
+	s.RecordSuccess("d")
+	if got := s.State("d"); got != Closed {
+		t.Fatalf("state = %v, want closed after a success while open", got)
+	}
+}
+
+func TestSetKeysAreIndependent(t *testing.T) {
+	s, _ := newTestSet(t, nil)
+	for i := 0; i < 3; i++ {
+		s.RecordFailure("a")
+	}
+	if got := s.State("a"); got != Open {
+		t.Fatalf("a = %v, want open", got)
+	}
+	if got := s.State("b"); got != Closed {
+		t.Fatalf("b = %v, want closed", got)
+	}
+	if !s.Allow("b") {
+		t.Error("healthy key rejected")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

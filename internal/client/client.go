@@ -8,9 +8,11 @@
 // deadlines and into the wire header (so the server can reject expired
 // work and cancel in-flight kernels), and connection-level failures can
 // be retried under a bounded RetryPolicy with exponential backoff and
-// deterministic jitter. Server-reported failures (RemoteError) are never
-// retried — the request was executed. Retry activity is observable
-// through Metrics.
+// deterministic jitter. Server-reported failures (RemoteError) carry the
+// wire protocol's machine-readable code: transient ones (OVERLOADED,
+// UNAVAILABLE — the request was shed before executing) are retried with
+// backoff like connection failures; all others fail fast. Retry activity
+// is observable through Metrics.
 package client
 
 import (
@@ -33,15 +35,26 @@ import (
 // ErrClosed indicates use of a closed client.
 var ErrClosed = errors.New("client: closed")
 
-// RemoteError is a failure reported by the server. It is never retried:
-// the server received and processed the request.
+// RemoteError is a failure reported by the server.
 type RemoteError struct {
 	// Message is the server's error text.
 	Message string
+	// Code is the machine-readable failure class (a wire.Code* constant).
+	// Servers predating structured errors send none; it defaults to
+	// wire.CodeInternal.
+	Code string
+	// Retryable reports whether the server shed the request before
+	// executing it, so retrying after backoff is safe and may succeed.
+	Retryable bool
 }
 
 // Error implements error.
-func (e *RemoteError) Error() string { return "client: server error: " + e.Message }
+func (e *RemoteError) Error() string {
+	if e.Code != "" && e.Code != wire.CodeInternal {
+		return "client: server error (" + e.Code + "): " + e.Message
+	}
+	return "client: server error: " + e.Message
+}
 
 // Option configures a Client.
 type Option func(*Client)
@@ -220,10 +233,14 @@ func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Messag
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			c.metrics.retries.Add(1)
-			if err := c.backoff(ctx, attempt); err != nil {
-				return nil, err
+			if !c.backoff(ctx, attempt) {
+				// The remaining deadline cannot cover the backoff (or the
+				// context was cancelled outright): give the caller the
+				// last real failure now instead of sleeping into a
+				// guaranteed context error.
+				break
 			}
+			c.metrics.retries.Add(1)
 		}
 		reply, err := c.attempt(ctx, msg)
 		if err == nil {
@@ -232,7 +249,14 @@ func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Messag
 		var re *RemoteError
 		if errors.As(err, &re) {
 			c.metrics.remoteErrors.Add(1)
-			return nil, err
+			if !re.Retryable {
+				return nil, err
+			}
+			// The server shed the request (overload, drain, open
+			// breakers) before executing it: retrying with backoff is
+			// safe.
+			lastErr = err
+			continue
 		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
@@ -243,24 +267,34 @@ func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Messag
 		c.metrics.connErrors.Add(1)
 		lastErr = err
 	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
 	return nil, lastErr
 }
 
-// backoff sleeps between retries, honoring cancellation.
-func (c *Client) backoff(ctx context.Context, retry int) error {
+// backoff sleeps between retries. It reports false — without sleeping —
+// when the context is cancelled or its remaining deadline cannot cover
+// the sleep, so the retry loop fails fast with the last real error
+// rather than burning the caller's remaining budget on a wait that can
+// only end in a context error.
+func (c *Client) backoff(ctx context.Context, retry int) bool {
 	c.rngMu.Lock()
 	d := c.retry.delay(retry, c.rng)
 	c.rngMu.Unlock()
 	if d <= 0 {
-		return nil
+		return ctx.Err() == nil
+	}
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+		return false
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-timer.C:
-		return nil
+		return true
 	case <-ctx.Done():
-		return ctx.Err()
+		return false
 	}
 }
 
@@ -345,7 +379,15 @@ func (c *Client) do(ctx context.Context, conn net.Conn, msg *wire.Message) (*wir
 	conn.SetDeadline(time.Time{})
 	c.putConn(conn)
 	if reply.Type == wire.MsgError {
-		return nil, &RemoteError{Message: reply.Header.Error}
+		code := reply.Header.Code
+		if code == "" {
+			code = wire.CodeInternal
+		}
+		return nil, &RemoteError{
+			Message:   reply.Header.Error,
+			Code:      code,
+			Retryable: reply.Header.Retryable,
+		}
 	}
 	return reply, nil
 }

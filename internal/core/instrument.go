@@ -1,6 +1,7 @@
 package core
 
 import (
+	"kaas/internal/breaker"
 	"kaas/internal/metrics"
 )
 
@@ -8,19 +9,26 @@ import (
 // histogram families are expressed in seconds on export; phase
 // accumulators are integer nanosecond counters.
 const (
-	metricInvocations = "kaas_invocations_total"
-	metricErrors      = "kaas_invocation_errors_total"
-	metricColdStarts  = "kaas_cold_starts_total"
-	metricFailovers   = "kaas_failovers_total"
-	metricInFlight    = "kaas_in_flight"
-	metricQueueDepth  = "kaas_queue_depth"
-	metricLatency     = "kaas_invocation_latency_seconds"
-	metricPhaseNanos  = "kaas_phase_nanoseconds_total"
-	metricEvictions   = "kaas_evictions_total"
-	metricReaps       = "kaas_reaps_total"
-	metricRunners     = "kaas_runners"
-	metricDeviceQueue = "kaas_device_queue_depth"
+	metricInvocations  = "kaas_invocations_total"
+	metricErrors       = "kaas_invocation_errors_total"
+	metricColdStarts   = "kaas_cold_starts_total"
+	metricFailovers    = "kaas_failovers_total"
+	metricInFlight     = "kaas_in_flight"
+	metricQueueDepth   = "kaas_queue_depth"
+	metricLatency      = "kaas_invocation_latency_seconds"
+	metricPhaseNanos   = "kaas_phase_nanoseconds_total"
+	metricEvictions    = "kaas_evictions_total"
+	metricReaps        = "kaas_reaps_total"
+	metricRunners      = "kaas_runners"
+	metricDeviceQueue  = "kaas_device_queue_depth"
+	metricShed         = "kaas_shed_total"
+	metricBreakerGauge = "kaas_breaker_state"
+	metricBreakerTrans = "kaas_breaker_transitions_total"
 )
+
+// shedReasons enumerates the admission-control rejection reasons used as
+// the reason label on kaas_shed_total.
+var shedReasons = []string{"in_flight_cap", "queue_full", "deadline", "draining"}
 
 // registerHelp attaches HELP text to the server's metric families once
 // per registry.
@@ -37,6 +45,9 @@ func registerHelp(reg *metrics.Registry) {
 	reg.Help(metricReaps, "Idle runners reaped by the scale-down timer, per device.")
 	reg.Help(metricRunners, "Live task runners per device.")
 	reg.Help(metricDeviceQueue, "Cold starts waiting for a device context slot, per device.")
+	reg.Help(metricShed, "Invocations rejected by admission control, per kernel and reason.")
+	reg.Help(metricBreakerGauge, "Circuit breaker state per device (0=closed, 1=open, 2=half-open).")
+	reg.Help(metricBreakerTrans, "Circuit breaker state transitions per device, labeled by destination state.")
 }
 
 // kernelMetrics caches one kernel's metric instances so the invocation
@@ -49,6 +60,7 @@ type kernelMetrics struct {
 	failovers   *metrics.Counter
 	inFlight    *metrics.Gauge
 	queueDepth  *metrics.Gauge
+	sheds       map[string]*metrics.Counter // by rejection reason
 
 	latCold   *metrics.Histogram
 	latWarm   *metrics.Histogram
@@ -64,10 +76,14 @@ func newKernelMetrics(reg *metrics.Registry, kernel string) *kernelMetrics {
 		failovers:   reg.Counter(metricFailovers, "kernel", kernel),
 		inFlight:    reg.Gauge(metricInFlight, "kernel", kernel),
 		queueDepth:  reg.Gauge(metricQueueDepth, "kernel", kernel),
+		sheds:       make(map[string]*metrics.Counter, len(shedReasons)),
 		latCold:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "cold"),
 		latWarm:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "warm"),
 		phaseCold:   make(map[string]*metrics.Counter),
 		phaseWarm:   make(map[string]*metrics.Counter),
+	}
+	for _, reason := range shedReasons {
+		km.sheds[reason] = reg.Counter(metricShed, "kernel", kernel, "reason", reason)
 	}
 	for _, p := range (metrics.Breakdown{}).Phases() {
 		km.phaseCold[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "cold")
@@ -91,19 +107,56 @@ func (km *kernelMetrics) observe(cold bool, b metrics.Breakdown) {
 	}
 }
 
+// shed counts one admission-control rejection under its reason label.
+func (km *kernelMetrics) shed(reason string) {
+	if c, ok := km.sheds[reason]; ok {
+		c.Inc()
+	}
+}
+
+// shedTotal sums rejections across all reasons.
+func (km *kernelMetrics) shedTotal() uint64 {
+	var n uint64
+	for _, c := range km.sheds {
+		n += c.Value()
+	}
+	return n
+}
+
 // deviceMetrics caches one device's metric instances.
 type deviceMetrics struct {
 	evictions  *metrics.Counter
 	reaps      *metrics.Counter
 	runners    *metrics.Gauge
 	queueDepth *metrics.Gauge
+	// breakerState exports the device's circuit-breaker state as a gauge
+	// (the breaker.State numeric values); breakerTransitions counts state
+	// changes by destination state.
+	breakerState       *metrics.Gauge
+	breakerTransitions map[breaker.State]*metrics.Counter
 }
 
 func newDeviceMetrics(reg *metrics.Registry, id string) *deviceMetrics {
-	return &deviceMetrics{
-		evictions:  reg.Counter(metricEvictions, "device", id),
-		reaps:      reg.Counter(metricReaps, "device", id),
-		runners:    reg.Gauge(metricRunners, "device", id),
-		queueDepth: reg.Gauge(metricDeviceQueue, "device", id),
+	dm := &deviceMetrics{
+		evictions:          reg.Counter(metricEvictions, "device", id),
+		reaps:              reg.Counter(metricReaps, "device", id),
+		runners:            reg.Gauge(metricRunners, "device", id),
+		queueDepth:         reg.Gauge(metricDeviceQueue, "device", id),
+		breakerState:       reg.Gauge(metricBreakerGauge, "device", id),
+		breakerTransitions: make(map[breaker.State]*metrics.Counter, 3),
 	}
+	for _, st := range []breaker.State{breaker.Closed, breaker.Open, breaker.HalfOpen} {
+		dm.breakerTransitions[st] = reg.Counter(metricBreakerTrans, "device", id, "to", st.String())
+	}
+	return dm
+}
+
+// breakerTransitionTotal sums the device's breaker transitions across all
+// destination states.
+func (dm *deviceMetrics) breakerTransitionTotal() uint64 {
+	var n uint64
+	for _, c := range dm.breakerTransitions {
+		n += c.Value()
+	}
+	return n
 }

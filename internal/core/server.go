@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kaas/internal/accel"
+	"kaas/internal/breaker"
 	"kaas/internal/kernels"
 	"kaas/internal/metrics"
 	"kaas/internal/vclock"
@@ -25,6 +26,21 @@ var (
 	ErrServerClosed = errors.New("core: server closed")
 	// ErrNoDevice indicates the host has no device of the kernel's kind.
 	ErrNoDevice = errors.New("core: no device of required kind")
+	// ErrOverloaded indicates admission control shed the invocation: the
+	// server-wide in-flight cap or the kernel's wait-queue bound was hit,
+	// or the caller's remaining deadline cannot cover the expected wait.
+	// The request was rejected before consuming capacity and is safe to
+	// retry after backoff.
+	ErrOverloaded = errors.New("core: overloaded")
+	// ErrDraining indicates the server is gracefully shutting down and no
+	// longer admits new invocations (in-flight ones still complete).
+	ErrDraining = errors.New("core: server draining")
+	// ErrUnavailable indicates no device of the kernel's kind can
+	// currently be used: every candidate is excluded by an open circuit
+	// breaker. Unlike a device failure mid-invocation this is not
+	// failover-retried — the breakers already encode that retrying now
+	// would fail.
+	ErrUnavailable = errors.New("core: no device available")
 )
 
 // errColdStartAborted signals that the runner this invocation queued on
@@ -84,6 +100,22 @@ type Config struct {
 	RoutingOverhead time.Duration
 	// RunnerIdleTimeout releases runners idle for this long (0 = never).
 	RunnerIdleTimeout time.Duration
+	// MaxInFlightTotal caps invocations admitted server-wide; beyond it
+	// requests are shed with ErrOverloaded. 0 disables the cap.
+	MaxInFlightTotal int
+	// MaxQueuePerKernel bounds how many invocations may be in flight per
+	// kernel beyond its healthy capacity (eligible devices × runner cap ×
+	// in-flight cap); the excess is shed with ErrOverloaded instead of
+	// queueing unboundedly. 0 disables the bound.
+	MaxQueuePerKernel int
+	// BreakerThreshold is the number of consecutive device-failure-class
+	// errors that opens a device's circuit breaker, excluding it from
+	// placement until a half-open probe succeeds. 0 means the default
+	// (3); negative disables breakers entirely.
+	BreakerThreshold int
+	// BreakerOpenTimeout is how long (modeled time) an open breaker waits
+	// before admitting a half-open probe. Default 5s.
+	BreakerOpenTimeout time.Duration
 	// DisableCompute stops runners from performing the kernel's real
 	// host computation (they still charge the modeled device cost).
 	// Timing-shape experiments set it so wall-time of host arithmetic
@@ -101,19 +133,22 @@ type Config struct {
 
 // Server is the KaaS control plane for one host.
 type Server struct {
-	cfg    Config
-	clock  vclock.Clock
-	reg    *metrics.Registry
-	devMet map[string]*deviceMetrics // immutable after New
-	invSeq atomic.Uint64
+	cfg      Config
+	clock    vclock.Clock
+	reg      *metrics.Registry
+	devMet   map[string]*deviceMetrics // immutable after New
+	invSeq   atomic.Uint64
+	breakers *breaker.Set // nil when breakers are disabled
 
 	mu         sync.Mutex
+	cond       *sync.Cond // broadcast when inFlight reaches 0 (and on Close)
 	entries    map[string]*entry
 	libInit    map[accel.Kind]bool
 	runnersOn  map[string]int // device ID -> runner count
 	runnerSeq  int
 	coldStarts int
 	inFlight   int
+	draining   bool
 	closed     bool
 	reapTimer  vclock.Timer
 }
@@ -135,6 +170,15 @@ type entry struct {
 	// runner cap is per kernel, so kernels place independently (device
 	// slots still bound total contexts).
 	runnersOn map[string]int
+	// inFlight counts admitted invocations of this kernel (guarded by
+	// Server.mu); admission control bounds it.
+	inFlight int
+	// ewmaWall and ewmaColdWall track exponentially weighted moving
+	// averages of wall-clock invocation time (warm path and cold path,
+	// in nanoseconds), feeding the deadline-aware admission estimate.
+	// Wall time is used because client deadlines are wall-clock.
+	ewmaWall     float64
+	ewmaColdWall float64
 }
 
 // runner is a task runner holding a warm device context.
@@ -194,13 +238,68 @@ func New(cfg Config) (*Server, error) {
 		libInit:   make(map[accel.Kind]bool),
 		runnersOn: make(map[string]int),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	for _, d := range append(cfg.Host.Devices(), cfg.Host.CPU()) {
 		s.devMet[d.ID()] = newDeviceMetrics(s.reg, d.ID())
+	}
+	if cfg.BreakerThreshold >= 0 {
+		s.breakers = breaker.NewSet(breaker.Config{
+			Clock:        cfg.Clock,
+			Threshold:    cfg.BreakerThreshold,
+			OpenTimeout:  cfg.BreakerOpenTimeout,
+			OnTransition: s.onBreakerTransition,
+		})
 	}
 	if cfg.RunnerIdleTimeout > 0 {
 		s.scheduleReapLocked()
 	}
 	return s, nil
+}
+
+// onBreakerTransition feeds breaker state changes into metrics and the
+// log. It runs with the breaker unlocked; it must not take Server.mu
+// (breakers are consulted under it).
+func (s *Server) onBreakerTransition(dev string, from, to breaker.State) {
+	if dm := s.devMet[dev]; dm != nil {
+		dm.breakerState.Set(int64(to))
+		if c := dm.breakerTransitions[to]; c != nil {
+			c.Inc()
+		}
+	}
+	s.cfg.Logger.Warn("breaker transition",
+		"device", dev, "from", from.String(), "to", to.String())
+}
+
+// deviceEligibleLocked reports whether placement may consider the device:
+// it is not currently failed and its breaker would admit a request.
+func (s *Server) deviceEligibleLocked(d *accel.Device) bool {
+	if d.Failed() {
+		return false
+	}
+	return s.breakers == nil || s.breakers.Eligible(d.ID())
+}
+
+// claimDeviceLocked claims breaker admission for a placement on the
+// device (this is what converts an elapsed open timeout into the single
+// half-open probe). With breakers disabled it always succeeds.
+func (s *Server) claimDeviceLocked(d *accel.Device) bool {
+	return s.breakers == nil || s.breakers.Allow(d.ID())
+}
+
+// recordDeviceOutcome feeds an invocation's result on a device into its
+// breaker: device-failure-class errors count toward opening it, success
+// closes it. Other errors (context cancellation, kernel bugs) say nothing
+// about device health and are ignored.
+func (s *Server) recordDeviceOutcome(dev string, err error) {
+	if s.breakers == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		s.breakers.RecordSuccess(dev)
+	case errors.Is(err, accel.ErrDeviceFailed):
+		s.breakers.RecordFailure(dev)
+	}
 }
 
 // Logger returns the server's structured logger (never nil; a discarding
@@ -292,6 +391,7 @@ func (s *Server) Kernels() []string {
 // with an error wrapping accel.ErrDeviceFailed. The retries' modeled time
 // accumulates into the returned report.
 func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) (*kernels.Response, *Report, error) {
+	wallStart := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -302,7 +402,17 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		s.mu.Unlock()
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownKernel, name)
 	}
+	if reason, err := s.admitLocked(ctx, e); err != nil {
+		s.mu.Unlock()
+		if reason != "" {
+			s.kernelMet(e).shed(reason)
+			s.cfg.Logger.Warn("invocation shed",
+				"kernel", name, "reason", reason)
+		}
+		return nil, nil, err
+	}
 	s.inFlight++
+	e.inFlight++
 	kind := e.kernel.Kind()
 	s.mu.Unlock()
 
@@ -313,6 +423,10 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		met.inFlight.Dec()
 		s.mu.Lock()
 		s.inFlight--
+		e.inFlight--
+		if s.inFlight == 0 {
+			s.cond.Broadcast() // wake Drain waiters
+		}
 		s.mu.Unlock()
 	}()
 
@@ -353,7 +467,104 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		return nil, nil, err
 	}
 	met.observe(report.Cold, report.Breakdown)
+	s.observeWallTime(e, report.Cold, time.Since(wallStart))
 	return resp, report, nil
+}
+
+// ewmaAlpha weights the most recent observation in the wall-time moving
+// averages behind deadline-aware admission.
+const ewmaAlpha = 0.5
+
+// observeWallTime folds one completed invocation's wall-clock duration
+// into the kernel's moving averages.
+func (s *Server) observeWallTime(e *entry, cold bool, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := float64(d)
+	if e.ewmaWall == 0 {
+		e.ewmaWall = v
+	} else {
+		e.ewmaWall = ewmaAlpha*v + (1-ewmaAlpha)*e.ewmaWall
+	}
+	if cold {
+		if e.ewmaColdWall == 0 {
+			e.ewmaColdWall = v
+		} else {
+			e.ewmaColdWall = ewmaAlpha*v + (1-ewmaAlpha)*e.ewmaColdWall
+		}
+	}
+}
+
+// admitLocked applies admission control to one invocation before any
+// capacity is consumed. It returns a nil error to admit, or the typed
+// rejection plus a shed-reason label for metrics ("" when the rejection
+// is not a shed, e.g. draining).
+func (s *Server) admitLocked(ctx context.Context, e *entry) (string, error) {
+	if s.draining {
+		return "draining", ErrDraining
+	}
+	if s.cfg.MaxInFlightTotal > 0 && s.inFlight >= s.cfg.MaxInFlightTotal {
+		return "in_flight_cap", fmt.Errorf("%w: %d invocations in flight (cap %d)",
+			ErrOverloaded, s.inFlight, s.cfg.MaxInFlightTotal)
+	}
+	if s.cfg.MaxQueuePerKernel > 0 {
+		healthy := s.healthyCapacityLocked(e)
+		if e.inFlight >= healthy+s.cfg.MaxQueuePerKernel {
+			return "queue_full", fmt.Errorf("%w: kernel %q has %d in flight (capacity %d + queue bound %d)",
+				ErrOverloaded, e.name, e.inFlight, healthy, s.cfg.MaxQueuePerKernel)
+		}
+	}
+	// Deadline-aware shedding: if the caller cannot possibly get an
+	// answer within its deadline, reject now instead of burning capacity
+	// on work whose result nobody will read. Only applies when admission
+	// control is configured — the estimate is heuristic and must not
+	// affect servers running with unbounded admission.
+	if s.cfg.MaxInFlightTotal > 0 || s.cfg.MaxQueuePerKernel > 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if est := s.estimateWaitLocked(e); est > 0 && time.Until(dl) < est {
+				return "deadline", fmt.Errorf("%w: expected wait %v exceeds remaining deadline %v",
+					ErrOverloaded, est.Round(time.Millisecond),
+					time.Until(dl).Round(time.Millisecond))
+			}
+		}
+	}
+	return "", nil
+}
+
+// healthyCapacityLocked estimates how many invocations of e the placement
+// layer can serve concurrently: eligible devices of the kind times the
+// per-device runner cap times the per-runner in-flight threshold.
+func (s *Server) healthyCapacityLocked(e *entry) int {
+	eligible := 0
+	for _, d := range s.cfg.Host.DevicesByKind(e.kernel.Kind()) {
+		if s.deviceEligibleLocked(d) {
+			eligible++
+		}
+	}
+	return eligible * s.cfg.MaxRunnersPerDevice * s.cfg.MaxInFlightPerRunner
+}
+
+// estimateWaitLocked predicts (in wall time) how long a new invocation of
+// e will take to complete, from the kernel's observed moving averages: a
+// cold start when no runner exists yet, plus queueing behind the
+// invocations already in flight. Returns 0 when there is no history to
+// estimate from (admission then defers to the queue bounds alone).
+func (s *Server) estimateWaitLocked(e *entry) time.Duration {
+	capacity := s.healthyCapacityLocked(e)
+	if capacity <= 0 {
+		return 0
+	}
+	var est float64
+	if len(e.runners) == 0 {
+		est += e.ewmaColdWall
+	}
+	if e.ewmaWall > 0 {
+		// Number of completion "waves" ahead of this request, including
+		// its own service time.
+		waves := float64(e.inFlight)/float64(capacity) + 1
+		est += waves * e.ewmaWall
+	}
+	return time.Duration(est)
 }
 
 // invokeOnce performs one placement attempt of an invocation,
@@ -369,6 +580,12 @@ func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request,
 	k := e.kernel
 	r, spawner := s.selectRunnerLocked(e)
 	s.mu.Unlock()
+	if r == nil {
+		// Every device of the kind is excluded by an open breaker; there
+		// is nowhere to even queue this invocation.
+		return nil, fmt.Errorf("%w: every %s device's breaker is open for %q",
+			ErrUnavailable, k.Kind(), e.name)
+	}
 
 	report.Runner = r.id
 
@@ -396,6 +613,12 @@ func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request,
 	if r.startErr != nil {
 		err := r.startErr
 		s.removeRunner(e, r)
+		if spawner {
+			// Only the spawner reports the cold-start outcome to the
+			// breaker: one failed start is one piece of evidence, no
+			// matter how many invocations were queued on the runner.
+			s.recordDeviceOutcome(r.device.ID(), err)
+		}
 		if !spawner && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The spawner's context expired and took the cold start with
@@ -407,6 +630,7 @@ func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request,
 
 	resp, err := s.serve(ctx, k, r, req, report)
 	s.releaseRunner(e, r)
+	s.recordDeviceOutcome(r.device.ID(), err)
 	if err != nil {
 		if errors.Is(err, accel.ErrDeviceFailed) {
 			// The runner's device failed: retire the runner; the Invoke
@@ -467,8 +691,14 @@ func (s *Server) selectRunnerLocked(e *entry) (*runner, bool) {
 	if best == nil {
 		// No runner exists and no device capacity: create one anyway on
 		// the overall least-loaded device so the invocation can queue on
-		// the device slot instead of failing.
-		return s.newRunnerLocked(e, s.leastLoadedDeviceLocked(e)), true
+		// the device slot instead of failing. A nil device means every
+		// device of the kind is behind an open breaker — the caller
+		// surfaces ErrUnavailable.
+		dev := s.leastLoadedDeviceLocked(e)
+		if dev == nil {
+			return nil, false
+		}
+		return s.newRunnerLocked(e, dev), true
 	}
 	best.inflight++
 	s.setLastRunnerLocked(e, best)
@@ -516,14 +746,18 @@ func (s *Server) placeLocked(e *entry) *accel.Device {
 	}
 	switch s.cfg.Placement {
 	case PlaceFirstFit:
-		if !devs[0].Failed() && e.runnersOn[devs[0].ID()] < s.cfg.MaxRunnersPerDevice {
+		if s.deviceEligibleLocked(devs[0]) &&
+			e.runnersOn[devs[0].ID()] < s.cfg.MaxRunnersPerDevice &&
+			s.claimDeviceLocked(devs[0]) {
 			return devs[0]
 		}
 		return nil
 	case PlaceRoundRobin:
 		for i := 0; i < len(devs); i++ {
 			d := devs[(e.rrNext+i)%len(devs)]
-			if !d.Failed() && e.runnersOn[d.ID()] < s.cfg.MaxRunnersPerDevice {
+			if s.deviceEligibleLocked(d) &&
+				e.runnersOn[d.ID()] < s.cfg.MaxRunnersPerDevice &&
+				s.claimDeviceLocked(d) {
 				e.rrNext = (e.rrNext + i + 1) % len(devs)
 				return d
 			}
@@ -532,32 +766,46 @@ func (s *Server) placeLocked(e *entry) *accel.Device {
 	default: // PlaceLeastLoaded
 		var best *accel.Device
 		for _, d := range devs {
-			if d.Failed() || e.runnersOn[d.ID()] >= s.cfg.MaxRunnersPerDevice {
+			if !s.deviceEligibleLocked(d) || e.runnersOn[d.ID()] >= s.cfg.MaxRunnersPerDevice {
 				continue
 			}
 			if best == nil || e.runnersOn[d.ID()] < e.runnersOn[best.ID()] {
 				best = d
 			}
 		}
+		if best != nil && !s.claimDeviceLocked(best) {
+			// Lost the half-open probe race; treat as no capacity.
+			return nil
+		}
 		return best
 	}
 }
 
 // leastLoadedDeviceLocked returns the device of the entry's kind with the
-// fewest of this kernel's runners, ignoring the per-device runner cap.
-// The caller guarantees at least one device of the kind exists (checked
-// at Register).
+// fewest of this kernel's runners, ignoring the per-device runner cap but
+// honoring open circuit breakers (a breaker-excluded device is skipped; a
+// merely failed one is still a legal last resort, so the invocation fails
+// with a device error rather than queueing — and feeds the breaker). It
+// returns nil only when every device is breaker-excluded. The caller
+// guarantees at least one device of the kind exists (checked at
+// Register).
 func (s *Server) leastLoadedDeviceLocked(e *entry) *accel.Device {
-	devs := s.cfg.Host.DevicesByKind(e.kernel.Kind())
-	best := devs[0]
-	for _, d := range devs[1:] {
-		if best.Failed() && !d.Failed() {
-			best = d
+	var best *accel.Device
+	for _, d := range s.cfg.Host.DevicesByKind(e.kernel.Kind()) {
+		if s.breakers != nil && !s.breakers.Eligible(d.ID()) {
 			continue
 		}
-		if !d.Failed() && e.runnersOn[d.ID()] < e.runnersOn[best.ID()] {
+		switch {
+		case best == nil:
+			best = d
+		case best.Failed() && !d.Failed():
+			best = d
+		case !d.Failed() && e.runnersOn[d.ID()] < e.runnersOn[best.ID()]:
 			best = d
 		}
+	}
+	if best != nil && !s.claimDeviceLocked(best) {
+		return nil
 	}
 	return best
 }
@@ -809,7 +1057,48 @@ func (s *Server) scheduleReapLocked() {
 	s.reapTimer = s.clock.AfterFunc(interval, s.reap)
 }
 
-// Close shuts the server down, releasing all runners.
+// Drain gracefully shuts the server down: new invocations are rejected
+// with ErrDraining while in-flight ones run to completion, then the
+// server closes. If ctx expires first the server closes anyway (fencing,
+// not dropping, whatever is still in flight — see Close) and the context
+// error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.cfg.Logger.Info("server draining", "in_flight", s.inFlight)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		for s.inFlight > 0 && !s.closed {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cfg.Logger.Warn("drain deadline expired, closing with work in flight")
+	}
+	s.Close()
+	<-done // Close broadcasts, so the waiter always exits
+	return err
+}
+
+// Close shuts the server down, releasing all idle runners immediately.
+// Runners with invocations still in flight are fenced, not dropped:
+// their device contexts stay live until the last invocation finishes
+// (releaseRunner then releases them), so a Close racing an invocation
+// can never yank a context out from under a serving kernel.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -821,23 +1110,22 @@ func (s *Server) Close() {
 		s.reapTimer.Stop()
 		s.reapTimer = nil
 	}
-	var ctxs []*accel.Context
 	for _, e := range s.entries {
-		for _, r := range e.runners {
+		// removeRunnerLocked splices e.runners; iterate a snapshot.
+		for _, r := range append([]*runner(nil), e.runners...) {
 			if r.removed {
 				continue
 			}
-			r.removed = true
-			if r.dctx != nil {
-				ctxs = append(ctxs, r.dctx)
+			if r.inflight > 0 {
+				r.draining = true
+				continue
 			}
+			r.inflight++ // balance the decrement in removeRunnerLocked
+			s.removeRunnerLocked(e, r)
 		}
-		e.runners = nil
 	}
+	s.cond.Broadcast() // wake any Drain waiter
 	s.mu.Unlock()
-	for _, c := range ctxs {
-		c.Release()
-	}
 }
 
 // discardHandler is a slog.Handler that drops every record, used when no

@@ -46,6 +46,9 @@ type KernelStats struct {
 	Failovers uint64
 	// Errors counts invocations that returned an error.
 	Errors uint64
+	// Shed counts invocations rejected by admission control (queue
+	// bound, in-flight cap, deadline-aware rejection, or draining).
+	Shed uint64
 	// InFlight is the number of invocations being served right now.
 	InFlight int64
 	// QueueDepth is the number of invocations waiting on a starting
@@ -79,6 +82,11 @@ type DeviceStats struct {
 	Evictions uint64
 	// Reaps counts idle runners reaped from this device.
 	Reaps uint64
+	// BreakerState is the device's circuit-breaker state ("closed",
+	// "open", "half-open"), or "" when breakers are disabled.
+	BreakerState string
+	// BreakerTransitions counts the device's breaker state changes.
+	BreakerTransitions uint64
 	// ComputeBusy is total modeled time the compute fabric was active.
 	ComputeBusy time.Duration
 	// Uptime is modeled time since device creation.
@@ -104,6 +112,10 @@ type Stats struct {
 	Evictions uint64
 	// Reaps counts idle-runner reaps across all devices.
 	Reaps uint64
+	// Shed counts admission-control rejections across all kernels.
+	Shed uint64
+	// Draining reports whether the server is gracefully shutting down.
+	Draining bool
 	// RunnersPerDevice maps device IDs to live runner counts.
 	RunnersPerDevice map[string]int
 	// PerKernel holds per-kernel counters and latency summaries.
@@ -120,6 +132,7 @@ func (s *Server) Stats() Stats {
 		Kernels:          len(s.entries),
 		InFlight:         s.inFlight,
 		ColdStarts:       s.coldStarts,
+		Draining:         s.draining,
 		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
 		PerKernel:        make(map[string]KernelStats, len(s.entries)),
 		PerDevice:        make(map[string]DeviceStats),
@@ -132,6 +145,7 @@ func (s *Server) Stats() Stats {
 			ColdStarts:  met.coldStarts.Value(),
 			Failovers:   met.failovers.Value(),
 			Errors:      met.errors.Value(),
+			Shed:        met.shedTotal(),
 			InFlight:    met.inFlight.Value(),
 			QueueDepth:  met.queueDepth.Value(),
 			Runners:     len(e.runners),
@@ -141,6 +155,7 @@ func (s *Server) Stats() Stats {
 			PhasesCold:  phaseTotals(met.phaseCold),
 		}
 		st.Failovers += ks.Failovers
+		st.Shed += ks.Shed
 		st.PerKernel[name] = ks
 	}
 	for id, n := range s.runnersOn {
@@ -166,6 +181,12 @@ func (s *Server) Stats() Stats {
 			dev.QueueDepth = dm.queueDepth.Value()
 			dev.Evictions = dm.evictions.Value()
 			dev.Reaps = dm.reaps.Value()
+		}
+		if s.breakers != nil {
+			dev.BreakerState = s.breakers.State(d.ID()).String()
+			if dm != nil {
+				dev.BreakerTransitions = dm.breakerTransitionTotal()
+			}
 		}
 		st.Evictions += dev.Evictions
 		st.Reaps += dev.Reaps

@@ -10,10 +10,31 @@ import (
 	"sync"
 	"time"
 
+	"kaas/internal/accel"
 	"kaas/internal/kernels"
 	"kaas/internal/shm"
 	"kaas/internal/wire"
 )
+
+// errorCode classifies a server-side error into the wire protocol's
+// machine-readable code plus whether a client may retry the same request
+// after backoff. Overload and unavailability are transient; deadline,
+// unknown-kernel, and internal failures are not.
+func errorCode(err error) (code string, retryable bool) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded, true
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrServerClosed),
+		errors.Is(err, ErrUnavailable), errors.Is(err, accel.ErrDeviceFailed):
+		return wire.CodeUnavailable, true
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return wire.CodeDeadlineExceeded, false
+	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrNoDevice):
+		return wire.CodeUnknownKernel, false
+	default:
+		return wire.CodeInternal, false
+	}
+}
 
 // aLongTimeAgo is a non-zero past deadline used to unblock pending reads.
 var aLongTimeAgo = time.Unix(1, 0)
@@ -34,10 +55,11 @@ type TCPServer struct {
 	ln      net.Listener
 	regions *shm.Registry
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // ServeTCP starts accepting KaaS protocol connections on addr
@@ -96,6 +118,57 @@ func (t *TCPServer) Close() error {
 	return err
 }
 
+// Drain gracefully shuts the endpoint down: the listener stops accepting,
+// idle connections are unblocked and closed, and connections with a
+// request in flight finish it (and get their reply) before closing. If
+// ctx expires first the remaining connections are closed hard and the
+// context error returned.
+func (t *TCPServer) Drain(ctx context.Context) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.draining = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close() // stop accepting
+	// Poke every connection out of a blocking idle read: the expired
+	// read deadline fails the read, and the handler exits silently
+	// because the server is draining. A connection inside an invocation
+	// is unaffected — its disconnect watcher treats the timeout as
+	// benign, and the handler closes the connection after replying.
+	for _, c := range conns {
+		c.SetReadDeadline(aLongTimeAgo)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		t.Close()
+		return ctx.Err()
+	}
+}
+
+func (t *TCPServer) isDraining() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.draining
+}
+
 func (t *TCPServer) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -110,6 +183,11 @@ func (t *TCPServer) acceptLoop() {
 			return
 		}
 		t.conns[conn] = struct{}{}
+		if t.draining {
+			// Raced with Drain's snapshot: make sure this connection is
+			// poked too, so the drain cannot hang on it.
+			conn.SetReadDeadline(aLongTimeAgo)
+		}
 		t.wg.Add(1)
 		t.mu.Unlock()
 		go t.handle(conn)
@@ -148,15 +226,24 @@ func (t *TCPServer) handle(conn net.Conn) {
 	for {
 		msg, err := wire.Read(sc)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && t.isDraining() {
+				return // poked out of an idle read by Drain
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				t.reply(sc, &wire.Message{
 					Type:   wire.MsgError,
-					Header: wire.Header{Error: err.Error()},
+					Header: wire.Header{Error: err.Error(), Code: wire.CodeInternal},
 				})
 			}
 			return
 		}
 		if !t.dispatch(sc, msg) {
+			return
+		}
+		if t.isDraining() {
+			// The request in flight when the drain started got its
+			// reply; now the connection closes.
 			return
 		}
 	}
@@ -192,7 +279,8 @@ func (t *TCPServer) dispatch(sc *serverConn, msg *wire.Message) bool {
 func (t *TCPServer) handleRegister(sc *serverConn, msg *wire.Message) bool {
 	k, err := kernels.ByName(msg.Header.Kernel)
 	if err != nil {
-		return t.replyErr(sc, err)
+		// Not in the library: classify as UNKNOWN_KERNEL on the wire.
+		return t.replyErr(sc, fmt.Errorf("%w: %v", ErrUnknownKernel, err))
 	}
 	if err := t.srv.Register(k); err != nil && !errors.Is(err, ErrAlreadyRegistered) {
 		return t.replyErr(sc, err)
@@ -311,9 +399,10 @@ func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 }
 
 func (t *TCPServer) replyErr(conn net.Conn, err error) bool {
+	code, retryable := errorCode(err)
 	return t.reply(conn, &wire.Message{
 		Type:   wire.MsgError,
-		Header: wire.Header{Error: err.Error()},
+		Header: wire.Header{Error: err.Error(), Code: code, Retryable: retryable},
 	})
 }
 

@@ -1,0 +1,76 @@
+package faults
+
+import "sync"
+
+// FailRepairer is the device surface the flapper drives; accel.Device
+// implements it. Fail marks the device failed (in-flight and future
+// operations on it error), Repair brings it back.
+type FailRepairer interface {
+	Fail()
+	Repair()
+}
+
+// DeviceFlapper scripts fail/repair cycles on one device for chaos
+// tests and the overload benchmark. Like the connection faults in this
+// package, it is fully deterministic: the caller decides exactly when
+// the device goes down and comes back (typically keyed off modeled
+// time or invocation hooks), and the flapper keeps the transition
+// counts so assertions don't have to.
+type DeviceFlapper struct {
+	dev FailRepairer
+
+	mu      sync.Mutex
+	down    bool
+	fails   int
+	repairs int
+}
+
+// NewDeviceFlapper wraps a device (healthy, not yet failed).
+func NewDeviceFlapper(dev FailRepairer) *DeviceFlapper {
+	return &DeviceFlapper{dev: dev}
+}
+
+// Fail takes the device down. Idempotent: repeated calls while down are
+// not counted as new transitions.
+func (f *DeviceFlapper) Fail() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return
+	}
+	f.down = true
+	f.fails++
+	f.dev.Fail()
+}
+
+// Repair brings the device back. Idempotent while the device is up.
+func (f *DeviceFlapper) Repair() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.down {
+		return
+	}
+	f.down = false
+	f.repairs++
+	f.dev.Repair()
+}
+
+// Flap performs one full fail/repair cycle, leaving the device healthy.
+func (f *DeviceFlapper) Flap() {
+	f.Fail()
+	f.Repair()
+}
+
+// Down reports whether the device is currently failed.
+func (f *DeviceFlapper) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// Cycles returns how many fail and repair transitions have been driven.
+func (f *DeviceFlapper) Cycles() (fails, repairs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails, f.repairs
+}

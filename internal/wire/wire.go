@@ -97,6 +97,28 @@ func (t MsgType) String() string {
 	}
 }
 
+// Machine-readable error codes carried by MsgError in Header.Code. They
+// classify failures so clients can decide to retry without parsing error
+// text. Unrecognized codes must be treated as CodeInternal.
+const (
+	// CodeOverloaded: the server shed the request under admission control
+	// (queue bound, in-flight cap, or deadline-aware rejection). Retryable
+	// after backoff.
+	CodeOverloaded = "OVERLOADED"
+	// CodeUnavailable: no device can currently serve the kernel (devices
+	// failed, breakers open, or the server is draining). Retryable after
+	// backoff, possibly against another replica.
+	CodeUnavailable = "UNAVAILABLE"
+	// CodeDeadlineExceeded: the request's deadline expired before or
+	// during service. Not retryable — the client's budget is gone.
+	CodeDeadlineExceeded = "DEADLINE_EXCEEDED"
+	// CodeUnknownKernel: the kernel is not registered (or a registration
+	// conflict). Not retryable without a registration change.
+	CodeUnknownKernel = "UNKNOWN_KERNEL"
+	// CodeInternal: any other server-side failure. Not retryable.
+	CodeInternal = "INTERNAL"
+)
+
 // Errors returned by frame decoding.
 var (
 	// ErrBadMagic indicates the stream is not speaking the KaaS protocol.
@@ -119,6 +141,14 @@ type Header struct {
 	Values map[string]float64 `json:"values,omitempty"`
 	// Error is the failure description on MsgError.
 	Error string `json:"error,omitempty"`
+	// Code is the machine-readable classification of the failure on
+	// MsgError (one of the Code* constants). Empty on frames from servers
+	// predating structured errors; clients treat that as CodeInternal.
+	Code string `json:"code,omitempty"`
+	// Retryable reports whether the server considers the failure
+	// transient, i.e. the same request may succeed if retried after
+	// backoff.
+	Retryable bool `json:"retryable,omitempty"`
 	// ShmKey names a shared-memory region holding the input payload
 	// (out-of-band transfer). Empty means the payload is in the body.
 	ShmKey string `json:"shmKey,omitempty"`

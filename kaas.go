@@ -40,6 +40,7 @@ import (
 	"kaas/internal/netshape"
 	"kaas/internal/shm"
 	"kaas/internal/vclock"
+	"kaas/internal/wire"
 )
 
 // Re-exported core types. These aliases are the public names of the
@@ -71,9 +72,32 @@ type (
 	RetryPolicy = client.RetryPolicy
 	// ClientMetrics is a snapshot of a client's reliability counters.
 	ClientMetrics = client.Metrics
-	// RemoteError is a failure reported by the server; it is never
-	// retried by the client.
+	// RemoteError is a failure reported by the server, carrying the wire
+	// protocol's machine-readable code; the client retries only the
+	// retryable codes (overload, unavailability).
 	RemoteError = client.RemoteError
+)
+
+// Machine-readable error codes carried by RemoteError.Code.
+const (
+	CodeOverloaded       = wire.CodeOverloaded
+	CodeUnavailable      = wire.CodeUnavailable
+	CodeDeadlineExceeded = wire.CodeDeadlineExceeded
+	CodeUnknownKernel    = wire.CodeUnknownKernel
+	CodeInternal         = wire.CodeInternal
+)
+
+// Typed control-plane errors surfaced by Platform.Invoke.
+var (
+	// ErrOverloaded: admission control shed the invocation (queue bound,
+	// in-flight cap, or deadline-aware rejection). Safe to retry after
+	// backoff.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrDraining: the platform is gracefully shutting down.
+	ErrDraining = core.ErrDraining
+	// ErrUnavailable: every device of the kernel's kind is excluded by an
+	// open circuit breaker.
+	ErrUnavailable = core.ErrUnavailable
 )
 
 // DefaultRetryPolicy returns the client retry policy used when retries
@@ -150,6 +174,11 @@ type config struct {
 	logger        *slog.Logger
 	invokeTimeout time.Duration
 	retryPolicy   *client.RetryPolicy
+
+	maxInFlightTotal   int
+	maxQueuePerKernel  int
+	breakerThreshold   int
+	breakerOpenTimeout time.Duration
 }
 
 // clientOptions returns the client options implied by the platform
@@ -241,6 +270,32 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *config) { c.retryPolicy = &p }
 }
 
+// WithAdmissionLimits bounds the load the platform accepts: at most
+// maxInFlightTotal invocations in flight server-wide and at most
+// maxQueuePerKernel invocations per kernel beyond its healthy capacity.
+// Excess requests are shed immediately with ErrOverloaded (OVERLOADED on
+// the wire) instead of queueing unboundedly; deadline-carrying requests
+// whose remaining budget cannot cover the expected wait are shed too.
+// Zero for either limit disables it.
+func WithAdmissionLimits(maxInFlightTotal, maxQueuePerKernel int) Option {
+	return func(c *config) {
+		c.maxInFlightTotal = maxInFlightTotal
+		c.maxQueuePerKernel = maxQueuePerKernel
+	}
+}
+
+// WithBreaker tunes the per-device circuit breakers: threshold
+// consecutive device failures open a device's breaker (excluding it from
+// placement), and after openTimeout of modeled time one probe invocation
+// tests whether it healed. A negative threshold disables breakers; zero
+// keeps the defaults (3 failures, 5s).
+func WithBreaker(threshold int, openTimeout time.Duration) Option {
+	return func(c *config) {
+		c.breakerThreshold = threshold
+		c.breakerOpenTimeout = openTimeout
+	}
+}
+
 // WithoutResultComputation disables real kernel computation; invocations
 // charge modeled device time only. Used by the benchmark harness.
 func WithoutResultComputation() Option {
@@ -290,6 +345,10 @@ func New(opts ...Option) (*Platform, error) {
 		MaxRunnersPerDevice:  cfg.maxPerDevice,
 		Placement:            cfg.placement,
 		RunnerIdleTimeout:    cfg.idleTimeout,
+		MaxInFlightTotal:     cfg.maxInFlightTotal,
+		MaxQueuePerKernel:    cfg.maxQueuePerKernel,
+		BreakerThreshold:     cfg.breakerThreshold,
+		BreakerOpenTimeout:   cfg.breakerOpenTimeout,
 		DisableCompute:       cfg.disableResult,
 		Logger:               cfg.logger,
 	})
@@ -400,11 +459,31 @@ func (p *Platform) NewRDMAClient() (*Client, error) {
 	return client.Dial(p.tcp.Addr(), opts...), nil
 }
 
-// Close shuts the platform down.
+// Close shuts the platform down immediately. In-flight invocations are
+// fenced (their device contexts stay live until they finish) but new
+// work is rejected at once and open connections are cut. For a graceful
+// stop that lets in-flight work complete, use Shutdown.
 func (p *Platform) Close() {
 	if p.tcp != nil {
 		p.tcp.Close()
 	}
 	p.server.Close()
 	p.host.Close()
+}
+
+// Shutdown drains the platform gracefully: the TCP endpoint stops
+// accepting and finishes requests already in flight, the server waits
+// for in-flight invocations to complete, then everything closes. The
+// context bounds the whole drain; when it expires the remaining work is
+// fenced and cut as in Close, and the context's error is returned.
+func (p *Platform) Shutdown(ctx context.Context) error {
+	var err error
+	if p.tcp != nil {
+		err = p.tcp.Drain(ctx)
+	}
+	if derr := p.server.Drain(ctx); err == nil {
+		err = derr
+	}
+	p.host.Close()
+	return err
 }
