@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json ci clean
 
 all: build
 
@@ -25,6 +25,33 @@ fuzz:
 # listener (see internal/faults).
 faultcheck:
 	$(GO) run ./cmd/kaasbench -faultcheck
+
+# Static analysis. Uses golangci-lint (config in .golangci.yml) when it
+# is installed — CI always installs it — and falls back to go vet on
+# hosts that lack it so the target never silently vanishes.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not found; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Known-vulnerability scan. Skips with a notice when govulncheck is not
+# installed (CI installs it and treats findings as failures).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not found; skipping (CI runs it)"; \
+	fi
+
+# Performance baseline: one pass over the paper-figure benchmarks plus a
+# pooled-vs-multiplexed transport sweep, recorded as BENCH_PR5.json.
+bench-json:
+	$(GO) test -run='^$$' -bench=Fig -benchtime=1x . | tee bench_figures.txt
+	$(GO) run ./cmd/kaasbench -sweep 5000 -sweep-conc 1,8,64 -sweep-conns 4 \
+		-sweep-out BENCH_PR5.json -sweep-figures bench_figures.txt
 
 ci: vet build test race fuzz
 

@@ -1,0 +1,283 @@
+// The -sweep mode: a head-to-head comparison of the two client
+// transports — pooled (one request per connection, protocol v1) and
+// multiplexed (many streams per connection, protocol v2) — across client
+// concurrency levels, reporting throughput, latency percentiles, and
+// allocation cost per invocation. CI runs it to produce the committed
+// BENCH_PR5.json baseline.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kaas"
+	"kaas/internal/metrics"
+)
+
+// sweepConfig parameterizes one transport sweep.
+type sweepConfig struct {
+	Invocations int     // invocations per cell
+	Reps        int     // measurement repetitions per cell (best kept)
+	Concurrency []int   // client concurrency levels
+	Conns       int     // shared connections for the muxed cells
+	Kernel      string  // kernel under load
+	Scale       float64 // modeled seconds per wall second
+	Out         string  // JSON report path ("" = stdout table only)
+	Figures     string  // optional go test -bench output to embed
+	CPUProfile  string  // optional pprof profile path prefix per cell
+}
+
+// sweepCell is one measured (transport, concurrency) cell.
+type sweepCell struct {
+	Transport   string  `json:"transport"` // "pooled" or "mux"
+	Concurrency int     `json:"concurrency"`
+	Invocations int     `json:"invocations"`
+	ThroughputS float64 `json:"throughputPerSec"`
+	P50Millis   float64 `json:"p50Millis"`
+	P99Millis   float64 `json:"p99Millis"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+}
+
+// sweepReport is the JSON document written to -sweep-out.
+type sweepReport struct {
+	Kernel      string             `json:"kernel"`
+	Scale       float64            `json:"scale"`
+	Conns       int                `json:"muxConns"`
+	Invocations int                `json:"invocationsPerCell"`
+	Reps        int                `json:"repsPerCell"`
+	GoVersion   string             `json:"goVersion"`
+	Cells       []sweepCell        `json:"cells"`
+	Speedup     map[string]float64 `json:"muxSpeedupByConcurrency"`
+	Figures     []string           `json:"figureBenchmarks,omitempty"`
+}
+
+// parseConcLevels parses a comma-separated concurrency list.
+func parseConcLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("no concurrency levels in %q", s)
+	}
+	return levels, nil
+}
+
+// runSweep measures every (transport, concurrency) cell, prints a
+// comparison table, and optionally writes the JSON report.
+func runSweep(w io.Writer, cfg sweepConfig) error {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	report := sweepReport{
+		Kernel:      cfg.Kernel,
+		Scale:       cfg.Scale,
+		Conns:       cfg.Conns,
+		Invocations: cfg.Invocations,
+		Reps:        cfg.Reps,
+		GoVersion:   runtime.Version(),
+		Speedup:     make(map[string]float64),
+	}
+
+	fmt.Fprintf(w, "transport sweep: %d invocations of %q per cell, mux over %d conns, scale %.0fx\n",
+		cfg.Invocations, cfg.Kernel, cfg.Conns, cfg.Scale)
+	fmt.Fprintf(w, "%-8s %5s %12s %10s %10s %10s\n",
+		"mode", "conc", "thr/s", "p50", "p99", "allocs/op")
+	for _, conc := range cfg.Concurrency {
+		var pooled, muxed sweepCell
+		for _, mux := range []bool{false, true} {
+			cell, err := runSweepCell(cfg, conc, mux)
+			if err != nil {
+				return err
+			}
+			report.Cells = append(report.Cells, cell)
+			fmt.Fprintf(w, "%-8s %5d %12.1f %10v %10v %10.1f\n",
+				cell.Transport, conc, cell.ThroughputS,
+				time.Duration(cell.P50Millis*float64(time.Millisecond)).Round(10*time.Microsecond),
+				time.Duration(cell.P99Millis*float64(time.Millisecond)).Round(10*time.Microsecond),
+				cell.AllocsPerOp)
+			if mux {
+				muxed = cell
+			} else {
+				pooled = cell
+			}
+		}
+		if pooled.ThroughputS > 0 {
+			speedup := muxed.ThroughputS / pooled.ThroughputS
+			report.Speedup[strconv.Itoa(conc)] = speedup
+			fmt.Fprintf(w, "%-8s %5d %11.2fx\n", "speedup", conc, speedup)
+		}
+	}
+
+	if cfg.Figures != "" {
+		data, err := os.ReadFile(cfg.Figures)
+		if err != nil {
+			return fmt.Errorf("read figures file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "Benchmark") {
+				report.Figures = append(report.Figures, strings.Join(strings.Fields(line), " "))
+			}
+		}
+	}
+
+	if cfg.Out != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sweep report written to %s\n", cfg.Out)
+	}
+	return nil
+}
+
+// runSweepCell measures one cell on a fresh in-process platform so cold
+// starts and pool state never leak between cells. Allocation cost is the
+// process-wide malloc delta across the measured run divided by the
+// invocation count — an upper bound that includes both client and server
+// sides of the call.
+func runSweepCell(cfg sweepConfig, conc int, mux bool) (sweepCell, error) {
+	cell := sweepCell{Transport: "pooled", Concurrency: conc, Invocations: cfg.Invocations}
+	popts := []kaas.Option{
+		kaas.WithListenAddr("127.0.0.1:0"),
+		kaas.WithTimeScale(cfg.Scale),
+		kaas.WithAccelerators(kaas.TeslaP100, kaas.TeslaP100, kaas.TeslaP100, kaas.TeslaP100),
+		kaas.WithMaxInFlight(32),
+		// The sweep measures the invocation path, not kernel math:
+		// modeled device time still accrues, but the real result
+		// computation (which costs the same on every transport) is off.
+		kaas.WithoutResultComputation(),
+	}
+	if mux {
+		cell.Transport = "mux"
+		popts = append(popts, kaas.WithClientMux(cfg.Conns))
+	}
+	p, err := kaas.New(popts...)
+	if err != nil {
+		return cell, err
+	}
+	defer p.Close()
+	c, err := p.NewClient()
+	if err != nil {
+		return cell, err
+	}
+	defer c.Close()
+	if err := c.Register(cfg.Kernel); err != nil {
+		return cell, err
+	}
+
+	params := kaas.Params{"n": 200, "seed": 1}
+	run := func(n int, lat *metrics.Sample) error {
+		var (
+			mu       sync.Mutex
+			firstErr error
+		)
+		work := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < conc; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range work {
+					t0 := time.Now()
+					_, err := c.Invoke(cfg.Kernel, params, nil)
+					d := time.Since(t0)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if lat != nil {
+						lat.AddDuration(d)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			work <- struct{}{}
+		}
+		close(work)
+		wg.Wait()
+		return firstErr
+	}
+
+	// Warm up runners, connections, and the kernel before measuring.
+	warmup := 2 * conc
+	if warmup < 32 {
+		warmup = 32
+	}
+	if err := run(warmup, nil); err != nil {
+		return cell, err
+	}
+
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(fmt.Sprintf("%s-%s-c%d.pprof", cfg.CPUProfile, cell.Transport, conc))
+		if err != nil {
+			return cell, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return cell, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Measure the cell cfg.Reps times and keep the best-throughput
+	// repetition (both transports symmetrically): on a shared host a
+	// single run is hostage to GC pauses and scheduler noise, and the
+	// fastest repetition is the cleanest view of steady-state cost.
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		var lat metrics.Sample
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := run(cfg.Invocations, &lat); err != nil {
+			return cell, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		thr := float64(cfg.Invocations) / elapsed.Seconds()
+		if thr <= cell.ThroughputS {
+			continue
+		}
+		cell.ThroughputS = thr
+		cell.P50Millis = lat.Percentile(50) * 1e3
+		cell.P99Millis = lat.Percentile(99) * 1e3
+		cell.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(cfg.Invocations)
+		cell.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Invocations)
+	}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(fmt.Sprintf("%s-%s-c%d.allocs", cfg.CPUProfile, cell.Transport, conc))
+		if err == nil {
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}
+	}
+	return cell, nil
+}

@@ -52,6 +52,7 @@ func run(args []string, ready ...chan<- string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight invocations (0 = exit immediately)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics over HTTP on this address (e.g. 127.0.0.1:9090)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
+	maxConnStreams := fs.Int("max-conn-streams", 0, "max in-flight streams per multiplexed connection (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,12 +71,16 @@ func run(args []string, ready ...chan<- string) error {
 		profiles = append(profiles, kaas.AerSimulatorHost)
 	}
 
-	p, err := kaas.New(
+	popts := []kaas.Option{
 		kaas.WithListenAddr(*listen),
 		kaas.WithTimeScale(*scale),
 		kaas.WithAccelerators(profiles...),
 		kaas.WithIdleTimeout(*idle),
-	)
+	}
+	if *maxConnStreams > 0 {
+		popts = append(popts, kaas.WithMuxStreams(*maxConnStreams))
+	}
+	p, err := kaas.New(popts...)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ type Host struct {
 	clock   vclock.Clock
 	cpu     *Device
 	devices []*Device
+	byKind  map[Kind][]*Device
 }
 
 // NewHost builds a host with the given CPU profile and one device per
@@ -41,6 +42,18 @@ func NewHost(clock vclock.Clock, name string, cpu Profile, accels ...Profile) (*
 		}
 		h.devices = append(h.devices, dev)
 	}
+	// The device set is immutable after construction, so the per-kind
+	// views are built once: DevicesByKind sits on the per-invocation
+	// placement path.
+	h.byKind = make(map[Kind][]*Device, 4)
+	for _, d := range h.devices {
+		if d.Kind() == CPU {
+			// Kind CPU always resolves to the host CPU device alone.
+			continue
+		}
+		h.byKind[d.Kind()] = append(h.byKind[d.Kind()], d)
+	}
+	h.byKind[CPU] = []*Device{h.cpu}
 	return h, nil
 }
 
@@ -61,18 +74,10 @@ func (h *Host) Devices() []*Device {
 }
 
 // DevicesByKind returns the accelerator devices of the given kind, or the
-// CPU device for Kind CPU.
+// CPU device for Kind CPU. The returned slice is a shared read-only view;
+// callers must not modify it.
 func (h *Host) DevicesByKind(kind Kind) []*Device {
-	if kind == CPU {
-		return []*Device{h.cpu}
-	}
-	var out []*Device
-	for _, d := range h.devices {
-		if d.Kind() == kind {
-			out = append(out, d)
-		}
-	}
-	return out
+	return h.byKind[kind]
 }
 
 // Device returns the device with the given ID, if present.

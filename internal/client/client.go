@@ -90,6 +90,22 @@ func WithRetries(attempts int) Option {
 	return WithRetryPolicy(p)
 }
 
+// WithMux switches the client to the multiplexed transport: all
+// in-flight requests share a small fixed set of conns connections
+// (rather than one pooled connection per request), interleaved by
+// StreamID under protocol version 2. Cancelling one call sends a
+// per-stream CANCEL frame instead of tearing down the shared socket.
+// Servers that predate multiplexing negotiate the client back to the
+// legacy pooled transport transparently. conns values below 1 mean 1.
+func WithMux(conns int) Option {
+	return func(c *Client) {
+		if conns < 1 {
+			conns = 1
+		}
+		c.muxConns = conns
+	}
+}
+
 // Metrics is a snapshot of the client's reliability counters.
 type Metrics struct {
 	// Attempts counts round-trip attempts, including retries.
@@ -114,14 +130,20 @@ type clientMetrics struct {
 	remoteErrors atomic.Uint64
 }
 
-// Client talks to a KaaS server. It is safe for concurrent use: each
-// in-flight request uses its own pooled connection.
+// Client talks to a KaaS server. It is safe for concurrent use: by
+// default each in-flight request uses its own pooled connection; with
+// WithMux all requests share a small fixed set of multiplexed
+// connections.
 type Client struct {
-	addr    string
-	link    *netshape.Link
-	regions *shm.Registry
-	timeout time.Duration
-	retry   RetryPolicy
+	addr     string
+	link     *netshape.Link
+	regions  *shm.Registry
+	timeout  time.Duration
+	retry    RetryPolicy
+	muxConns int
+
+	mux         *muxPool
+	muxFallback atomic.Bool
 
 	metrics clientMetrics
 
@@ -141,6 +163,9 @@ func Dial(addr string, opts ...Option) *Client {
 		o(c)
 	}
 	c.rng = rand.New(rand.NewSource(c.retry.Seed))
+	if c.muxConns > 0 {
+		c.mux = newMuxPool(c, c.muxConns)
+	}
 	return c
 }
 
@@ -155,15 +180,18 @@ func (c *Client) Metrics() Metrics {
 	}
 }
 
-// Close closes all pooled connections.
+// Close closes all pooled and multiplexed connections.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	for _, conn := range c.idle {
 		conn.Close()
 	}
 	c.idle = nil
+	c.mu.Unlock()
+	if c.mux != nil {
+		c.mux.close()
+	}
 }
 
 // getConn returns a pooled or fresh connection, reporting whether it came
@@ -298,10 +326,20 @@ func (c *Client) backoff(ctx context.Context, retry int) bool {
 	}
 }
 
-// attempt performs one round trip. A pooled connection that fails with a
-// connection-level error is replaced transparently exactly once: the pool
-// cannot know the server closed an idle connection until it is used.
+// attempt performs one round trip, over the multiplexed transport when
+// enabled (and not negotiated away), else over a pooled connection. A
+// pooled connection that fails with a connection-level error is replaced
+// transparently exactly once: the pool cannot know the server closed an
+// idle connection until it is used.
 func (c *Client) attempt(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
+	if c.mux != nil && !c.muxFallback.Load() {
+		reply, handled, err := c.mux.attempt(ctx, msg)
+		if handled {
+			return reply, err
+		}
+		// The server negotiated down to the legacy protocol: fall
+		// through to the pooled path (and stay there).
+	}
 	conn, pooled, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
@@ -349,8 +387,12 @@ func (c *Client) do(ctx context.Context, conn net.Conn, msg *wire.Message) (*wir
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	if size, err := wire.FrameSize(msg); err == nil {
-		c.link.Transfer(size)
+	// Sizing a frame costs a full header encode — only worth it when a
+	// shaped link will charge for the bytes.
+	if c.link != nil {
+		if size, err := wire.FrameSize(msg); err == nil {
+			c.link.Transfer(size)
+		}
 	}
 	if err := wire.Write(conn, msg); err != nil {
 		conn.Close()
@@ -367,8 +409,10 @@ func (c *Client) do(ctx context.Context, conn net.Conn, msg *wire.Message) (*wir
 		}
 		return nil, asConnError(fmt.Errorf("client: read reply: %w", err))
 	}
-	if size, err := wire.FrameSize(reply); err == nil {
-		c.link.Transfer(size)
+	if c.link != nil {
+		if size, err := wire.FrameSize(reply); err == nil {
+			c.link.Transfer(size)
+		}
 	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		// Cancelled while the reply was in flight; the AfterFunc is
@@ -378,18 +422,27 @@ func (c *Client) do(ctx context.Context, conn net.Conn, msg *wire.Message) (*wir
 	}
 	conn.SetDeadline(time.Time{})
 	c.putConn(conn)
-	if reply.Type == wire.MsgError {
-		code := reply.Header.Code
-		if code == "" {
-			code = wire.CodeInternal
-		}
-		return nil, &RemoteError{
-			Message:   reply.Header.Error,
-			Code:      code,
-			Retryable: reply.Header.Retryable,
-		}
+	if rerr := replyError(reply); rerr != nil {
+		return nil, rerr
 	}
 	return reply, nil
+}
+
+// replyError converts a server error frame into a RemoteError; non-error
+// frames yield nil.
+func replyError(reply *wire.Message) error {
+	if reply.Type != wire.MsgError {
+		return nil
+	}
+	code := reply.Header.Code
+	if code == "" {
+		code = wire.CodeInternal
+	}
+	return &RemoteError{
+		Message:   reply.Header.Error,
+		Code:      code,
+		Retryable: reply.Header.Retryable,
+	}
 }
 
 // Register registers a kernel (by library name) on the server.

@@ -1,0 +1,447 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaas/internal/wire"
+)
+
+// errMuxUnsupported is an internal sentinel: the server only speaks the
+// legacy protocol, so the client must fall back to one request per
+// connection. Never returned to callers.
+var errMuxUnsupported = errors.New("client: server does not support multiplexing")
+
+// maxCoalescedWrite caps how many request bytes the mux writer batches
+// into one socket write before flushing.
+const maxCoalescedWrite = 64 << 10
+
+// muxPool is the multiplexed transport: a small fixed set of shared
+// connections over which all in-flight requests are interleaved, each
+// tagged with a StreamID and demultiplexed back to its caller. Requests
+// spread across the connections round-robin; a dead connection is
+// redialed on next use.
+type muxPool struct {
+	c     *Client
+	slots []muxSlot
+	next  atomic.Uint64
+}
+
+// muxSlot holds one shared connection; the mutex serializes (re)dialing.
+type muxSlot struct {
+	mu   sync.Mutex
+	conn *muxConn
+}
+
+// newMuxPool creates the transport with n shared connections, opened
+// lazily.
+func newMuxPool(c *Client, n int) *muxPool {
+	if n < 1 {
+		n = 1
+	}
+	return &muxPool{c: c, slots: make([]muxSlot, n)}
+}
+
+// attempt performs one round trip over the multiplexed transport.
+// handled=false means the server negotiated down to the legacy protocol
+// and the caller should use the pooled path instead. Like the pooled
+// path, a cached connection found dead mid-call is replaced
+// transparently exactly once.
+func (p *muxPool) attempt(ctx context.Context, msg *wire.Message) (reply *wire.Message, handled bool, err error) {
+	mc, fresh, err := p.get(ctx)
+	if errors.Is(err, errMuxUnsupported) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	p.c.metrics.attempts.Add(1)
+	reply, err = mc.roundTrip(ctx, msg)
+	if err != nil && !fresh && isConnError(err) && ctx.Err() == nil {
+		p.c.metrics.staleConns.Add(1)
+		mc2, _, derr := p.get(ctx)
+		if errors.Is(derr, errMuxUnsupported) {
+			return nil, false, nil
+		}
+		if derr != nil {
+			return nil, true, derr
+		}
+		p.c.metrics.attempts.Add(1)
+		reply, err = mc2.roundTrip(ctx, msg)
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if rerr := replyError(reply); rerr != nil {
+		return nil, true, rerr
+	}
+	return reply, true, nil
+}
+
+// get returns a live shared connection, dialing and handshaking one if
+// the slot is empty or its connection died. fresh reports whether the
+// connection was just dialed (a fresh connection gets no transparent
+// replacement on failure).
+func (p *muxPool) get(ctx context.Context) (mc *muxConn, fresh bool, err error) {
+	slot := &p.slots[p.next.Add(1)%uint64(len(p.slots))]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.conn != nil && !slot.conn.isDead() {
+		return slot.conn, false, nil
+	}
+	mc, err = p.handshake(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	slot.conn = mc
+	return mc, true, nil
+}
+
+// handshake dials a fresh connection and offers the protocol upgrade.
+// A MsgHelloAck at VersionMux creates a mux connection; a legacy server
+// (which answers MsgError for the unknown hello) flips the client into
+// permanent fallback and donates the still-healthy connection to the
+// legacy pool.
+func (p *muxPool) handshake(ctx context.Context) (*muxConn, error) {
+	c := p.c
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	hello := &wire.Message{Type: wire.MsgHello, Header: wire.Header{MuxVersion: wire.VersionMux}}
+	if err := wire.Write(conn, hello); err != nil {
+		conn.Close()
+		if ctxErr := ctxCause(ctx, err); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, asConnError(err)
+	}
+	reply, err := wire.Read(conn)
+	if err != nil {
+		conn.Close()
+		if ctxErr := ctxCause(ctx, err); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, asConnError(fmt.Errorf("client: read hello reply: %w", err))
+	}
+	conn.SetDeadline(time.Time{})
+
+	switch {
+	case reply.Type == wire.MsgHelloAck && reply.Header.MuxVersion >= wire.VersionMux:
+		mc := newMuxConn(c, conn)
+		return mc, nil
+	case reply.Type == wire.MsgHelloAck || reply.Type == wire.MsgError:
+		// The server is older than the multiplexed protocol (it either
+		// acked version 1 or rejected the hello outright). Fall back for
+		// the lifetime of this client; the connection itself is healthy,
+		// so the legacy pool gets it.
+		c.muxFallback.Store(true)
+		c.putConn(conn)
+		return nil, errMuxUnsupported
+	default:
+		conn.Close()
+		return nil, asConnError(fmt.Errorf("client: unexpected hello reply %s", reply.Type))
+	}
+}
+
+// close tears down every shared connection.
+func (p *muxPool) close() {
+	for i := range p.slots {
+		slot := &p.slots[i]
+		slot.mu.Lock()
+		if slot.conn != nil {
+			slot.conn.fail(ErrClosed)
+			slot.conn = nil
+		}
+		slot.mu.Unlock()
+	}
+}
+
+// muxConn is one shared multiplexed connection: a writer goroutine
+// serializes (and coalesces) outgoing frames, a reader goroutine
+// demultiplexes replies to waiting callers by StreamID, and per-stream
+// cancellation sends a CANCEL frame instead of tearing the socket down.
+type muxConn struct {
+	c    *Client
+	conn net.Conn
+
+	// wmu guards socket writes. The transport is adaptive: a caller that
+	// is alone on the connection (inflight <= 1) writes its frame inline
+	// for minimum latency; with siblings in flight, frames go through the
+	// writer goroutine, which coalesces the backlog into batched writes —
+	// many frames per syscall — which is where multiplexing wins under
+	// load.
+	wmu      sync.Mutex
+	inflight atomic.Int64
+	writeCh  chan *wire.Message
+	dead     chan struct{}
+
+	failOnce sync.Once
+
+	mu      sync.Mutex
+	failErr error
+	pending map[uint64]chan *wire.Message
+	nextID  uint64
+}
+
+func newMuxConn(c *Client, conn net.Conn) *muxConn {
+	m := &muxConn{
+		c:       c,
+		conn:    conn,
+		writeCh: make(chan *wire.Message, 64),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]chan *wire.Message),
+	}
+	go m.readLoop()
+	go m.writeLoop()
+	return m
+}
+
+// isDead reports whether the connection has failed.
+func (m *muxConn) isDead() bool {
+	select {
+	case <-m.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail marks the connection dead exactly once, waking every waiter.
+func (m *muxConn) fail(err error) {
+	m.failOnce.Do(func() {
+		m.mu.Lock()
+		m.failErr = asConnError(err)
+		m.mu.Unlock()
+		close(m.dead)
+		m.conn.Close()
+	})
+}
+
+// failure returns the error that killed the connection.
+func (m *muxConn) failure() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failErr != nil {
+		return m.failErr
+	}
+	return &connError{err: errors.New("client: mux connection closed")}
+}
+
+// replyChPool recycles reply channels across calls. A channel may be
+// recycled only after its single send was received (the reader sends at
+// most once per stream, under the pending-map entry it deletes).
+var replyChPool = sync.Pool{New: func() any { return make(chan *wire.Message, 1) }}
+
+// register allocates a stream ID and its reply channel.
+func (m *muxConn) register() (uint64, chan *wire.Message) {
+	ch := replyChPool.Get().(chan *wire.Message)
+	m.inflight.Add(1)
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.pending[id] = ch
+	m.mu.Unlock()
+	return id, ch
+}
+
+// deregister forgets a stream; late replies for it are dropped by the
+// reader.
+func (m *muxConn) deregister(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+	m.inflight.Add(-1)
+}
+
+// readLoop demultiplexes replies to waiting callers by StreamID.
+// Replies for deregistered streams (cancelled calls) are dropped. A read
+// failure kills the connection and wakes every waiter.
+func (m *muxConn) readLoop() {
+	br := bufio.NewReaderSize(m.conn, 32<<10)
+	for {
+		msg, err := wire.Read(br)
+		if err != nil {
+			m.fail(fmt.Errorf("client: read reply: %w", err))
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[msg.Header.StreamID]
+		delete(m.pending, msg.Header.StreamID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+// writeLoop drains frames enqueued by callers with sibling streams in
+// flight, coalescing queued bursts into one write.
+func (m *muxConn) writeLoop() {
+	buf := make([]byte, 0, 16<<10)
+	for {
+		var msg *wire.Message
+		select {
+		case msg = <-m.writeCh:
+		case <-m.dead:
+			return
+		}
+		var err error
+		buf, err = wire.Append(buf[:0], msg)
+		if err != nil {
+			// Encoding was pre-validated by FrameSize on the hot path;
+			// a failure here means the message is unencodable for
+			// everyone on this socket.
+			m.fail(err)
+			return
+		}
+		// Coalesce the backlog into one write. When the queue momentarily
+		// empties, yield once before flushing: callers blocked on the
+		// scheduler get a chance to append their frames to this batch,
+		// deepening it by several frames per syscall under load.
+		yielded := false
+	coalesce:
+		for len(buf) < maxCoalescedWrite {
+			select {
+			case next := <-m.writeCh:
+				buf, err = wire.Append(buf, next)
+				if err != nil {
+					m.fail(err)
+					return
+				}
+			default:
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				break coalesce
+			}
+		}
+		m.wmu.Lock()
+		_, err = m.conn.Write(buf)
+		m.wmu.Unlock()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+	}
+}
+
+// enqueue hands one frame to the transport: inline on the socket when
+// the caller is alone on the connection (lowest latency), otherwise
+// through the coalescing writer (fewest syscalls). Reports whether the
+// frame went through the writer queue.
+func (m *muxConn) enqueue(ctx context.Context, msg *wire.Message) (queued bool, err error) {
+	if m.inflight.Load() <= 1 && m.wmu.TryLock() {
+		werr := wire.Write(m.conn, msg)
+		m.wmu.Unlock()
+		if werr != nil {
+			m.fail(werr)
+			return false, m.failure()
+		}
+		return false, nil
+	}
+	select {
+	case m.writeCh <- msg:
+		return true, nil
+	case <-m.dead:
+		return false, m.failure()
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// roundTrip sends one request over the shared connection and waits for
+// its demultiplexed reply. Context cancellation aborts only this stream:
+// a best-effort CANCEL frame tells the server to stop the kernel, and
+// sibling streams on the connection are untouched.
+func (m *muxConn) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
+	id, ch := m.register()
+	msg.Version = wire.VersionMux
+	msg.Header.StreamID = id
+
+	// An unencodable request (non-finite params) must fail this call
+	// only, never the shared socket — and the check is a map walk, not
+	// the full header encode FrameSize would cost.
+	if err := wire.CheckEncodable(msg); err != nil {
+		m.deregister(id)
+		return nil, err
+	}
+	if m.c.link != nil {
+		if size, err := wire.FrameSize(msg); err == nil {
+			m.c.link.Transfer(size)
+		}
+	}
+
+	queued, err := m.enqueue(ctx, msg)
+	if err != nil {
+		m.deregister(id)
+		return nil, err
+	}
+
+	select {
+	case reply := <-ch:
+		replyChPool.Put(ch)
+		m.inflight.Add(-1)
+		if m.c.link != nil {
+			if size, err := wire.FrameSize(reply); err == nil {
+				m.c.link.Transfer(size)
+			}
+		}
+		return reply, nil
+	case <-m.dead:
+		// The reply may have raced with the connection dying.
+		select {
+		case reply := <-ch:
+			replyChPool.Put(ch)
+			m.inflight.Add(-1)
+			return reply, nil
+		default:
+		}
+		m.deregister(id)
+		return nil, m.failure()
+	case <-ctx.Done():
+		m.deregister(id)
+		// Best-effort per-stream cancel: the server stops the kernel
+		// and its (discarded) error reply frees the stream. If the
+		// writer queue is full the wire deadline still bounds the
+		// server side.
+		cancel := &wire.Message{Version: wire.VersionMux, Type: wire.MsgCancel, Header: wire.Header{StreamID: id}}
+		if !queued && m.wmu.TryLock() {
+			// The invoke is already on the socket, so an inline cancel
+			// cannot overtake it.
+			err := wire.Write(m.conn, cancel)
+			m.wmu.Unlock()
+			if err != nil {
+				m.fail(err)
+			}
+		} else {
+			// A queued invoke means the cancel must follow it through
+			// the writer queue or the server would see the cancel first
+			// and ignore it.
+			select {
+			case m.writeCh <- cancel:
+			default:
+			}
+		}
+		return nil, ctx.Err()
+	}
+}

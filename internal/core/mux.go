@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kaas/internal/kernels"
+	"kaas/internal/wire"
+)
+
+// DefaultMaxConnStreams bounds how many invocations one multiplexed
+// connection may have in flight before the server stops reading new
+// frames from it (per-connection backpressure). The server-wide
+// admission limits (Config.MaxInFlightTotal and friends) still apply on
+// top of this bound.
+const DefaultMaxConnStreams = 64
+
+// maxCoalescedWrite caps how many reply bytes the mux writer batches
+// into one socket write before flushing.
+const maxCoalescedWrite = 64 << 10
+
+// muxSession serves one multiplexed (protocol version 2) connection:
+// a single reader goroutine (the connection's handler) fans invocation
+// frames out to bounded worker goroutines, and a single writer goroutine
+// serializes their replies back onto the socket, coalescing bursts into
+// one write. Per-stream MsgCancel frames cancel the matching in-flight
+// invocation's context without disturbing sibling streams.
+type muxSession struct {
+	t  *TCPServer
+	sc *serverConn
+	br *bufio.Reader
+
+	// wmu guards socket writes. The reply path is adaptive: with a
+	// single stream in flight, repliers write inline (no goroutine
+	// handoff); with siblings active they enqueue to the writer
+	// goroutine, which batches the backlog into coalesced writes — many
+	// frames per syscall. failed flips once a write error closes the
+	// connection; later replies are discarded.
+	wmu        sync.Mutex
+	failed     atomic.Bool
+	writeCh    chan *wire.Message
+	writerDone chan struct{}
+	sem        chan struct{}
+
+	mu      sync.Mutex
+	streams map[uint64]context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+// serveMux runs a multiplexed session on sc until the peer disconnects
+// or the endpoint drains. It owns the connection's read side; replies
+// flow through the session writer.
+func (t *TCPServer) serveMux(sc *serverConn) {
+	s := &muxSession{
+		t:          t,
+		sc:         sc,
+		br:         bufio.NewReaderSize(sc, 32<<10),
+		writeCh:    make(chan *wire.Message, 64),
+		writerDone: make(chan struct{}),
+		sem:        make(chan struct{}, t.maxConnStreams()),
+		streams:    make(map[uint64]context.CancelFunc),
+	}
+	go s.writeLoop()
+	s.readLoop()
+}
+
+// readLoop reads frames until the connection dies or the drain poke
+// fires, then joins the in-flight streams and the writer.
+func (s *muxSession) readLoop() {
+	for {
+		msg, err := wire.Read(s.br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && s.t.isDraining() {
+				// Poked out of the read by Drain: in-flight streams
+				// finish and get their replies, then the connection
+				// closes gracefully.
+				s.finish(false)
+				return
+			}
+			// Peer gone (or stream desynchronized): cancel every
+			// in-flight stream so runners stop burning device time for
+			// answers nobody will read.
+			s.finish(true)
+			return
+		}
+		switch msg.Type {
+		case wire.MsgInvoke:
+			s.sem <- struct{}{} // per-connection stream bound
+			s.wg.Add(1)
+			go s.serveInvoke(msg)
+		case wire.MsgCancel:
+			s.cancelStream(msg.Header.StreamID)
+		case wire.MsgHello:
+			// Redundant hello on an upgraded connection: re-acknowledge.
+			s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgHelloAck, Header: wire.Header{
+				MuxVersion: wire.VersionMux,
+				MaxStreams: cap(s.sem),
+				StreamID:   msg.Header.StreamID,
+			}})
+		case wire.MsgRegister:
+			s.serveRegister(msg)
+		case wire.MsgList:
+			s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgListResult, Header: wire.Header{
+				Names:    s.t.srv.Kernels(),
+				StreamID: msg.Header.StreamID,
+			}})
+		case wire.MsgStats:
+			s.serveStats(msg)
+		default:
+			s.sendErr(msg.Header.StreamID, fmt.Errorf("unexpected message type %s", msg.Type))
+		}
+	}
+}
+
+// finish joins the session: optionally cancels all in-flight streams,
+// waits for their replies to be queued, then flushes and stops the
+// writer.
+func (s *muxSession) finish(cancelStreams bool) {
+	if cancelStreams {
+		s.mu.Lock()
+		for _, cancel := range s.streams {
+			cancel()
+		}
+		s.mu.Unlock()
+	}
+	s.wg.Wait()
+	close(s.writeCh)
+	<-s.writerDone
+}
+
+// writeFailed records a write error once: the connection closes (which
+// fails the read loop) and later replies are discarded.
+func (s *muxSession) writeFailed(err error) {
+	if s.failed.Swap(true) {
+		return
+	}
+	s.t.srv.Logger().Warn("mux reply write failed, closing connection",
+		"remote", s.sc.RemoteAddr(), "err", err)
+	s.sc.Conn.Close()
+}
+
+// writeLoop drains replies that lost the inline-write race, coalescing
+// queued bursts into one socket write.
+func (s *muxSession) writeLoop() {
+	defer close(s.writerDone)
+	buf := make([]byte, 0, 16<<10)
+	appendMsg := func(m *wire.Message) {
+		if s.failed.Load() {
+			return
+		}
+		var err error
+		buf, err = wire.Append(buf, m)
+		if err != nil {
+			s.t.srv.Logger().Warn("mux reply encode failed",
+				"remote", s.sc.RemoteAddr(), "type", m.Type.String(), "err", err)
+		}
+	}
+	flush := func() {
+		if s.failed.Load() || len(buf) == 0 {
+			buf = buf[:0]
+			return
+		}
+		s.wmu.Lock()
+		_, err := s.sc.Conn.Write(buf)
+		s.wmu.Unlock()
+		if err != nil {
+			s.writeFailed(err)
+		}
+		buf = buf[:0]
+	}
+	for msg := range s.writeCh {
+		appendMsg(msg)
+		// When the queue momentarily empties, yield once before flushing:
+		// repliers blocked on the scheduler get a chance to append their
+		// frames to this batch, deepening it by several frames per
+		// syscall under load.
+		yielded := false
+	coalesce:
+		for len(buf) < maxCoalescedWrite {
+			select {
+			case next, ok := <-s.writeCh:
+				if !ok {
+					flush()
+					return
+				}
+				appendMsg(next)
+			default:
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				break coalesce
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
+// send hands one reply to the transport: inline on the socket when this
+// is the connection's only in-flight stream (lowest latency), otherwise
+// through the coalescing writer (fewest syscalls).
+func (s *muxSession) send(msg *wire.Message) {
+	if s.failed.Load() {
+		return
+	}
+	if len(s.sem) <= 1 && s.wmu.TryLock() {
+		err := wire.Write(s.sc.Conn, msg)
+		s.wmu.Unlock()
+		if err != nil {
+			s.writeFailed(err)
+		}
+		return
+	}
+	s.writeCh <- msg
+}
+
+// sendErr queues an error reply on the given stream, classified with the
+// wire protocol's machine-readable code.
+func (s *muxSession) sendErr(streamID uint64, err error) {
+	code, retryable := errorCode(err)
+	s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgError, Header: wire.Header{
+		StreamID:  streamID,
+		Error:     err.Error(),
+		Code:      code,
+		Retryable: retryable,
+	}})
+}
+
+// addStream registers a stream's cancel function for MsgCancel lookup.
+func (s *muxSession) addStream(id uint64, cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.streams[id] = cancel
+	s.mu.Unlock()
+}
+
+// removeStream forgets a completed stream.
+func (s *muxSession) removeStream(id uint64) {
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
+}
+
+// cancelStream cancels one in-flight stream's context, if it is still
+// running. Unknown streams (already completed, or never seen) are
+// ignored — the cancel raced with the reply.
+func (s *muxSession) cancelStream(id uint64) {
+	s.mu.Lock()
+	cancel := s.streams[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// serveRegister handles a registration frame inline (registrations are
+// cheap and rare; they do not occupy a stream slot).
+func (s *muxSession) serveRegister(msg *wire.Message) {
+	k, err := kernels.ByName(msg.Header.Kernel)
+	if err != nil {
+		s.sendErr(msg.Header.StreamID, fmt.Errorf("%w: %v", ErrUnknownKernel, err))
+		return
+	}
+	if err := s.t.srv.Register(k); err != nil && !errors.Is(err, ErrAlreadyRegistered) {
+		s.sendErr(msg.Header.StreamID, err)
+		return
+	}
+	s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgRegistered, Header: wire.Header{
+		Kernel:   msg.Header.Kernel,
+		StreamID: msg.Header.StreamID,
+	}})
+}
+
+// serveStats handles a stats frame inline.
+func (s *muxSession) serveStats(msg *wire.Message) {
+	stats, err := marshalStats(s.t.srv)
+	if err != nil {
+		s.sendErr(msg.Header.StreamID, err)
+		return
+	}
+	s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgStatsResult, Header: wire.Header{
+		Stats:    stats,
+		StreamID: msg.Header.StreamID,
+	}})
+}
+
+// serveInvoke runs one invocation stream to completion on its own
+// goroutine, bounded by the session's stream semaphore and the server's
+// admission control.
+func (s *muxSession) serveInvoke(msg *wire.Message) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	id := msg.Header.StreamID
+
+	req := &kernels.Request{Params: kernels.Params(msg.Header.Params)}
+	switch {
+	case msg.Header.ShmKey != "":
+		if s.t.regions == nil {
+			s.sendErr(id, errors.New("out-of-band transfer not configured"))
+			return
+		}
+		data, err := s.t.regions.Get(msg.Header.ShmKey)
+		if err != nil {
+			s.sendErr(id, err)
+			return
+		}
+		req.Data = data
+	case len(msg.Body) > 0:
+		req.Data = msg.Body
+	}
+
+	ctx, cancel, err := invokeContext(msg)
+	if err != nil {
+		s.t.srv.Logger().Warn("rejecting expired invocation",
+			"kernel", msg.Header.Kernel, "remote", s.sc.RemoteAddr(), "stream", id, "err", err)
+		s.sendErr(id, err)
+		return
+	}
+	defer cancel()
+	s.addStream(id, cancel)
+	defer s.removeStream(id)
+
+	resp, report, err := s.t.srv.Invoke(ctx, msg.Header.Kernel, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The stream was cancelled (deadline, CANCEL frame, or the
+			// connection died): the reply is best-effort; sibling
+			// streams on this connection are unaffected.
+			s.t.srv.Logger().Info("invocation cancelled",
+				"kernel", msg.Header.Kernel, "remote", s.sc.RemoteAddr(), "stream", id, "cause", ctx.Err())
+		}
+		s.sendErr(id, err)
+		return
+	}
+
+	out := &wire.Message{Version: wire.VersionMux, Type: wire.MsgResult, Header: wire.Header{
+		Kernel:        msg.Header.Kernel,
+		Values:        resp.Values,
+		ColdStart:     report.Cold,
+		InvocationID:  report.InvocationID,
+		DurationNanos: int64(report.Total()),
+		StreamID:      id,
+	}}
+	if msg.Header.WantShmResult && s.t.regions != nil && len(resp.Data) > 0 {
+		key, err := s.t.regions.Create(resp.Data)
+		if err != nil {
+			s.sendErr(id, err)
+			return
+		}
+		out.Header.ResultShmKey = key
+	} else {
+		out.Body = resp.Data
+	}
+	s.send(out)
+}

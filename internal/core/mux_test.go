@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/shm"
+	"kaas/internal/vclock"
+	"kaas/internal/wire"
+)
+
+// muxHandshake upgrades a raw connection to the multiplexed protocol
+// and returns the server's acknowledgement.
+func muxHandshake(t *testing.T, conn net.Conn) *wire.Message {
+	t.Helper()
+	err := wire.Write(conn, &wire.Message{Type: wire.MsgHello, Header: wire.Header{MuxVersion: wire.VersionMux}})
+	if err != nil {
+		t.Fatalf("write hello: %v", err)
+	}
+	ack, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read hello ack: %v", err)
+	}
+	if ack.Type != wire.MsgHelloAck || ack.Header.MuxVersion != wire.VersionMux {
+		t.Fatalf("hello ack = %s (mux version %d), want ack at version %d",
+			ack.Type, ack.Header.MuxVersion, wire.VersionMux)
+	}
+	return ack
+}
+
+// TestMuxPipelinedStreams pipelines several invocations over one
+// upgraded connection without waiting for replies in between: the
+// server must dispatch them concurrently and answer every stream,
+// in whatever order, each reply tagged with its StreamID.
+func TestMuxPipelinedStreams(t *testing.T) {
+	_, tcp, _ := startTCP(t)
+	conn := dialWire(t, tcp.Addr())
+	muxHandshake(t, conn)
+
+	// Register over the mux session itself (registrations ride the same
+	// framing, just inline).
+	err := wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgRegister, Header: wire.Header{
+		Kernel: "matmul", StreamID: 100,
+	}})
+	if err != nil {
+		t.Fatalf("write register: %v", err)
+	}
+	reg, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read register reply: %v", err)
+	}
+	if reg.Type != wire.MsgRegistered || reg.Header.StreamID != 100 {
+		t.Fatalf("register reply = %s (stream %d), want registered on stream 100",
+			reg.Type, reg.Header.StreamID)
+	}
+
+	const streams = 8
+	for id := uint64(1); id <= streams; id++ {
+		err := wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgInvoke, Header: wire.Header{
+			Kernel:   "matmul",
+			Params:   map[string]float64{"n": 32, "seed": float64(id)},
+			StreamID: id,
+		}})
+		if err != nil {
+			t.Fatalf("write invoke %d: %v", id, err)
+		}
+	}
+
+	got := make(map[uint64]bool)
+	for i := 0; i < streams; i++ {
+		reply, err := wire.Read(conn)
+		if err != nil {
+			t.Fatalf("read reply %d: %v", i, err)
+		}
+		if reply.Type != wire.MsgResult {
+			t.Fatalf("reply %d = %s (%s), want result", i, reply.Type, reply.Header.Error)
+		}
+		if reply.Version != wire.VersionMux {
+			t.Errorf("reply version = %d, want %d", reply.Version, wire.VersionMux)
+		}
+		id := reply.Header.StreamID
+		if id < 1 || id > streams || got[id] {
+			t.Fatalf("reply %d has unexpected or duplicate stream %d", i, id)
+		}
+		got[id] = true
+		if reply.Header.Values["checksum"] <= 0 {
+			t.Errorf("stream %d checksum = %v", id, reply.Header.Values["checksum"])
+		}
+	}
+}
+
+// TestMuxCancelFrameStopsKernel sends a CANCEL frame for an in-flight
+// stream: the server must cancel that invocation's context (freeing the
+// device long before the kernel would finish), answer the stream with a
+// deadline-class error, and keep the connection serving other streams.
+func TestMuxCancelFrameStopsKernel(t *testing.T) {
+	srv, tcp, _ := startTCP(t)
+	if err := srv.Register(slowKernel{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	conn := dialWire(t, tcp.Addr())
+	muxHandshake(t, conn)
+
+	err := wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgInvoke, Header: wire.Header{
+		Kernel: "slow", StreamID: 1,
+	}})
+	if err != nil {
+		t.Fatalf("write invoke: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().InFlight == 1 }, "invocation in flight")
+
+	err = wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgCancel, Header: wire.Header{
+		StreamID: 1,
+	}})
+	if err != nil {
+		t.Fatalf("write cancel: %v", err)
+	}
+	reply, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read cancel reply: %v", err)
+	}
+	if reply.Type != wire.MsgError || reply.Header.StreamID != 1 {
+		t.Fatalf("cancel reply = %s (stream %d), want error on stream 1", reply.Type, reply.Header.StreamID)
+	}
+	if reply.Header.Code != wire.CodeDeadlineExceeded {
+		t.Errorf("cancel reply code = %q, want %q", reply.Header.Code, wire.CodeDeadlineExceeded)
+	}
+	if reply.Header.Retryable {
+		t.Error("cancelled invocation marked retryable")
+	}
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().InFlight == 0 }, "device to be freed")
+
+	// The connection outlives the per-stream cancel.
+	err = wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgList, Header: wire.Header{
+		StreamID: 2,
+	}})
+	if err != nil {
+		t.Fatalf("write list: %v", err)
+	}
+	if reply, err = wire.Read(conn); err != nil || reply.Type != wire.MsgListResult {
+		t.Fatalf("list after cancel = %v, %v; want list result", reply, err)
+	}
+}
+
+// TestMuxHelloNegotiation pins the version negotiation rules: a client
+// offering nothing newer than the legacy protocol stays legacy on the
+// same connection, and the mux acknowledgement advertises the configured
+// per-connection stream bound.
+func TestMuxHelloNegotiation(t *testing.T) {
+	srv, tcp, _ := startTCP(t)
+	if err := srv.Register(slowKernel{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	tcp.SetMaxConnStreams(3)
+
+	// Legacy offer: acknowledged at version 1, connection keeps serving
+	// plain request/response frames.
+	legacy := dialWire(t, tcp.Addr())
+	if err := wire.Write(legacy, &wire.Message{Type: wire.MsgHello, Header: wire.Header{MuxVersion: wire.Version}}); err != nil {
+		t.Fatalf("write legacy hello: %v", err)
+	}
+	ack, err := wire.Read(legacy)
+	if err != nil {
+		t.Fatalf("read legacy ack: %v", err)
+	}
+	if ack.Type != wire.MsgHelloAck || ack.Header.MuxVersion != wire.Version {
+		t.Fatalf("legacy ack = %s (mux version %d), want ack at version %d",
+			ack.Type, ack.Header.MuxVersion, wire.Version)
+	}
+	if err := wire.Write(legacy, &wire.Message{Type: wire.MsgList}); err != nil {
+		t.Fatalf("write legacy list: %v", err)
+	}
+	if reply, err := wire.Read(legacy); err != nil || reply.Type != wire.MsgListResult {
+		t.Fatalf("legacy list after hello = %v, %v; want list result", reply, err)
+	}
+
+	// Mux offer: the acknowledgement carries the stream bound.
+	mux := dialWire(t, tcp.Addr())
+	ack = muxHandshake(t, mux)
+	if ack.Header.MaxStreams != 3 {
+		t.Errorf("MaxStreams = %d, want 3", ack.Header.MaxStreams)
+	}
+}
+
+// TestMuxDrainFinishesStreams drains the endpoint while a multiplexed
+// stream is mid-kernel: the stream must run to completion and deliver
+// its reply before the drain finishes, matching the legacy connection
+// drain semantics.
+func TestMuxDrainFinishesStreams(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	host, err := accel.NewHost(clock, "node", accel.XeonE52698, accel.TeslaP100)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(host.Close)
+	srv, err := New(Config{Clock: clock, Host: host})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	k := &execHookKernel{
+		fakeKernel: &fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()},
+		onExecute: func() {
+			started <- struct{}{}
+			<-gate
+		},
+	}
+	if err := srv.Register(k); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	tcp, err := ServeTCP(srv, "127.0.0.1:0", shm.NewRegistry(1<<30))
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+	t.Cleanup(func() { tcp.Close() })
+
+	conn := dialWire(t, tcp.Addr())
+	muxHandshake(t, conn)
+	err = wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgInvoke, Header: wire.Header{
+		Kernel: "k", StreamID: 9,
+	}})
+	if err != nil {
+		t.Fatalf("write invoke: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("invocation never reached the kernel")
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- tcp.Drain(context.Background()) }()
+
+	// The drain must wait for the in-flight stream.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain finished with a stream mid-kernel: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(gate)
+	reply, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read reply during drain: %v", err)
+	}
+	if reply.Type != wire.MsgResult || reply.Header.StreamID != 9 {
+		t.Fatalf("drain reply = %s (stream %d), want result on stream 9", reply.Type, reply.Header.StreamID)
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not finish after the stream completed")
+	}
+}

@@ -55,11 +55,32 @@ type TCPServer struct {
 	ln      net.Listener
 	regions *shm.Registry
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	draining bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu           sync.Mutex
+	conns        map[net.Conn]struct{}
+	draining     bool
+	closed       bool
+	streamsLimit int
+	wg           sync.WaitGroup
+}
+
+// SetMaxConnStreams bounds how many concurrent streams one multiplexed
+// connection may have in flight (default DefaultMaxConnStreams). Set it
+// before clients connect; existing sessions keep the bound they
+// negotiated.
+func (t *TCPServer) SetMaxConnStreams(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.streamsLimit = n
+}
+
+// maxConnStreams returns the per-connection stream bound.
+func (t *TCPServer) maxConnStreams() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.streamsLimit > 0 {
+		return t.streamsLimit
+	}
+	return DefaultMaxConnStreams
 }
 
 // ServeTCP starts accepting KaaS protocol connections on addr
@@ -238,6 +259,30 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 			return
 		}
+		if msg.Type == wire.MsgHello {
+			if msg.Header.MuxVersion >= wire.VersionMux {
+				// Upgrade to the multiplexed protocol: acknowledge with
+				// the negotiated version and hand the connection to a
+				// mux session, which owns it until it closes.
+				ok := t.reply(sc, &wire.Message{Type: wire.MsgHelloAck, Header: wire.Header{
+					MuxVersion: wire.VersionMux,
+					MaxStreams: t.maxConnStreams(),
+					StreamID:   msg.Header.StreamID,
+				}})
+				if !ok {
+					return
+				}
+				t.serveMux(sc)
+				return
+			}
+			// The peer offered nothing newer than the legacy protocol:
+			// acknowledge version 1 and keep serving one request at a
+			// time on this connection.
+			if !t.reply(sc, &wire.Message{Type: wire.MsgHelloAck, Header: wire.Header{MuxVersion: wire.Version}}) {
+				return
+			}
+			continue
+		}
 		if !t.dispatch(sc, msg) {
 			return
 		}
@@ -247,6 +292,16 @@ func (t *TCPServer) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// marshalStats encodes the server's statistics document for a
+// MsgStatsResult reply.
+func marshalStats(srv *Server) (json.RawMessage, error) {
+	stats, err := json.Marshal(srv.Stats())
+	if err != nil {
+		return nil, fmt.Errorf("encode stats: %w", err)
+	}
+	return stats, nil
 }
 
 // dispatch handles one message; it reports whether the connection should
@@ -263,9 +318,9 @@ func (t *TCPServer) dispatch(sc *serverConn, msg *wire.Message) bool {
 			Header: wire.Header{Names: t.srv.Kernels()},
 		})
 	case wire.MsgStats:
-		stats, err := json.Marshal(t.srv.Stats())
+		stats, err := marshalStats(t.srv)
 		if err != nil {
-			return t.replyErr(sc, fmt.Errorf("encode stats: %w", err))
+			return t.replyErr(sc, err)
 		}
 		return t.reply(sc, &wire.Message{
 			Type:   wire.MsgStatsResult,

@@ -15,7 +15,6 @@ package vclock
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -74,12 +73,23 @@ func Scaled(scale float64) Clock {
 	return &scaledClock{
 		scale: scale,
 		epoch: time.Now(),
+		wake:  make(chan struct{}, 1),
 	}
 }
 
 type scaledClock struct {
 	scale float64
 	epoch time.Time
+
+	// Pending AfterFunc timers, dispatched by a single goroutine per
+	// clock: one spinner watching the earliest deadline costs far less
+	// than a spinning goroutine per timer, which matters under load —
+	// the scheduling engines re-arm a timer on every job arrival and
+	// completion.
+	mu      sync.Mutex
+	timers  timerHeap
+	wake    chan struct{}
+	running bool
 }
 
 var _ Clock = (*scaledClock)(nil)
@@ -120,63 +130,165 @@ func sleepUntil(deadline time.Time) {
 	}
 }
 
+// AfterFunc registers the callback on the clock's timer wheel. All of a
+// clock's pending timers share one dispatcher goroutine that sleeps
+// coarsely and spins across the last stretch before the earliest
+// deadline, so callbacks fire within microseconds of their wall
+// deadline at the cost of a single spinner, however many timers are
+// pending. Callbacks run sequentially on the dispatcher goroutine (never
+// on the caller's), so they must not block for long.
 func (c *scaledClock) AfterFunc(d time.Duration, f func()) Timer {
-	t := &spinTimer{
+	t := &wheelTimer{
+		c:        c,
 		deadline: time.Now().Add(c.toWall(d)),
 		f:        f,
-		stop:     make(chan struct{}),
 	}
-	go t.run()
+	c.mu.Lock()
+	c.timers.push(t)
+	first := c.timers[0] == t
+	if !c.running {
+		c.running = true
+		go c.dispatch()
+		first = false
+	}
+	c.mu.Unlock()
+	if first {
+		// A new earliest deadline: poke the dispatcher out of its sleep
+		// so it does not oversleep past it.
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
 	return t
 }
 
-// spinTimer is a precision timer for scaled clocks: it sleeps coarsely and
-// spins across the last stretch so the callback fires within microseconds
-// of the wall deadline.
-type spinTimer struct {
-	deadline time.Time
-	f        func()
-	stop     chan struct{}
-	stopped  atomic.Bool
-	fired    atomic.Bool
-}
-
-func (t *spinTimer) run() {
+// dispatch runs a clock's due timers until none are pending.
+func (c *scaledClock) dispatch() {
+	var due []*wheelTimer
 	for {
-		remaining := time.Until(t.deadline)
-		if remaining <= 0 {
-			break
+		due = due[:0]
+		c.mu.Lock()
+		now := time.Now()
+		for len(c.timers) > 0 {
+			t := c.timers[0]
+			if t.stopped {
+				c.timers.pop()
+				continue
+			}
+			if t.deadline.After(now) {
+				break
+			}
+			t.fired = true
+			c.timers.pop()
+			due = append(due, t)
 		}
-		if remaining > spinThreshold {
-			timer := time.NewTimer(remaining - spinThreshold)
-			select {
-			case <-timer.C:
-			case <-t.stop:
-				timer.Stop()
-				return
+		if len(due) > 0 {
+			c.mu.Unlock()
+			for _, t := range due {
+				t.f()
 			}
 			continue
 		}
-		select {
-		case <-t.stop:
+		if len(c.timers) == 0 {
+			c.running = false
+			c.mu.Unlock()
 			return
-		default:
-			runtime.Gosched()
+		}
+		next := c.timers[0].deadline
+		c.mu.Unlock()
+
+		if remaining := time.Until(next); remaining > spinThreshold {
+			timer := time.NewTimer(remaining - spinThreshold)
+			select {
+			case <-timer.C:
+			case <-c.wake:
+				timer.Stop()
+			}
+		} else {
+			select {
+			case <-c.wake:
+			default:
+				runtime.Gosched()
+			}
 		}
 	}
-	if t.stopped.Load() {
-		return
-	}
-	t.fired.Store(true)
-	t.f()
 }
 
-func (t *spinTimer) Stop() bool {
-	if t.stopped.Swap(true) {
+// wheelTimer is one pending AfterFunc registration on a scaled clock.
+// Stopped entries stay in the heap and are discarded when they surface
+// at the top — cheaper than mid-heap removal under the engines'
+// constant re-arming.
+type wheelTimer struct {
+	c        *scaledClock
+	deadline time.Time
+	f        func()
+	stopped  bool // guarded by c.mu
+	fired    bool // guarded by c.mu
+}
+
+func (t *wheelTimer) Stop() bool {
+	c := t.c
+	c.mu.Lock()
+	if t.stopped || t.fired {
+		c.mu.Unlock()
 		return false
 	}
-	close(t.stop)
-	return !t.fired.Load()
+	// Marked only: the dispatcher discards stopped entries when they
+	// surface at the top of the heap.
+	t.stopped = true
+	head := len(c.timers) > 0 && c.timers[0] == t
+	c.mu.Unlock()
+	if head {
+		// The dispatcher is sleeping toward this timer's deadline; wake
+		// it so it re-reads the heap (and can exit if nothing is left)
+		// instead of holding its goroutine until the stale deadline.
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// timerHeap is a min-heap of pending timers ordered by wall deadline.
+type timerHeap []*wheelTimer
+
+func (h *timerHeap) push(t *wheelTimer) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].deadline.Before((*h)[parent].deadline) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// pop removes the earliest timer.
+func (h *timerHeap) pop() {
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	(*h)[n] = nil
+	*h = (*h)[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && (*h)[left].deadline.Before((*h)[smallest].deadline) {
+			smallest = left
+		}
+		if right < n && (*h)[right].deadline.Before((*h)[smallest].deadline) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
 }
 
 func (c *scaledClock) Scale() float64 { return c.scale }

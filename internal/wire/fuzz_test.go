@@ -29,6 +29,16 @@ func seedFrames(t testing.TB) [][]byte {
 			DeadlineNanos: 1700000000000000000,
 		}},
 		{Type: MsgStatsResult, Header: Header{Stats: []byte(`{"Kernels":1}`)}},
+		// Multiplexed (version 2) frames: a StreamID-carrying invoke, the
+		// upgrade handshake, and a per-stream cancel.
+		{Version: VersionMux, Type: MsgInvoke, Header: Header{
+			Kernel:   "mci",
+			Params:   map[string]float64{"n": 1000},
+			StreamID: 7,
+		}, Body: []byte("mux-payload")},
+		{Type: MsgHello, Header: Header{MuxVersion: VersionMux}},
+		{Version: VersionMux, Type: MsgHelloAck, Header: Header{MuxVersion: VersionMux, MaxStreams: 64}},
+		{Version: VersionMux, Type: MsgCancel, Header: Header{StreamID: 42}},
 	}
 	frames := make([][]byte, 0, len(msgs))
 	for _, m := range msgs {

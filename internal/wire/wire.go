@@ -5,7 +5,7 @@
 // Frame layout:
 //
 //	magic   [4]byte  "KAAS"
-//	version uint8    protocol version (1)
+//	version uint8    protocol version (1 or 2)
 //	type    uint8    message type
 //	hdrLen  uint32   big endian, JSON header length
 //	header  []byte   JSON-encoded Header
@@ -20,10 +20,21 @@
 // expires. Unknown header fields are ignored on decode, so adding fields
 // is backward compatible within a protocol version.
 //
+// Version 1 is the legacy one-request-per-connection protocol: each frame
+// on a connection belongs to the single outstanding request. Version 2
+// adds connection multiplexing: frames carry Header.StreamID, many
+// requests share one connection concurrently, replies are matched to
+// requests by stream, and MsgCancel aborts one stream without tearing
+// down the shared socket. A connection speaks version 2 only after a
+// MsgHello/MsgHelloAck negotiation (sent as version-1 frames, so a
+// legacy peer answers with a plain error and the client falls back).
+//
 // Read never trusts the length prefixes for allocation: header and body
 // buffers grow incrementally as bytes actually arrive, so a frame that
 // claims a huge body on a truncated stream cannot force a large
-// allocation.
+// allocation. Write and Read reuse frame and header buffers through
+// sync.Pools, keeping steady-state allocations on the invoke hot path
+// near zero for small frames.
 package wire
 
 import (
@@ -32,12 +43,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 )
 
 // Protocol constants.
 const (
-	// Version is the protocol version emitted by this package.
+	// Version is the legacy one-request-per-connection protocol version.
 	Version = 1
+	// VersionMux is the multiplexed protocol version: frames carry a
+	// StreamID and many requests share one connection.
+	VersionMux = 2
+	// MaxVersion is the highest protocol version this package decodes.
+	MaxVersion = VersionMux
 	// MaxHeaderLen bounds the JSON header size.
 	MaxHeaderLen = 1 << 20
 	// MaxBodyLen bounds the payload size (256 MiB).
@@ -69,6 +87,20 @@ const (
 	MsgStats
 	// MsgStatsResult returns server statistics.
 	MsgStatsResult
+	// MsgHello offers a protocol upgrade: Header.MuxVersion is the
+	// highest version the client speaks. Sent as a version-1 frame so a
+	// legacy server answers MsgError ("unexpected message type") and the
+	// client falls back to the one-request-per-connection protocol.
+	MsgHello
+	// MsgHelloAck accepts a protocol upgrade: Header.MuxVersion is the
+	// negotiated version and Header.MaxStreams the per-connection
+	// concurrent-stream bound the server enforces.
+	MsgHelloAck
+	// MsgCancel aborts one in-flight stream (Header.StreamID) on a
+	// multiplexed connection without closing the shared socket. The
+	// cancelled invocation still produces a (best-effort, usually
+	// discarded) error reply on its stream.
+	MsgCancel
 )
 
 // String returns the message type name.
@@ -92,6 +124,12 @@ func (t MsgType) String() string {
 		return "stats"
 	case MsgStatsResult:
 		return "stats-result"
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -174,6 +212,17 @@ type Header struct {
 	// passed and cancel the invocation when it expires mid-flight. Zero
 	// means no deadline.
 	DeadlineNanos int64 `json:"deadlineNanos,omitempty"`
+	// StreamID identifies the request/reply stream on a multiplexed
+	// (version 2) connection. The client assigns it on requests; the
+	// server echoes it on the matching reply and on MsgCancel it names
+	// the stream to abort. Zero on version-1 connections.
+	StreamID uint64 `json:"streamID,omitempty"`
+	// MuxVersion carries the offered (MsgHello) or negotiated
+	// (MsgHelloAck) protocol version during the upgrade handshake.
+	MuxVersion uint8 `json:"muxVersion,omitempty"`
+	// MaxStreams advertises, on MsgHelloAck, how many concurrent streams
+	// the server will serve per connection before applying backpressure.
+	MaxStreams int `json:"maxStreams,omitempty"`
 }
 
 // Message is one protocol frame.
@@ -181,34 +230,94 @@ type Message struct {
 	Type   MsgType
 	Header Header
 	Body   []byte
+	// Version is the protocol version of the frame: set by Read on
+	// decode, honored by Write on encode. Zero encodes as Version (1).
+	Version uint8
 }
 
-// Write encodes and writes a message to w.
-func Write(w io.Writer, msg *Message) error {
+// maxPooledBuf caps the size of buffers retained by the frame pools so a
+// single huge payload cannot pin memory forever.
+const maxPooledBuf = 64 << 10
+
+// bufPool recycles frame-encoding scratch buffers across Write calls.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// hdrPool recycles header-decoding buffers across Read calls. The JSON
+// decoder copies everything it keeps, so the buffer never escapes.
+var hdrPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// frameVersion resolves the version byte a message encodes with.
+func frameVersion(msg *Message) (uint8, error) {
+	v := msg.Version
+	if v == 0 {
+		v = Version
+	}
+	if v > MaxVersion {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	return v, nil
+}
+
+// Append encodes msg onto buf and returns the extended slice. It is the
+// allocation-free core of Write, used directly by the multiplexed
+// transports to coalesce several frames into one socket write.
+func Append(buf []byte, msg *Message) ([]byte, error) {
+	v, err := frameVersion(msg)
+	if err != nil {
+		return buf, err
+	}
 	hdr, err := json.Marshal(&msg.Header)
 	if err != nil {
-		return fmt.Errorf("wire: encode header: %w", err)
+		return buf, fmt.Errorf("wire: encode header: %w", err)
 	}
 	if len(hdr) > MaxHeaderLen {
-		return fmt.Errorf("%w: header %d bytes", ErrTooLarge, len(hdr))
+		return buf, fmt.Errorf("%w: header %d bytes", ErrTooLarge, len(hdr))
 	}
 	if len(msg.Body) > MaxBodyLen {
-		return fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(msg.Body))
+		return buf, fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(msg.Body))
 	}
-	buf := make([]byte, 0, 4+1+1+4+len(hdr)+4+len(msg.Body))
 	buf = append(buf, magic[:]...)
-	buf = append(buf, Version, byte(msg.Type))
+	buf = append(buf, v, byte(msg.Type))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hdr)))
 	buf = append(buf, hdr...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg.Body)))
 	buf = append(buf, msg.Body...)
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("wire: write frame: %w", err)
+	return buf, nil
+}
+
+// Write encodes and writes a message to w. The encoding buffer is pooled,
+// so steady-state Writes of small frames do not allocate beyond the JSON
+// header encoding.
+func Write(w io.Writer, msg *Message) error {
+	bp := bufPool.Get().(*[]byte)
+	buf, err := Append((*bp)[:0], msg)
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		bufPool.Put(bp)
+	}
+	if werr != nil {
+		return fmt.Errorf("wire: write frame: %w", werr)
 	}
 	return nil
 }
 
-// Read decodes one message from r.
+// Read decodes one message from r, accepting protocol versions 1 and 2
+// and recording which one the frame carried in Message.Version.
 func Read(r io.Reader) (*Message, error) {
 	var pre [10]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
@@ -220,20 +329,16 @@ func Read(r io.Reader) (*Message, error) {
 	if [4]byte(pre[:4]) != magic {
 		return nil, ErrBadMagic
 	}
-	if pre[4] != Version {
+	if pre[4] == 0 || pre[4] > MaxVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, pre[4])
 	}
-	msg := &Message{Type: MsgType(pre[5])}
+	msg := &Message{Type: MsgType(pre[5]), Version: pre[4]}
 	hdrLen := binary.BigEndian.Uint32(pre[6:10])
 	if hdrLen > MaxHeaderLen {
 		return nil, fmt.Errorf("%w: header %d bytes", ErrTooLarge, hdrLen)
 	}
-	hdr, err := readSection(r, int(hdrLen))
-	if err != nil {
-		return nil, fmt.Errorf("wire: read header: %w", err)
-	}
-	if err := json.Unmarshal(hdr, &msg.Header); err != nil {
-		return nil, fmt.Errorf("wire: decode header: %w", err)
+	if err := readHeader(r, int(hdrLen), &msg.Header); err != nil {
+		return nil, err
 	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -244,12 +349,47 @@ func Read(r io.Reader) (*Message, error) {
 		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
 	}
 	if bodyLen > 0 {
+		var err error
 		msg.Body, err = readSection(r, int(bodyLen))
 		if err != nil {
 			return nil, fmt.Errorf("wire: read body: %w", err)
 		}
 	}
 	return msg, nil
+}
+
+// readHeader reads and decodes the n-byte JSON header into out. Small
+// headers pass through a pooled buffer (the decoder copies what it
+// keeps); oversized ones fall back to the incremental section reader.
+func readHeader(r io.Reader, n int, out *Header) error {
+	if n > maxPooledBuf {
+		hdr, err := readSection(r, n)
+		if err != nil {
+			return fmt.Errorf("wire: read header: %w", err)
+		}
+		if err := json.Unmarshal(hdr, out); err != nil {
+			return fmt.Errorf("wire: decode header: %w", err)
+		}
+		return nil
+	}
+	bp := hdrPool.Get().(*[]byte)
+	defer hdrPool.Put(bp)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]byte, n)
+		*bp = buf
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("wire: read header: %w", err)
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return fmt.Errorf("wire: decode header: %w", err)
+	}
+	return nil
 }
 
 // allocChunk caps how much readSection allocates ahead of the bytes that
@@ -293,4 +433,25 @@ func FrameSize(msg *Message) (int64, error) {
 		return 0, fmt.Errorf("wire: encode header: %w", err)
 	}
 	return int64(4 + 1 + 1 + 4 + len(hdr) + 4 + len(msg.Body)), nil
+}
+
+// CheckEncodable verifies that a client-built message can be encoded
+// without paying for a full header encode: the only header fields a
+// caller can make unencodable are the float maps, since JSON cannot
+// represent non-finite numbers. Transports that share one socket across
+// callers use it to fail an unencodable request on its own, before the
+// frame reaches the connection's writer (where an encode failure would
+// have to kill the shared socket).
+func CheckEncodable(msg *Message) error {
+	for k, v := range msg.Header.Params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("wire: encode header: param %q is %v, not representable in JSON", k, v)
+		}
+	}
+	for k, v := range msg.Header.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("wire: encode header: value %q is %v, not representable in JSON", k, v)
+		}
+	}
+	return nil
 }

@@ -171,10 +171,160 @@ func TestMsgTypeString(t *testing.T) {
 		{MsgInvoke, "invoke"}, {MsgResult, "result"}, {MsgError, "error"},
 		{MsgList, "list"}, {MsgListResult, "list-result"},
 		{MsgStats, "stats"}, {MsgStatsResult, "stats-result"},
+		{MsgHello, "hello"}, {MsgHelloAck, "hello-ack"}, {MsgCancel, "cancel"},
 		{MsgType(200), "msgtype(200)"},
 	} {
 		if got := tt.mt.String(); got != tt.want {
 			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMuxFrameRoundTrip(t *testing.T) {
+	msg := &Message{
+		Version: VersionMux,
+		Type:    MsgInvoke,
+		Header: Header{
+			Kernel:   "matmul",
+			Params:   map[string]float64{"n": 64},
+			StreamID: 7,
+		},
+		Body: []byte("mux-payload"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if b := buf.Bytes(); b[4] != VersionMux {
+		t.Errorf("version byte = %d, want %d", b[4], VersionMux)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Version != VersionMux {
+		t.Errorf("Version = %d, want %d", got.Version, VersionMux)
+	}
+	if got.Header.StreamID != 7 {
+		t.Errorf("StreamID = %d, want 7", got.Header.StreamID)
+	}
+	if !bytes.Equal(got.Body, msg.Body) {
+		t.Errorf("Body = %q", got.Body)
+	}
+}
+
+func TestHelloHandshakeFrames(t *testing.T) {
+	var buf bytes.Buffer
+	// Hello is sent as a version-1 frame so legacy peers can parse it.
+	if err := Write(&buf, &Message{Type: MsgHello, Header: Header{MuxVersion: VersionMux}}); err != nil {
+		t.Fatalf("Write hello: %v", err)
+	}
+	if b := buf.Bytes(); b[4] != Version {
+		t.Errorf("hello version byte = %d, want %d (legacy-parseable)", b[4], Version)
+	}
+	hello, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read hello: %v", err)
+	}
+	if hello.Type != MsgHello || hello.Header.MuxVersion != VersionMux {
+		t.Errorf("hello = %+v", hello)
+	}
+	if err := Write(&buf, &Message{Type: MsgHelloAck, Header: Header{MuxVersion: VersionMux, MaxStreams: 64}}); err != nil {
+		t.Fatalf("Write ack: %v", err)
+	}
+	ack, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read ack: %v", err)
+	}
+	if ack.Type != MsgHelloAck || ack.Header.MuxVersion != VersionMux || ack.Header.MaxStreams != 64 {
+		t.Errorf("ack = %+v", ack)
+	}
+}
+
+func TestCancelFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := &Message{Version: VersionMux, Type: MsgCancel, Header: Header{StreamID: 42}}
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Type != MsgCancel || got.Header.StreamID != 42 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestWriteRejectsFutureVersion(t *testing.T) {
+	msg := &Message{Version: MaxVersion + 1, Type: MsgList}
+	if err := Write(io.Discard, msg); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestAppendMatchesWrite(t *testing.T) {
+	msg := &Message{
+		Version: VersionMux,
+		Type:    MsgResult,
+		Header:  Header{StreamID: 3, Values: map[string]float64{"x": 1}},
+		Body:    []byte("abc"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	appended, err := Append(nil, msg)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), appended) {
+		t.Error("Append output differs from Write output")
+	}
+}
+
+// TestReadReusedAcrossMessages guards the pooled header buffer: decoded
+// headers must not alias pool memory that a later Read overwrites.
+func TestReadReusedAcrossMessages(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgInvoke, Header: Header{Kernel: "first-kernel-name"}}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := Write(&buf, &Message{Type: MsgInvoke, Header: Header{Kernel: "second-kernel-name"}}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	first, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if first.Header.Kernel != "first-kernel-name" {
+		t.Errorf("first header mutated by second Read: %q", first.Header.Kernel)
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	msg := &Message{
+		Type: MsgInvoke,
+		Header: Header{
+			Kernel:   "matmul",
+			Params:   map[string]float64{"n": 500},
+			StreamID: 9,
+		},
+		Body: make([]byte, 512),
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -174,6 +174,8 @@ type config struct {
 	logger        *slog.Logger
 	invokeTimeout time.Duration
 	retryPolicy   *client.RetryPolicy
+	clientMux     int
+	muxStreams    int
 
 	maxInFlightTotal   int
 	maxQueuePerKernel  int
@@ -191,6 +193,9 @@ func (c *config) clientOptions() []client.Option {
 	}
 	if c.retryPolicy != nil {
 		opts = append(opts, client.WithRetryPolicy(*c.retryPolicy))
+	}
+	if c.clientMux > 0 {
+		opts = append(opts, client.WithMux(c.clientMux))
 	}
 	return opts
 }
@@ -268,6 +273,25 @@ func WithInvokeTimeout(d time.Duration) Option {
 // bounded backoff policy. Server-reported errors are never retried.
 func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *config) { c.retryPolicy = &p }
+}
+
+// WithClientMux makes clients created by this platform multiplex all
+// their in-flight calls over conns shared connections (protocol
+// version 2: per-stream framing, out-of-order replies, CANCEL frames
+// for per-call cancellation). Against a server that predates
+// multiplexing, clients negotiate down to the one-request-per-connection
+// protocol automatically.
+func WithClientMux(conns int) Option {
+	return func(c *config) { c.clientMux = conns }
+}
+
+// WithMuxStreams bounds how many invocation streams one multiplexed
+// connection may have in flight on this platform's TCP endpoint
+// (default 64). Per-connection backpressure: past the bound the server
+// stops reading new frames from that connection until a stream
+// completes.
+func WithMuxStreams(n int) Option {
+	return func(c *config) { c.muxStreams = n }
 }
 
 // WithAdmissionLimits bounds the load the platform accepts: at most
@@ -380,6 +404,9 @@ func New(opts ...Option) (*Platform, error) {
 			return nil, fmt.Errorf("kaas: %w", err)
 		}
 		p.tcp = tcp
+	}
+	if p.tcp != nil && cfg.muxStreams > 0 {
+		p.tcp.SetMaxConnStreams(cfg.muxStreams)
 	}
 	return p, nil
 }
