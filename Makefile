@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json scenario-ci scenario-json ci clean
 
 all: build
 
@@ -53,7 +53,23 @@ bench-json:
 	$(GO) run ./cmd/kaasbench -sweep 5000 -sweep-conc 1,8,64 -sweep-conns 4 \
 		-sweep-out BENCH_PR5.json -sweep-figures bench_figures.txt
 
-ci: vet build test race fuzz
+# Scenario gate: run the replay/chaos matrix tests, then replay the full
+# matrix twice with the same seed and require byte-identical deterministic
+# output — every invariant must pass and the harness must be reproducible.
+SCENARIO_SEED ?= 1
+scenario-ci:
+	$(GO) test -run 'TestScenario|TestInvariants|TestClassify|TestSynthesize|TestParseCSV|TestChaosTransitions' \
+		-count=1 ./internal/scenario ./cmd/kaasbench
+	$(GO) run ./cmd/kaasbench -scenario all -seed $(SCENARIO_SEED) > scenario_run1.txt
+	$(GO) run ./cmd/kaasbench -scenario all -seed $(SCENARIO_SEED) > scenario_run2.txt
+	diff scenario_run1.txt scenario_run2.txt
+	@echo "scenario matrix passed and reproduced byte-for-byte (seed $(SCENARIO_SEED))"
+
+# Regenerate the committed scenario result baseline.
+scenario-json:
+	$(GO) run ./cmd/kaasbench -scenario all -seed 1 -scenario-out BENCH_PR6.json
+
+ci: vet build test race fuzz scenario-ci
 
 clean:
 	$(GO) clean ./...

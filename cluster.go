@@ -2,8 +2,11 @@ package kaas
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+
+	"kaas/internal/core"
 )
 
 // Cluster federates several platforms (hosts) behind one invocation API —
@@ -69,36 +72,69 @@ func (c *Cluster) RegisterByName(name string) error {
 
 // Invoke routes one invocation to the least-loaded host serving the
 // kernel and returns its result, the report, and the index of the host
-// that served it.
+// that served it. When the picked host cannot take the work for a
+// transient routing reason — it is draining, shut down, overloaded, or
+// all its devices of the kernel's kind are breaker-excluded — the
+// cluster fails the invocation over to the next-least-loaded serving
+// host instead of surfacing the error, so one node leaving (the §3.3
+// horizontal-scalability story) is invisible to callers as long as any
+// other node can absorb the work. Non-routing errors (bad parameters,
+// kernel failures) are returned from the first host that reported them.
 func (c *Cluster) Invoke(ctx context.Context, name string, params Params, data []byte) (*Response, *Report, int, error) {
-	idx, err := c.pick(name)
-	if err != nil {
-		return nil, nil, -1, err
-	}
-	c.mu.Lock()
-	c.inflight[idx]++
-	c.mu.Unlock()
-	defer func() {
+	tried := make(map[int]bool)
+	var (
+		lastIdx = -1
+		lastErr error
+	)
+	for {
+		idx, err := c.pick(name, tried)
+		if err != nil {
+			// No (further) host serves the kernel: report the last
+			// transient failure if rerouting exhausted the cluster.
+			if lastErr != nil {
+				return nil, nil, lastIdx, lastErr
+			}
+			return nil, nil, -1, err
+		}
+		tried[idx] = true
+
+		c.mu.Lock()
+		c.inflight[idx]++
+		c.mu.Unlock()
+		resp, report, err := c.platforms[idx].Invoke(ctx, name, params, data)
 		c.mu.Lock()
 		c.inflight[idx]--
 		c.mu.Unlock()
-	}()
 
-	resp, report, err := c.platforms[idx].Invoke(ctx, name, params, data)
-	if err != nil {
-		return nil, nil, idx, fmt.Errorf("kaas: host %d: %w", idx, err)
+		if err == nil {
+			return resp, report, idx, nil
+		}
+		lastIdx, lastErr = idx, fmt.Errorf("kaas: host %d: %w", idx, err)
+		if !reroutable(err) || ctx.Err() != nil {
+			return nil, nil, idx, lastErr
+		}
 	}
-	return resp, report, idx, nil
+}
+
+// reroutable reports whether a host error is a transient routing
+// condition another host may not share, making cross-host failover safe:
+// the request was rejected before any kernel executed.
+func reroutable(err error) bool {
+	return errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, core.ErrServerClosed)
 }
 
 // pick selects the host with the fewest cluster-routed in-flight
-// invocations among those that serve the kernel.
-func (c *Cluster) pick(name string) (int, error) {
+// invocations among those that serve the kernel, skipping hosts already
+// tried by this invocation.
+func (c *Cluster) pick(name string, tried map[int]bool) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	best := -1
 	for i, p := range c.platforms {
-		if !platformServes(p, name) {
+		if tried[i] || !platformServes(p, name) {
 			continue
 		}
 		if best == -1 || c.inflight[i] < c.inflight[best] {

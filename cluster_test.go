@@ -2,8 +2,12 @@ package kaas
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
+
+	"kaas/internal/core"
 )
 
 func newCluster(t *testing.T) *Cluster {
@@ -115,5 +119,65 @@ func TestClusterSpreadsConcurrentLoad(t *testing.T) {
 	}
 	if hosts[1] != 0 {
 		t.Errorf("FPGA-only host served %d matmul invocations", hosts[1])
+	}
+}
+
+func TestClusterFailsOverFromDrainingHost(t *testing.T) {
+	a, err := New(WithHostName("node-a"), WithAccelerators(TeslaP100))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(WithHostName("node-b"), WithAccelerators(TeslaP100))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer b.Close()
+	c, err := NewCluster(a, b)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if err := c.RegisterByName("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	ctx := context.Background()
+	// Drain host 0: it rejects new work with ErrDraining, so the cluster
+	// must reroute every subsequent invocation to host 1.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := a.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		_, _, host, err := c.Invoke(ctx, "mci", Params{"n": 1000}, nil)
+		if err != nil {
+			t.Fatalf("Invoke after drain: %v", err)
+		}
+		if host != 1 {
+			t.Errorf("invocation served by host %d, want failover to 1", host)
+		}
+	}
+}
+
+func TestClusterAllHostsDownSurfacesTypedError(t *testing.T) {
+	a, err := New(WithHostName("solo"), WithAccelerators(TeslaP100))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c, err := NewCluster(a)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if err := c.RegisterByName("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	_, _, _, err = c.Invoke(context.Background(), "mci", Params{"n": 1000}, nil)
+	if !errors.Is(err, core.ErrServerClosed) {
+		t.Errorf("Invoke on fully-drained cluster = %v, want ErrServerClosed", err)
 	}
 }

@@ -11,6 +11,9 @@
 //	kaasbench -loadgen 200 -loadgen-conc 8 n=1000    # latency percentiles
 //	kaasbench -loadgen 100 -server 127.0.0.1:7070    # against a running kaasd
 //	kaasbench -overload 400 -overload-conc 64        # admission + breaker report
+//	kaasbench -scenario list                         # named replay/chaos scenarios
+//	kaasbench -scenario all -seed 1                  # full matrix against its invariants
+//	kaasbench -scenario chaos-flap -scenario-out out.json
 //
 // -faultcheck stands apart from the figures: it serves a platform
 // through a fault-injecting listener (internal/faults) that breaks every
@@ -80,8 +83,16 @@ func run(args []string) error {
 	sweepOut := fs.String("sweep-out", "", "write the -sweep report as JSON to this file")
 	sweepFigures := fs.String("sweep-figures", "", "file of go test -bench output to embed in the -sweep report")
 	sweepProfile := fs.String("sweep-cpuprofile", "", "write a pprof CPU profile per -sweep cell with this path prefix")
+	scenarioName := fs.String("scenario", "", "run a named replay/chaos scenario against its invariants (a name, all, or list)")
+	seed := fs.Int64("seed", 1, "scenario seed: same seed, same trace, same chaos, same verdict lines")
+	scenarioOut := fs.String("scenario-out", "", "write the -scenario results (with diagnostics) as JSON to this file")
+	scenarioTrace := fs.String("scenario-trace", "", "replay this recorded CSV trace (offset_ms,kernel,n,payload) through the named scenario instead of its synthetic trace")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scenarioName != "" {
+		return runScenario(os.Stdout, *scenarioName, *seed, *scale, *scenarioTrace, *scenarioOut)
 	}
 
 	if *faultcheck {

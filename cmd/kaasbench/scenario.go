@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"kaas/internal/scenario"
+)
+
+// scenarioReport is the JSON document -scenario-out writes: the run
+// parameters plus every scenario result, diagnostics included. The
+// stdout lines stay restricted to the deterministic surface; anything
+// machine-dependent (latencies, outcome splits, wall time) lives only
+// here.
+type scenarioReport struct {
+	Seed      int64              `json:"seed"`
+	Scale     float64            `json:"scale"`
+	Passed    bool               `json:"passed"`
+	Scenarios []*scenario.Result `json:"scenarios"`
+}
+
+// runScenario drives the scenario harness: one named scenario, the full
+// matrix ("all"), or a listing ("list"). Stdout carries only the
+// deterministic output surface, so two same-seed runs must print
+// byte-identical text — that is the reproducibility contract CI diffs.
+// A failed invariant fails the whole run.
+func runScenario(w io.Writer, name string, seed int64, scale float64, tracePath, out string) error {
+	if name == "list" {
+		for _, n := range scenario.List() {
+			spec, err := scenario.Lookup(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-18s %s\n", n, spec.Description)
+		}
+		return nil
+	}
+	var names []string
+	if name == "all" {
+		if tracePath != "" {
+			return fmt.Errorf("-scenario-trace replays into a single named scenario, not %q", name)
+		}
+		names = scenario.List()
+	} else {
+		names = []string{name}
+	}
+
+	report := &scenarioReport{Seed: seed, Scale: scale, Passed: true}
+	failed := 0
+	for _, n := range names {
+		spec, err := scenario.Lookup(n)
+		if err != nil {
+			return err
+		}
+		var res *scenario.Result
+		if tracePath != "" {
+			trace, err := loadTrace(tracePath)
+			if err != nil {
+				return err
+			}
+			res, err = scenario.RunTrace(context.Background(), spec, trace, seed, scale)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = scenario.Run(context.Background(), spec, seed, scale)
+			if err != nil {
+				return err
+			}
+		}
+		for _, line := range res.DeterministicLines() {
+			fmt.Fprintln(w, line)
+		}
+		report.Scenarios = append(report.Scenarios, res)
+		if !res.Passed {
+			report.Passed = false
+			failed++
+		}
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", out, err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(names))
+	}
+	return nil
+}
+
+// loadTrace reads an externally recorded CSV trace
+// (offset_ms,kernel,n,payload per line).
+func loadTrace(path string) (scenario.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.ParseCSV(f)
+}

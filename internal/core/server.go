@@ -446,7 +446,14 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		if err == nil || ctx.Err() != nil {
 			break
 		}
-		failover := errors.Is(err, accel.ErrDeviceFailed)
+		// ErrContextReleased is the same failure seen by a sibling: when a
+		// device dies with several invocations in flight on one runner, the
+		// first to observe ErrDeviceFailed removes the runner and releases
+		// its device context, and the others' in-flight ops then fail with
+		// the released-context error. Both retry on remaining capacity; only
+		// ErrDeviceFailed is breaker evidence (recordDeviceOutcome).
+		failover := errors.Is(err, accel.ErrDeviceFailed) ||
+			errors.Is(err, accel.ErrContextReleased)
 		if !failover && !errors.Is(err, errColdStartAborted) {
 			break
 		}

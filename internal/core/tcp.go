@@ -25,7 +25,8 @@ func errorCode(err error) (code string, retryable bool) {
 	case errors.Is(err, ErrOverloaded):
 		return wire.CodeOverloaded, true
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrServerClosed),
-		errors.Is(err, ErrUnavailable), errors.Is(err, accel.ErrDeviceFailed):
+		errors.Is(err, ErrUnavailable), errors.Is(err, accel.ErrDeviceFailed),
+		errors.Is(err, accel.ErrContextReleased):
 		return wire.CodeUnavailable, true
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return wire.CodeDeadlineExceeded, false

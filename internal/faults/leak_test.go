@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"kaas/internal/vclock"
+)
+
+// guardGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to (near) the
+// baseline — a dependency-free stand-in for goleak. The retry loop
+// absorbs goroutines that are legitimately still winding down (the
+// vclock dispatcher exits asynchronously once its heap drains).
+func guardGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}
+
+// fakeDevice implements FailRepairer and records its health.
+type fakeDevice struct {
+	mu   sync.Mutex
+	down bool
+}
+
+func (d *fakeDevice) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = true
+}
+
+func (d *fakeDevice) Repair() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = false
+}
+
+func (d *fakeDevice) Down() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+func TestFlapScheduleRunsToCompletion(t *testing.T) {
+	guardGoroutines(t)
+	clock := vclock.Scaled(1000)
+	dev := &fakeDevice{}
+	f := NewDeviceFlapper(dev)
+	s := FlapSchedule{
+		Delay:  100 * time.Millisecond,
+		Cycles: 3,
+		Down:   200 * time.Millisecond,
+		Up:     200 * time.Millisecond,
+	}
+	if err := f.Run(context.Background(), clock, s); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fails, repairs := f.Cycles()
+	if fails != 3 || repairs != 3 {
+		t.Errorf("cycles = %d/%d, want 3/3", fails, repairs)
+	}
+	if got, want := fails+repairs, s.Transitions(); got != want {
+		t.Errorf("driven transitions = %d, want Transitions() = %d", got, want)
+	}
+	if dev.Down() {
+		t.Error("device left failed after a completed schedule")
+	}
+}
+
+func TestFlapScheduleCancelMidFlapRepairsAndReturns(t *testing.T) {
+	guardGoroutines(t)
+	clock := vclock.Scaled(1000)
+	dev := &fakeDevice{}
+	f := NewDeviceFlapper(dev)
+	// Down is an hour of modeled time (3.6 wall seconds at this scale):
+	// a run that is not promptly cancellable would blow the timeout.
+	s := FlapSchedule{Cycles: 1, Down: time.Hour, Up: time.Hour}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Run(ctx, clock, s) }()
+
+	// Wait until the flapper has taken the device down, then cancel.
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.Down() {
+		if time.Now().After(deadline) {
+			t.Fatal("flapper never failed the device")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation mid-flap")
+	}
+	if dev.Down() {
+		t.Error("device left failed after cancellation mid-flap")
+	}
+	if f.Down() {
+		t.Error("flapper still reports down after cancellation")
+	}
+}
+
+func TestFlapScheduleCancelDuringDelay(t *testing.T) {
+	guardGoroutines(t)
+	clock := vclock.Scaled(1000)
+	dev := &fakeDevice{}
+	f := NewDeviceFlapper(dev)
+	s := FlapSchedule{Delay: time.Hour, Cycles: 1, Down: time.Second}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Run(ctx, clock, s); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run = %v, want context.Canceled", err)
+	}
+	fails, _ := f.Cycles()
+	if fails != 0 {
+		t.Errorf("fails = %d, want 0 (cancelled before first failure)", fails)
+	}
+}
+
+func TestFlapScheduleZeroCyclesIsNoop(t *testing.T) {
+	guardGoroutines(t)
+	clock := vclock.Scaled(1000)
+	f := NewDeviceFlapper(&fakeDevice{})
+	if err := f.Run(context.Background(), clock, FlapSchedule{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fails, repairs := f.Cycles()
+	if fails != 0 || repairs != 0 {
+		t.Errorf("cycles = %d/%d, want 0/0", fails, repairs)
+	}
+}

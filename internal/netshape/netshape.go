@@ -3,33 +3,106 @@
 // different machines joined by 1 Gbps Ethernet with 0.15 ms RTT; this
 // package injects that link's latency and serialization delay into the
 // modeled timeline so loopback deployments measure like remote ones.
+//
+// Links are described by Profiles (round-trip time, bandwidth, loss),
+// which compose: stacking a datacenter fabric profile on a degraded WAN
+// hop yields one effective link. A Link's profile can be swapped at
+// runtime with SetProfile, which is how the scenario harness
+// (internal/scenario) degrades and restores a link mid-run.
 package netshape
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"kaas/internal/vclock"
 )
 
-// Link describes one direction-symmetric network link.
+// Profile describes one network link's characteristics. All values are
+// in modeled time; see Compose for stacking several hops into one
+// effective profile.
+type Profile struct {
+	// RTT is the round-trip time.
+	RTT time.Duration
+	// BandwidthBps is the link bandwidth in bytes per modeled second.
+	BandwidthBps float64
+	// Loss is the packet loss fraction in [0, 1). Loss is charged as a
+	// deterministic expected retransmission delay — each transfer pays
+	// Loss/(1-Loss) extra round trips — so a lossy link slows the
+	// modeled timeline without introducing per-transfer randomness.
+	// Reproducibility rules out a hidden RNG here: the same trace over
+	// the same profile must always take the same modeled time.
+	Loss float64
+}
+
+// Validate reports profile problems.
+func (p Profile) Validate() error {
+	if p.RTT < 0 {
+		return fmt.Errorf("netshape: negative rtt %v", p.RTT)
+	}
+	if p.BandwidthBps <= 0 {
+		return fmt.Errorf("netshape: bandwidth must be positive, got %v", p.BandwidthBps)
+	}
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("netshape: loss must be in [0, 1), got %v", p.Loss)
+	}
+	return nil
+}
+
+// lossPenalty is the expected retransmission delay added to one transfer.
+func (p Profile) lossPenalty() time.Duration {
+	if p.Loss <= 0 {
+		return 0
+	}
+	return time.Duration(p.Loss / (1 - p.Loss) * float64(p.RTT))
+}
+
+// Compose stacks profiles into the effective profile of the path through
+// all of them: RTTs add, the narrowest hop's bandwidth wins, and losses
+// combine as independent drop probabilities (1 - Π(1-lossᵢ)).
+// Composing zero profiles yields a zero-RTT infinite-bandwidth path.
+func Compose(profiles ...Profile) Profile {
+	out := Profile{BandwidthBps: inf}
+	survive := 1.0
+	for _, p := range profiles {
+		out.RTT += p.RTT
+		if p.BandwidthBps < out.BandwidthBps {
+			out.BandwidthBps = p.BandwidthBps
+		}
+		survive *= 1 - p.Loss
+	}
+	out.Loss = 1 - survive
+	return out
+}
+
+// inf is the bandwidth of an unconstrained hop (1 EB/s — effectively no
+// serialization delay at any realistic payload size).
+const inf = 1e18
+
+// Link describes one direction-symmetric network link. Its profile may
+// be swapped at runtime (SetProfile), so harnesses can degrade a link
+// mid-experiment; a nil *Link adds no delay.
 type Link struct {
 	clock vclock.Clock
-	rtt   time.Duration
-	// bandwidth in bytes per modeled second
-	bandwidth float64
+
+	mu      sync.Mutex
+	profile Profile
 }
 
 // NewLink creates a link with the given round-trip time and bandwidth in
-// bytes per second. A nil link (see Loopback) adds no delay.
+// bytes per second. A nil link (see the nil-receiver behavior of
+// Transfer) adds no delay.
 func NewLink(clock vclock.Clock, rtt time.Duration, bandwidthBps float64) (*Link, error) {
-	if rtt < 0 {
-		return nil, fmt.Errorf("netshape: negative rtt %v", rtt)
+	return NewLinkProfile(clock, Profile{RTT: rtt, BandwidthBps: bandwidthBps})
+}
+
+// NewLinkProfile creates a link from a full profile.
+func NewLinkProfile(clock vclock.Clock, p Profile) (*Link, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	if bandwidthBps <= 0 {
-		return nil, fmt.Errorf("netshape: bandwidth must be positive, got %v", bandwidthBps)
-	}
-	return &Link{clock: clock, rtt: rtt, bandwidth: bandwidthBps}, nil
+	return &Link{clock: clock, profile: p}, nil
 }
 
 // GigabitEthernet returns the link of the paper's remote testbed:
@@ -54,14 +127,42 @@ func RDMA(clock vclock.Clock) *Link {
 	return l
 }
 
+// Profile returns the link's current profile (zero for nil links).
+func (l *Link) Profile() Profile {
+	if l == nil {
+		return Profile{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.profile
+}
+
+// SetProfile swaps the link's profile at runtime. In-flight transfers
+// finish under the profile they started with; subsequent transfers use
+// the new one. It is a no-op on nil links.
+func (l *Link) SetProfile(p Profile) error {
+	if l == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.profile = p
+	l.mu.Unlock()
+	return nil
+}
+
 // TransferDelay returns the one-way delay of sending the given number of
-// bytes: half the RTT plus serialization time.
+// bytes: half the RTT, serialization time, and the expected
+// retransmission penalty of a lossy profile.
 func (l *Link) TransferDelay(bytes int64) time.Duration {
 	if l == nil {
 		return 0
 	}
-	ser := time.Duration(float64(bytes) / l.bandwidth * float64(time.Second))
-	return l.rtt/2 + ser
+	p := l.Profile()
+	ser := time.Duration(float64(bytes) / p.BandwidthBps * float64(time.Second))
+	return p.RTT/2 + ser + p.lossPenalty()
 }
 
 // Transfer sleeps for the one-way transfer delay of the given size.
@@ -80,5 +181,5 @@ func (l *Link) RTT() time.Duration {
 	if l == nil {
 		return 0
 	}
-	return l.rtt
+	return l.Profile().RTT
 }

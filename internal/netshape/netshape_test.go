@@ -81,3 +81,119 @@ func TestRDMAFasterThanEthernet(t *testing.T) {
 		t.Errorf("RDMA RTT %v not below Ethernet %v", rdma.RTT(), eth.RTT())
 	}
 }
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+		ok   bool
+	}{
+		{"valid", Profile{RTT: time.Millisecond, BandwidthBps: 1e6}, true},
+		{"zero rtt ok", Profile{BandwidthBps: 1e6}, true},
+		{"negative rtt", Profile{RTT: -1, BandwidthBps: 1e6}, false},
+		{"zero bandwidth", Profile{RTT: time.Millisecond}, false},
+		{"negative loss", Profile{BandwidthBps: 1e6, Loss: -0.1}, false},
+		{"certain loss", Profile{BandwidthBps: 1e6, Loss: 1}, false},
+		{"lossy", Profile{RTT: time.Millisecond, BandwidthBps: 1e6, Loss: 0.5}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestComposeStacksHops(t *testing.T) {
+	lan := Profile{RTT: 100 * time.Microsecond, BandwidthBps: 125e6}
+	wan := Profile{RTT: 40 * time.Millisecond, BandwidthBps: 12.5e6, Loss: 0.01}
+	got := Compose(lan, wan)
+	if got.RTT != 40*time.Millisecond+100*time.Microsecond {
+		t.Errorf("composed RTT = %v", got.RTT)
+	}
+	if got.BandwidthBps != 12.5e6 {
+		t.Errorf("composed bandwidth = %v, want narrowest hop", got.BandwidthBps)
+	}
+	if got.Loss <= 0.0099 || got.Loss >= 0.0101 {
+		t.Errorf("composed loss = %v, want ~0.01", got.Loss)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("composed profile invalid: %v", err)
+	}
+}
+
+func TestComposeLossIndependence(t *testing.T) {
+	a := Profile{BandwidthBps: 1e6, Loss: 0.5}
+	b := Profile{BandwidthBps: 1e6, Loss: 0.5}
+	got := Compose(a, b).Loss
+	if got < 0.7499 || got > 0.7501 {
+		t.Errorf("Compose loss = %v, want 0.75 (independent drops)", got)
+	}
+}
+
+func TestComposeEmptyIsUnconstrained(t *testing.T) {
+	p := Compose()
+	if p.RTT != 0 || p.Loss != 0 {
+		t.Errorf("empty composition = %+v, want zero RTT and loss", p)
+	}
+	// An unconstrained path adds no measurable serialization delay.
+	l, err := NewLinkProfile(vclock.Scaled(1000), p)
+	if err != nil {
+		t.Fatalf("NewLinkProfile: %v", err)
+	}
+	if d := l.TransferDelay(1 << 30); d > time.Microsecond {
+		t.Errorf("unconstrained TransferDelay = %v, want ~0", d)
+	}
+}
+
+func TestLossChargesRetransmissionDelay(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	clean, err := NewLinkProfile(clock, Profile{RTT: 10 * time.Millisecond, BandwidthBps: 1e6})
+	if err != nil {
+		t.Fatalf("NewLinkProfile: %v", err)
+	}
+	lossy, err := NewLinkProfile(clock, Profile{RTT: 10 * time.Millisecond, BandwidthBps: 1e6, Loss: 0.5})
+	if err != nil {
+		t.Fatalf("NewLinkProfile: %v", err)
+	}
+	// Loss 0.5 pays one expected extra round trip per transfer.
+	diff := lossy.TransferDelay(1000) - clean.TransferDelay(1000)
+	if diff != 10*time.Millisecond {
+		t.Errorf("loss penalty = %v, want one RTT (10ms)", diff)
+	}
+	// The penalty is deterministic: same call, same delay.
+	if lossy.TransferDelay(1000) != lossy.TransferDelay(1000) {
+		t.Error("lossy TransferDelay not deterministic")
+	}
+}
+
+func TestSetProfileSwapsMidRun(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	l := GigabitEthernet(clock)
+	fast := l.TransferDelay(125e3)
+	degraded := Profile{RTT: 80 * time.Millisecond, BandwidthBps: 1.25e6, Loss: 0.02}
+	if err := l.SetProfile(degraded); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	if got := l.Profile(); got != degraded {
+		t.Errorf("Profile() = %+v, want %+v", got, degraded)
+	}
+	if slow := l.TransferDelay(125e3); slow <= fast {
+		t.Errorf("degraded delay %v not above clean delay %v", slow, fast)
+	}
+	if err := l.SetProfile(Profile{}); err == nil {
+		t.Error("SetProfile accepted an invalid profile")
+	}
+	if got := l.Profile(); got != degraded {
+		t.Errorf("invalid SetProfile mutated the link: %+v", got)
+	}
+}
+
+func TestNilLinkProfileOps(t *testing.T) {
+	var l *Link
+	if p := l.Profile(); p != (Profile{}) {
+		t.Errorf("nil Profile() = %+v", p)
+	}
+	if err := l.SetProfile(Profile{}); err != nil {
+		t.Errorf("nil SetProfile errored: %v", err)
+	}
+}

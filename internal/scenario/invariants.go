@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/client"
+	"kaas/internal/core"
+	"kaas/internal/wire"
+)
+
+// Outcome classifies how one invocation ended. Everything the platform
+// can legitimately do to a request maps to a named outcome; anything
+// else is OutcomeUntyped, which the TypedFailures invariant treats as a
+// lost-accounting bug.
+type Outcome string
+
+// Outcomes.
+const (
+	// OutcomeOK: the invocation succeeded.
+	OutcomeOK Outcome = "ok"
+	// OutcomeShed: admission control rejected it with the retryable
+	// OVERLOADED contract.
+	OutcomeShed Outcome = "shed"
+	// OutcomeDraining: the server was draining or already shut down.
+	OutcomeDraining Outcome = "draining"
+	// OutcomeUnavailable: every candidate device was breaker-excluded,
+	// failover ran out of healthy capacity (or the wire reported
+	// UNAVAILABLE).
+	OutcomeUnavailable Outcome = "unavailable"
+	// OutcomeDeadline: the caller's deadline expired first.
+	OutcomeDeadline Outcome = "deadline"
+	// OutcomeUntyped: an error outside the platform's typed contract.
+	OutcomeUntyped Outcome = "untyped"
+)
+
+// Classify maps an invocation error to its outcome: the in-process typed
+// errors, their wire-protocol RemoteError codes, and context expiry. An
+// error that matches none of them is OutcomeUntyped — the failure class
+// the harness exists to catch.
+func Classify(err error) Outcome {
+	if err == nil {
+		return OutcomeOK
+	}
+	var re *client.RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case wire.CodeOverloaded:
+			return OutcomeShed
+		case wire.CodeUnavailable:
+			return OutcomeUnavailable
+		case wire.CodeDeadlineExceeded:
+			return OutcomeDeadline
+		}
+		return OutcomeUntyped
+	}
+	switch {
+	case errors.Is(err, core.ErrOverloaded):
+		return OutcomeShed
+	case errors.Is(err, core.ErrDraining), errors.Is(err, core.ErrServerClosed):
+		return OutcomeDraining
+	case errors.Is(err, core.ErrUnavailable),
+		errors.Is(err, accel.ErrDeviceFailed),
+		errors.Is(err, accel.ErrContextReleased):
+		// Device failures that exhaust the failover loop surface wrapped —
+		// the wire maps them to UNAVAILABLE, so the in-process path must
+		// classify them the same way.
+		return OutcomeUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeDeadline
+	}
+	return OutcomeUntyped
+}
+
+// Record is one classified invocation of a run.
+type Record struct {
+	// Index is the trace event index.
+	Index int
+	// Outcome is the classification of the invocation's result.
+	Outcome Outcome
+	// Latency is the wall-clock invocation latency.
+	Latency time.Duration
+	// Err holds the error text for non-OK outcomes (diagnostics only).
+	Err string
+}
+
+// RunData is everything the invariant checker may inspect about a
+// finished run.
+type RunData struct {
+	// Seed is the scenario seed.
+	Seed int64
+	// Issued is how many trace events the replay dispatched.
+	Issued int
+	// Records holds one entry per issued invocation.
+	Records []Record
+	// Counts aggregates Records by outcome.
+	Counts map[Outcome]int
+	// Stats are the final server snapshots (one per platform; clusters
+	// have several).
+	Stats []core.Stats
+	// ScriptedTransitions is the chaos transition count the spec
+	// scripts; ObservedTransitions is what the injectors actually drove.
+	ScriptedTransitions, ObservedTransitions int
+	// BreakerTransitions sums the servers' device-breaker transitions.
+	BreakerTransitions uint64
+	// Drained reports whether a scripted drain/host-down ran; DrainErr
+	// is its result.
+	Drained  bool
+	DrainErr error
+}
+
+// p99 returns the 99th-percentile latency of the OK records (0 if none).
+func (d *RunData) p99() time.Duration {
+	var ok []time.Duration
+	for _, r := range d.Records {
+		if r.Outcome == OutcomeOK {
+			ok = append(ok, r.Latency)
+		}
+	}
+	if len(ok) == 0 {
+		return 0
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	return ok[rankIndex(len(ok), 0.99)]
+}
+
+// rankIndex is the nearest-rank percentile index (ceil(p*n)-1), which
+// unlike truncation never under-reports the tail on small samples.
+func rankIndex(n int, p float64) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// firstUntyped returns the first untyped-error record, if any.
+func (d *RunData) firstUntyped() (Record, bool) {
+	for _, r := range d.Records {
+		if r.Outcome == OutcomeUntyped {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Invariant is a pass/fail property of a finished run. Check returns nil
+// when the property holds and a diagnostic error when it does not.
+type Invariant interface {
+	Name() string
+	Check(d *RunData) error
+}
+
+// Accounted asserts that no invocation was lost: every issued trace
+// event produced exactly one classified record. A request that vanished
+// (no response, no typed error, no record) is the worst control-plane
+// failure mode, so every scenario should carry this invariant.
+type Accounted struct{}
+
+// Name implements Invariant.
+func (Accounted) Name() string { return "accounted" }
+
+// Check implements Invariant.
+func (Accounted) Check(d *RunData) error {
+	if len(d.Records) != d.Issued {
+		return fmt.Errorf("issued %d invocations but recorded %d outcomes", d.Issued, len(d.Records))
+	}
+	var total int
+	for _, n := range d.Counts {
+		total += n
+	}
+	if total != d.Issued {
+		return fmt.Errorf("outcome counts sum to %d, want %d", total, d.Issued)
+	}
+	return nil
+}
+
+// TypedFailures asserts that every failed invocation failed inside the
+// platform's typed error contract — OVERLOADED, draining, unavailable,
+// or a deadline — never with an unclassified error. Chaos that surfaces
+// raw transport or internal errors to callers fails here.
+type TypedFailures struct{}
+
+// Name implements Invariant.
+func (TypedFailures) Name() string { return "typed-failures" }
+
+// Check implements Invariant.
+func (TypedFailures) Check(d *RunData) error {
+	if n := d.Counts[OutcomeUntyped]; n > 0 {
+		r, _ := d.firstUntyped()
+		return fmt.Errorf("%d invocations failed outside the typed error contract (first: event %d: %s)",
+			n, r.Index, r.Err)
+	}
+	return nil
+}
+
+// OutcomesIn asserts that every record's outcome is in the allowed set —
+// e.g. a retry scenario allows only {ok}: every transient failure must
+// have been retried into success; a drain scenario allows {ok, draining}.
+type OutcomesIn struct{ Allowed []Outcome }
+
+// Name implements Invariant.
+func (o OutcomesIn) Name() string { return fmt.Sprintf("outcomes-in%v", o.Allowed) }
+
+// Check implements Invariant.
+func (o OutcomesIn) Check(d *RunData) error {
+	allowed := make(map[Outcome]bool, len(o.Allowed))
+	for _, a := range o.Allowed {
+		allowed[a] = true
+	}
+	for out, n := range d.Counts {
+		if n > 0 && !allowed[out] {
+			return fmt.Errorf("%d invocations ended %q, outside the allowed set %v", n, out, o.Allowed)
+		}
+	}
+	return nil
+}
+
+// MinSuccess asserts that at least Fraction of issued invocations
+// succeeded. Use 1.0 for "chaos must be invisible to clients" scenarios
+// (failover, retries) and lower bounds where shedding is the point.
+type MinSuccess struct{ Fraction float64 }
+
+// Name implements Invariant.
+func (m MinSuccess) Name() string { return fmt.Sprintf("min-success(%.0f%%)", 100*m.Fraction) }
+
+// Check implements Invariant.
+func (m MinSuccess) Check(d *RunData) error {
+	if d.Issued == 0 {
+		return fmt.Errorf("no invocations issued")
+	}
+	got := float64(d.Counts[OutcomeOK]) / float64(d.Issued)
+	if got < m.Fraction {
+		return fmt.Errorf("success rate %.1f%% (%d/%d) below the %.1f%% floor",
+			100*got, d.Counts[OutcomeOK], d.Issued, 100*m.Fraction)
+	}
+	return nil
+}
+
+// BoundedP99 asserts that the admitted (successful) invocations kept a
+// bounded 99th-percentile wall latency through the chaos. The bound is
+// deliberately generous — it catches pathological stalls (lost wakeups,
+// requests parked on a dead connection until a distant timeout), not
+// ordinary jitter, so verdicts stay deterministic across machines.
+type BoundedP99 struct{ Max time.Duration }
+
+// Name implements Invariant.
+func (b BoundedP99) Name() string { return fmt.Sprintf("p99-under(%v)", b.Max) }
+
+// Check implements Invariant.
+func (b BoundedP99) Check(d *RunData) error {
+	if d.Counts[OutcomeOK] == 0 {
+		return fmt.Errorf("no successful invocations to measure")
+	}
+	if p := d.p99(); p > b.Max {
+		return fmt.Errorf("p99 of admitted invocations %v exceeds bound %v", p, b.Max)
+	}
+	return nil
+}
+
+// ShedBounded asserts that admission control shed at most MaxFraction of
+// the offered load — overload protection should clip the excess, not
+// reject everything.
+type ShedBounded struct{ MaxFraction float64 }
+
+// Name implements Invariant.
+func (s ShedBounded) Name() string { return fmt.Sprintf("shed-under(%.0f%%)", 100*s.MaxFraction) }
+
+// Check implements Invariant.
+func (s ShedBounded) Check(d *RunData) error {
+	if d.Issued == 0 {
+		return fmt.Errorf("no invocations issued")
+	}
+	got := float64(d.Counts[OutcomeShed]) / float64(d.Issued)
+	if got > s.MaxFraction {
+		return fmt.Errorf("shed rate %.1f%% (%d/%d) above the %.1f%% ceiling",
+			100*got, d.Counts[OutcomeShed], d.Issued, 100*s.MaxFraction)
+	}
+	return nil
+}
+
+// BreakerRecovered asserts the circuit-breaker lifecycle the scenario's
+// device flaps model: breakers actually tripped (at least MinTransitions
+// state changes were observed) and every breaker ended the run closed —
+// the devices recovered and placement sees them again. A breaker stuck
+// open after its device healed is exactly the regression this catches.
+type BreakerRecovered struct{ MinTransitions uint64 }
+
+// Name implements Invariant.
+func (b BreakerRecovered) Name() string { return "breaker-recovered" }
+
+// Check implements Invariant.
+func (b BreakerRecovered) Check(d *RunData) error {
+	if d.BreakerTransitions < b.MinTransitions {
+		return fmt.Errorf("only %d breaker transitions observed, want at least %d (did the flaps reach the breaker?)",
+			d.BreakerTransitions, b.MinTransitions)
+	}
+	for _, st := range d.Stats {
+		for id, dev := range st.PerDevice {
+			if dev.BreakerState != "" && dev.BreakerState != "closed" {
+				return fmt.Errorf("device %s breaker ended %q, want closed", id, dev.BreakerState)
+			}
+		}
+	}
+	return nil
+}
+
+// DrainClean asserts the graceful-drain contract: the scripted drain ran,
+// finished inside its timeout with no error (every in-flight invocation
+// completed rather than being dropped), and the server ended with zero
+// in-flight work.
+type DrainClean struct{}
+
+// Name implements Invariant.
+func (DrainClean) Name() string { return "drain-clean" }
+
+// Check implements Invariant.
+func (DrainClean) Check(d *RunData) error {
+	if !d.Drained {
+		return fmt.Errorf("the scripted drain never ran")
+	}
+	if d.DrainErr != nil {
+		return fmt.Errorf("drain did not complete cleanly: %v", d.DrainErr)
+	}
+	for _, st := range d.Stats {
+		if st.InFlight != 0 {
+			return fmt.Errorf("%d invocations still in flight after drain", st.InFlight)
+		}
+	}
+	return nil
+}
+
+// TransitionsComplete asserts the chaos script ran to completion: the
+// injectors drove exactly the scripted number of fault transitions. A
+// schedule that silently lost cycles (leaked goroutine, early exit)
+// weakens the scenario without failing it — this makes that loud.
+type TransitionsComplete struct{}
+
+// Name implements Invariant.
+func (TransitionsComplete) Name() string { return "transitions-complete" }
+
+// Check implements Invariant.
+func (TransitionsComplete) Check(d *RunData) error {
+	if d.ObservedTransitions != d.ScriptedTransitions {
+		return fmt.Errorf("chaos drove %d transitions, scripted %d", d.ObservedTransitions, d.ScriptedTransitions)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"time"
+
+	"kaas/internal/client"
+	"kaas/internal/faults"
+	"kaas/internal/netshape"
+)
+
+// registry holds the named scenario matrix. Every entry is pure data —
+// chaos schedules with fixed cycle counts, trace specs expanded from the
+// run seed — so `kaasbench -scenario <name> -seed N` is reproducible by
+// construction. All durations in trace and chaos schedules are modeled
+// time (compressed by the run's time scale); InvokeTimeout and drain
+// timeouts are wall-clock backstops.
+//
+// The matrix deliberately covers every transport: the in-process control
+// plane, the plain and multiplexed wire transports, the shaped link, and
+// the federated cluster.
+var registry = map[string]Spec{
+	"replay-diurnal": {
+		Name:        "replay-diurnal",
+		Description: "diurnal open-loop trace on the in-process control plane; quiet-path contract: every invocation succeeds",
+		Transport:   TransportInProcess,
+		Trace: TraceSpec{
+			Events: 400,
+			Arrivals: ArrivalSpec{
+				Kind:      "diurnal",
+				Mean:      30 * time.Millisecond,
+				Amplitude: 0.6,
+				Period:    4 * time.Second,
+			},
+			Mix: []KernelMix{
+				{Kernel: "mci", Weight: 3, MinN: 5e8, MaxN: 2e9},
+				{Kernel: "mci", Weight: 1, MinN: 2e9, MaxN: 4e9, Payload: 4 << 10},
+			},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			BoundedP99{Max: 10 * time.Second},
+		},
+	},
+
+	"replay-burst": {
+		Name:        "replay-burst",
+		Description: "MMPP bursts against admission control; the excess is shed with OVERLOADED, never lost or failed untyped",
+		Transport:   TransportInProcess,
+		Trace: TraceSpec{
+			Events: 500,
+			Arrivals: ArrivalSpec{
+				Kind:       "mmpp",
+				Mean:       40 * time.Millisecond,
+				Burst:      3 * time.Millisecond,
+				SwitchProb: 0.05,
+			},
+			Mix: []KernelMix{{Kernel: "mci", Weight: 1, MinN: 1e9, MaxN: 3e9}},
+		},
+		MaxConcurrent:     64,
+		MaxInFlightTotal:  16,
+		MaxQueuePerKernel: 8,
+		// The MMPP spends half its time in the burst state, where demand is
+		// ~10x capacity, so most of the offered load is legitimately shed —
+		// and the ok/shed split tracks wall-clock machine speed (admission
+		// watches real queues), swinging hard under e.g. the race detector.
+		// The bounds are therefore wide: they pin down "work still lands
+		// and shedding never becomes a full outage", and the hard contract
+		// stays with Accounted/TypedFailures/OutcomesIn — nothing lost,
+		// nothing untyped.
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK, OutcomeShed}},
+			MinSuccess{Fraction: 0.02},
+			ShedBounded{MaxFraction: 0.99},
+		},
+	},
+
+	"replay-heavytail": {
+		Name:        "replay-heavytail",
+		Description: "Pareto (heavy-tailed) inter-arrivals over the plain wire transport; uncapped, so bursts queue but never fail",
+		Transport:   TransportTCP,
+		Trace: TraceSpec{
+			Events: 400,
+			Arrivals: ArrivalSpec{
+				Kind:  "pareto",
+				Mean:  5 * time.Millisecond,
+				Alpha: 1.3,
+			},
+			Mix: []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9, Payload: 1 << 10}},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			BoundedP99{Max: 10 * time.Second},
+		},
+	},
+
+	"chaos-flap": {
+		Name: "chaos-flap",
+		Description: "one of two GPUs flaps three times under sustained load; breakers trip, reopen, and end closed, " +
+			"failover keeps clients whole",
+		Transport: TransportInProcess,
+		Trace: TraceSpec{
+			Events:   1600,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 10 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 3e9, MaxN: 5e9}},
+		},
+		BreakerThreshold:   1,
+		BreakerOpenTimeout: time.Second,
+		Chaos: Chaos{
+			Flaps: []FlapSpec{{
+				Device: 1,
+				Schedule: faults.FlapSchedule{
+					Delay:  3 * time.Second,
+					Cycles: 3,
+					Down:   1500 * time.Millisecond,
+					Up:     2 * time.Second,
+				},
+			}},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			MinSuccess{Fraction: 0.9},
+			BreakerRecovered{MinTransitions: 3},
+			TransitionsComplete{},
+		},
+	},
+
+	"chaos-link": {
+		Name:        "chaos-link",
+		Description: "the client link degrades mid-run (50ms RTT, 20% loss) and recovers; latency moves, correctness must not",
+		Transport:   TransportShaped,
+		BaseLink:    netshape.Profile{RTT: 200 * time.Microsecond, BandwidthBps: 1e9},
+		Trace: TraceSpec{
+			Events:   400,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 25 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9, Payload: 32 << 10}},
+		},
+		Chaos: Chaos{
+			// Event-anchored: wire wall latency is not modeled, so a purely
+			// modeled offset could fire before any traffic is on the link.
+			Link: &LinkSpec{
+				AfterEvent: 100,
+				Duration:   4 * time.Second,
+				Degraded:   netshape.Profile{RTT: 50 * time.Millisecond, BandwidthBps: 2e8, Loss: 0.2},
+			},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			BoundedP99{Max: 10 * time.Second},
+			TransitionsComplete{},
+		},
+	},
+
+	"chaos-connkill": {
+		Name:        "chaos-connkill",
+		Description: "live client connections are severed repeatedly; the retrying client must convert every kill into an eventual success",
+		Transport:   TransportTCP,
+		Retry: &client.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+		},
+		Trace: TraceSpec{
+			Events:   500,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 20 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		Chaos: Chaos{
+			// Event-anchored so every kill lands while connections carry
+			// live streams.
+			ConnKills: &ConnKillSpec{
+				AfterEvent: 50,
+				Every:      1500 * time.Millisecond,
+				Kills:      6,
+			},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			TransitionsComplete{},
+		},
+	},
+
+	"drain-midload": {
+		Name:        "drain-midload",
+		Description: "graceful drain halfway through the trace; in-flight work completes, later arrivals get the typed draining error",
+		Transport:   TransportInProcess,
+		Trace: TraceSpec{
+			Events:   400,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 25 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		Chaos: Chaos{
+			// Event-anchored halfway point: everything issued before the
+			// drain completes ok, the rest gets the typed draining error.
+			Drain: &DrainSpec{AfterEvent: 200, Timeout: 20 * time.Second},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK, OutcomeDraining}},
+			MinSuccess{Fraction: 0.3},
+			DrainClean{},
+			TransitionsComplete{},
+		},
+	},
+
+	"mux-storm": {
+		Name:        "mux-storm",
+		Description: "dense load over the multiplexed wire transport while a device flaps; streams share conns, failures stay typed",
+		Transport:   TransportMux,
+		MuxConns:    4,
+		Trace: TraceSpec{
+			Events:   1200,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 10 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 3e9, MaxN: 5e9}},
+		},
+		BreakerThreshold:   1,
+		BreakerOpenTimeout: time.Second,
+		Chaos: Chaos{
+			// Fully event-driven: by event 300 the autoscaler has warm
+			// runners on both devices and the mux streams are saturated,
+			// and event-counted down/up windows guarantee the flap overlaps
+			// in-flight work whatever the machine speed (wire wall latency
+			// is not modeled).
+			Flaps: []FlapSpec{{
+				Device:     1,
+				AfterEvent: 300,
+				DownEvents: 150,
+				UpEvents:   150,
+				Schedule:   faults.FlapSchedule{Cycles: 2},
+			}},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			MinSuccess{Fraction: 0.9},
+			BreakerRecovered{MinTransitions: 2},
+			TransitionsComplete{},
+		},
+	},
+
+	"cluster-failover": {
+		Name:        "cluster-failover",
+		Description: "one of two federated hosts shuts down mid-load; cluster rerouting makes the loss invisible to every client",
+		Transport:   TransportCluster,
+		Hosts:       2,
+		GPUs:        1,
+		Trace: TraceSpec{
+			Events:   300,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 30 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		Chaos: Chaos{
+			HostDown: &HostDownSpec{Host: 0, At: 4 * time.Second, Timeout: 20 * time.Second},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			DrainClean{},
+			TransitionsComplete{},
+		},
+	},
+}

@@ -1,0 +1,539 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaas"
+	"kaas/internal/accel"
+	"kaas/internal/client"
+	"kaas/internal/core"
+	"kaas/internal/faults"
+	"kaas/internal/kernels"
+	"kaas/internal/netshape"
+	"kaas/internal/shm"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// Transport selects the invocation path a scenario exercises.
+type Transport string
+
+// Transports.
+const (
+	// TransportInProcess invokes core.Server directly — the control
+	// plane without a wire in front of it.
+	TransportInProcess Transport = "inproc"
+	// TransportTCP goes through the full wire protocol over one-shot
+	// pooled connections.
+	TransportTCP Transport = "tcp"
+	// TransportMux goes over the multiplexed wire transport.
+	TransportMux Transport = "mux"
+	// TransportShaped goes over TCP with a modeled network link in
+	// front, so link chaos has something to degrade.
+	TransportShaped Transport = "shaped"
+	// TransportCluster invokes through a federated multi-host Cluster.
+	TransportCluster Transport = "cluster"
+)
+
+// Spec is a complete scenario: the workload, the platform shape, the
+// chaos schedule, and the invariants that must hold.
+type Spec struct {
+	// Name and Description identify the scenario in listings.
+	Name, Description string
+	// Transport is the invocation path.
+	Transport Transport
+	// Trace describes the synthetic workload. When an external trace is
+	// replayed instead (kaasbench -scenario-trace), it replaces this.
+	Trace TraceSpec
+	// GPUs is the accelerator count per host (default 2).
+	GPUs int
+	// Hosts is the cluster host count (cluster transport only,
+	// default 2).
+	Hosts int
+	// MaxConcurrent caps in-flight replay invocations (default 32).
+	MaxConcurrent int
+	// MaxInFlightTotal and MaxQueuePerKernel configure admission
+	// control (0 = uncapped).
+	MaxInFlightTotal, MaxQueuePerKernel int
+	// BreakerThreshold and BreakerOpenTimeout configure the device
+	// circuit breakers (0 = core defaults).
+	BreakerThreshold   int
+	BreakerOpenTimeout time.Duration
+	// Retry enables client retries (tcp transports); its Seed is
+	// re-derived from the scenario seed at run time.
+	Retry *client.RetryPolicy
+	// MuxConns is the mux pool size (mux transport, default 4).
+	MuxConns int
+	// BaseLink is the healthy link profile (shaped transport).
+	BaseLink netshape.Profile
+	// InvokeTimeout bounds each invocation in wall time (default 30s) —
+	// the backstop that keeps a wedged invocation from hanging the run.
+	InvokeTimeout time.Duration
+	// Chaos is the fault schedule.
+	Chaos Chaos
+	// Invariants are the pass/fail properties checked after the run.
+	Invariants []Invariant
+}
+
+// withDefaults fills the zero-valued knobs.
+func (s Spec) withDefaults() Spec {
+	if s.GPUs <= 0 {
+		s.GPUs = 2
+	}
+	if s.Hosts <= 0 {
+		s.Hosts = 2
+	}
+	if s.MaxConcurrent <= 0 {
+		s.MaxConcurrent = 32
+	}
+	if s.MuxConns <= 0 {
+		s.MuxConns = 4
+	}
+	if s.InvokeTimeout <= 0 {
+		s.InvokeTimeout = 30 * time.Second
+	}
+	return s
+}
+
+// errSpec builds a scenario configuration error.
+func errSpec(format string, args ...any) error {
+	return fmt.Errorf("scenario: "+format, args...)
+}
+
+// Verdict is one invariant's outcome for a run.
+type Verdict struct {
+	Invariant string `json:"invariant"`
+	Pass      bool   `json:"pass"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Result reports one scenario run. The fields rendered by
+// DeterministicLines are identical across same-seed runs; the rest
+// (latencies, outcome splits, wall time) depend on real scheduling and
+// are diagnostics for the JSON report.
+type Result struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Transport   string `json:"transport"`
+	Seed        int64  `json:"seed"`
+	Events      int    `json:"events"`
+	Fingerprint string `json:"trace_fingerprint"`
+	// ScriptedTransitions is the chaos transition count the spec
+	// scripts (deterministic); ObservedTransitions is what actually ran.
+	ScriptedTransitions int       `json:"scripted_transitions"`
+	Verdicts            []Verdict `json:"verdicts"`
+	Passed              bool      `json:"passed"`
+
+	Issued              int                `json:"issued"`
+	Counts              map[string]int     `json:"counts"`
+	ObservedTransitions int                `json:"observed_transitions"`
+	BreakerTransitions  uint64             `json:"breaker_transitions"`
+	LatencyMS           map[string]float64 `json:"latency_ms,omitempty"`
+	WallMS              float64            `json:"wall_ms"`
+}
+
+// DeterministicLines renders the reproducible output surface: everything
+// here is a pure function of (scenario, seed), so two same-seed runs must
+// print byte-identical lines — that is the contract `kaasbench -scenario`
+// CI reproducibility checks diff.
+func (r *Result) DeterministicLines() []string {
+	lines := []string{
+		fmt.Sprintf("scenario %s: transport=%s seed=%d", r.Scenario, r.Transport, r.Seed),
+		fmt.Sprintf("  trace: %d events, fingerprint %s", r.Events, r.Fingerprint),
+		fmt.Sprintf("  chaos: %d scripted transitions", r.ScriptedTransitions),
+	}
+	for _, v := range r.Verdicts {
+		s := "PASS"
+		if !v.Pass {
+			s = "FAIL — " + v.Detail
+		}
+		lines = append(lines, fmt.Sprintf("  invariant %s: %s", v.Invariant, s))
+	}
+	verdict := "PASS"
+	if !r.Passed {
+		verdict = "FAIL"
+	}
+	lines = append(lines, fmt.Sprintf("  result: %s", verdict))
+	return lines
+}
+
+// kernelNames returns the distinct kernels of a trace, in first-seen
+// order.
+func kernelNames(t Trace) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range t {
+		if !seen[e.Kernel] {
+			seen[e.Kernel] = true
+			names = append(names, e.Kernel)
+		}
+	}
+	return names
+}
+
+// harness is an assembled transport: an invoke function plus the chaos
+// targets and teardown for whatever was built.
+type harness struct {
+	invoke  func(ctx context.Context, e Event) error
+	env     *chaosEnv
+	stats   func() []core.Stats
+	cleanup []func()
+}
+
+func (h *harness) close() {
+	for i := len(h.cleanup) - 1; i >= 0; i-- {
+		h.cleanup[i]()
+	}
+}
+
+// Run executes the scenario with the given seed and time scale and
+// returns its result. Harness failures (invalid spec, setup errors)
+// return an error; invariant failures are verdicts in the result.
+func Run(ctx context.Context, spec Spec, seed int64, scale float64) (*Result, error) {
+	spec = spec.withDefaults()
+	if scale <= 0 {
+		return nil, errSpec("time scale must be positive, got %g", scale)
+	}
+	trace, err := Synthesize(spec.Trace, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunTrace(ctx, spec, trace, seed, scale)
+}
+
+// RunTrace executes the scenario against an explicit trace (synthesized
+// by Run, or loaded from a CSV recording).
+func RunTrace(ctx context.Context, spec Spec, trace Trace, seed int64, scale float64) (*Result, error) {
+	spec = spec.withDefaults()
+	if len(trace) == 0 {
+		return nil, errSpec("empty trace")
+	}
+	clock := vclock.Scaled(scale)
+	h, err := buildHarness(spec, trace, clock, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+
+	var (
+		mu      sync.Mutex
+		issued  atomic.Int64
+		records []Record
+	)
+	// AfterEvent chaos triggers anchor to this counter, so it must be
+	// visible to the injectors before they start.
+	h.env.issued = func() int { return int(issued.Load()) }
+
+	chaos, err := spec.Chaos.start(ctx, h.env, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	task := func(tctx context.Context, i int) (time.Duration, error) {
+		issued.Add(1)
+		e := trace[i]
+		ictx, cancel := context.WithTimeout(tctx, spec.InvokeTimeout)
+		t0 := time.Now()
+		err := h.invoke(ictx, e)
+		d := time.Since(t0)
+		cancel()
+		rec := Record{Index: i, Outcome: Classify(err), Latency: d}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		mu.Lock()
+		records = append(records, rec)
+		mu.Unlock()
+		// Errors are classified above, never surfaced to the replay: the
+		// arrival process must keep firing through chaos.
+		return d, nil
+	}
+
+	wallStart := time.Now()
+	if _, err := workload.Replay(ctx, clock, trace.Offsets(), spec.MaxConcurrent, task); err != nil {
+		chaos.wg.Wait()
+		return nil, fmt.Errorf("scenario %s: replay: %w", spec.Name, err)
+	}
+	chaos.wg.Wait()
+	wall := time.Since(wallStart)
+	for _, cerr := range chaos.errs {
+		return nil, fmt.Errorf("scenario %s: chaos injector: %w", spec.Name, cerr)
+	}
+
+	stats := h.stats()
+	data := &RunData{
+		Seed:                seed,
+		Issued:              int(issued.Load()),
+		Records:             records,
+		Counts:              map[Outcome]int{},
+		Stats:               stats,
+		ScriptedTransitions: spec.Chaos.Transitions(),
+		ObservedTransitions: chaos.transitions(),
+		Drained:             chaos.drained,
+		DrainErr:            chaos.drainErr,
+	}
+	sort.Slice(data.Records, func(i, j int) bool { return data.Records[i].Index < data.Records[j].Index })
+	for _, r := range data.Records {
+		data.Counts[r.Outcome]++
+	}
+	for _, st := range stats {
+		for _, dev := range st.PerDevice {
+			data.BreakerTransitions += dev.BreakerTransitions
+		}
+	}
+
+	res := &Result{
+		Scenario:            spec.Name,
+		Description:         spec.Description,
+		Transport:           string(spec.Transport),
+		Seed:                seed,
+		Events:              len(trace),
+		Fingerprint:         trace.Fingerprint(),
+		ScriptedTransitions: data.ScriptedTransitions,
+		Passed:              true,
+		Issued:              data.Issued,
+		Counts:              map[string]int{},
+		ObservedTransitions: data.ObservedTransitions,
+		BreakerTransitions:  data.BreakerTransitions,
+		WallMS:              float64(wall) / float64(time.Millisecond),
+	}
+	for out, n := range data.Counts {
+		res.Counts[string(out)] = n
+	}
+	if lat := okLatencies(records); len(lat) > 0 {
+		res.LatencyMS = map[string]float64{
+			"p50": percentileMS(lat, 0.50),
+			"p95": percentileMS(lat, 0.95),
+			"p99": percentileMS(lat, 0.99),
+		}
+	}
+	for _, inv := range spec.Invariants {
+		v := Verdict{Invariant: inv.Name(), Pass: true}
+		if err := inv.Check(data); err != nil {
+			v.Pass = false
+			v.Detail = err.Error()
+			res.Passed = false
+		}
+		res.Verdicts = append(res.Verdicts, v)
+	}
+	return res, nil
+}
+
+// okLatencies returns the sorted wall latencies of successful records.
+func okLatencies(records []Record) []time.Duration {
+	var out []time.Duration
+	for _, r := range records {
+		if r.Outcome == OutcomeOK {
+			out = append(out, r.Latency)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// percentileMS reads percentile p (nearest rank) from sorted latencies,
+// in ms.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	return float64(sorted[rankIndex(len(sorted), p)]) / float64(time.Millisecond)
+}
+
+// buildHarness assembles the transport the spec asks for.
+func buildHarness(spec Spec, trace Trace, clock vclock.Clock, seed int64, scale float64) (*harness, error) {
+	// Register the union of the spec's mix and the trace's kernels, so
+	// externally loaded traces work without editing the scenario.
+	names := kernelNames(trace)
+	switch spec.Transport {
+	case TransportCluster:
+		return buildCluster(spec, names, clock, scale)
+	case TransportInProcess, TransportTCP, TransportMux, TransportShaped:
+		return buildServer(spec, names, clock, seed)
+	default:
+		return nil, errSpec("unknown transport %q", spec.Transport)
+	}
+}
+
+// buildServer assembles the single-host transports: a core.Server with
+// the spec's admission/breaker shape, optionally fronted by the wire
+// protocol (plain, multiplexed, or behind a modeled link), with chaos
+// hooks wired to whatever exists on the chosen path.
+func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*harness, error) {
+	h := &harness{}
+	profiles := make([]accel.Profile, spec.GPUs)
+	for i := range profiles {
+		profiles[i] = accel.TeslaP100
+	}
+	host, err := accel.NewHost(clock, "scenario", accel.XeonE52698, profiles...)
+	if err != nil {
+		return nil, err
+	}
+	h.cleanup = append(h.cleanup, host.Close)
+	srv, err := core.New(core.Config{
+		Clock:              clock,
+		Host:               host,
+		MaxInFlightTotal:   spec.MaxInFlightTotal,
+		MaxQueuePerKernel:  spec.MaxQueuePerKernel,
+		BreakerThreshold:   spec.BreakerThreshold,
+		BreakerOpenTimeout: spec.BreakerOpenTimeout,
+		DisableCompute:     true,
+	})
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	h.cleanup = append(h.cleanup, srv.Close)
+	for _, name := range names {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		if err := srv.Register(k); err != nil {
+			h.close()
+			return nil, err
+		}
+	}
+	h.env = &chaosEnv{clock: clock, drain: srv.Drain}
+	for _, d := range host.Devices() {
+		h.env.devices = append(h.env.devices, d)
+	}
+	h.stats = func() []core.Stats { return []core.Stats{srv.Stats()} }
+
+	if spec.Transport == TransportInProcess {
+		h.invoke = func(ctx context.Context, e Event) error {
+			_, _, err := srv.Invoke(ctx, e.Kernel, &kernels.Request{
+				Params: kernels.Params{"n": e.N},
+				Data:   make([]byte, e.Payload),
+			})
+			return err
+		}
+		return h, nil
+	}
+
+	// Wire transports share the TCP server; conn-kill chaos needs the
+	// fault-injecting listener in front of it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	fln := faults.Wrap(ln, faults.Script())
+	tcp, err := core.ServeTCPListener(srv, fln, shm.NewRegistry(1<<30))
+	if err != nil {
+		ln.Close()
+		h.close()
+		return nil, err
+	}
+	h.cleanup = append(h.cleanup, func() { tcp.Close() })
+	h.env.listener = fln
+
+	var opts []client.Option
+	if spec.Retry != nil {
+		p := *spec.Retry
+		p.Seed = seed ^ 0x7265747279 // sub-seed: "retry"
+		opts = append(opts, client.WithRetryPolicy(p))
+	}
+	switch spec.Transport {
+	case TransportMux:
+		opts = append(opts, client.WithMux(spec.MuxConns))
+	case TransportShaped:
+		if err := spec.BaseLink.Validate(); err != nil {
+			h.close()
+			return nil, errSpec("shaped transport base link: %v", err)
+		}
+		link, err := netshape.NewLinkProfile(clock, spec.BaseLink)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.env.link = link
+		opts = append(opts, client.WithLink(link))
+	}
+	c := client.Dial(tcp.Addr(), opts...)
+	h.cleanup = append(h.cleanup, c.Close)
+	h.invoke = func(ctx context.Context, e Event) error {
+		_, err := c.InvokeContext(ctx, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
+		return err
+	}
+	return h, nil
+}
+
+// buildCluster assembles the federated transport: Hosts platforms with
+// the spec's device shape behind one Cluster, host-down chaos wired to
+// Platform.Shutdown.
+func buildCluster(spec Spec, names []string, clock vclock.Clock, scale float64) (*harness, error) {
+	h := &harness{}
+	profiles := make([]kaas.DeviceProfile, spec.GPUs)
+	for i := range profiles {
+		profiles[i] = kaas.TeslaP100
+	}
+	platforms := make([]*kaas.Platform, spec.Hosts)
+	for i := range platforms {
+		p, err := kaas.New(
+			kaas.WithTimeScale(scale),
+			kaas.WithHostName(fmt.Sprintf("host%d", i)),
+			kaas.WithAccelerators(profiles...),
+			kaas.WithAdmissionLimits(spec.MaxInFlightTotal, spec.MaxQueuePerKernel),
+			kaas.WithBreaker(spec.BreakerThreshold, spec.BreakerOpenTimeout),
+			kaas.WithoutResultComputation(),
+		)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		platforms[i] = p
+		h.cleanup = append(h.cleanup, p.Close)
+	}
+	cluster, err := kaas.NewCluster(platforms...)
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	for _, name := range names {
+		if err := cluster.RegisterByName(name); err != nil {
+			h.close()
+			return nil, err
+		}
+	}
+	h.env = &chaosEnv{
+		clock: clock,
+		hostDown: func(ctx context.Context, host int) error {
+			if host < 0 || host >= len(platforms) {
+				return errSpec("host-down host %d out of range (cluster has %d)", host, len(platforms))
+			}
+			return platforms[host].Shutdown(ctx)
+		},
+	}
+	h.stats = func() []core.Stats { return cluster.Stats() }
+	h.invoke = func(ctx context.Context, e Event) error {
+		_, _, _, err := cluster.Invoke(ctx, e.Kernel, kaas.Params{"n": e.N}, make([]byte, e.Payload))
+		return err
+	}
+	return h, nil
+}
+
+// List returns the registry's scenario names, sorted.
+func List() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns a registered scenario spec by name. The error lists the
+// known names so a typo on the command line is self-correcting.
+func Lookup(name string) (Spec, error) {
+	spec, ok := registry[name]
+	if !ok {
+		return Spec{}, errSpec("unknown scenario %q (known: %s)", name, strings.Join(List(), ", "))
+	}
+	return spec, nil
+}

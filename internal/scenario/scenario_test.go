@@ -1,0 +1,282 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/client"
+	"kaas/internal/core"
+	"kaas/internal/wire"
+)
+
+// testScale compresses modeled time 2000x so the full matrix stays fast.
+const testScale = 2000
+
+// TestScenarioMatrix replays every registered scenario with a fixed seed
+// and requires every invariant to hold — the per-scenario regression
+// table the CI scenario gate runs.
+func TestScenarioMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario matrix skipped in short mode")
+	}
+	for _, name := range List() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Lookup(name)
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			res, err := Run(context.Background(), spec, 1, testScale)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range res.Verdicts {
+				if !v.Pass {
+					t.Errorf("invariant %s failed: %s", v.Invariant, v.Detail)
+				}
+			}
+			if !res.Passed {
+				t.Errorf("scenario %s did not pass (counts: %v)", name, res.Counts)
+			}
+			if res.Issued != res.Events {
+				t.Errorf("issued %d of %d events", res.Issued, res.Events)
+			}
+			if len(res.Verdicts) != len(spec.Invariants) {
+				t.Errorf("got %d verdicts for %d invariants", len(res.Verdicts), len(spec.Invariants))
+			}
+		})
+	}
+}
+
+// TestScenarioDeterministicSurface runs one scenario twice with the same
+// seed and requires the deterministic output surface to be byte-for-byte
+// identical — the same property `kaasbench -scenario` CI reproducibility
+// diffs — and a different seed to produce a different trace.
+func TestScenarioDeterministicSurface(t *testing.T) {
+	spec, err := Lookup("replay-burst")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	run := func(seed int64) *Result {
+		t.Helper()
+		res, err := Run(context.Background(), spec, seed, testScale)
+		if err != nil {
+			t.Fatalf("Run(seed=%d): %v", seed, err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	aLines := strings.Join(a.DeterministicLines(), "\n")
+	bLines := strings.Join(b.DeterministicLines(), "\n")
+	if aLines != bLines {
+		t.Errorf("same-seed runs diverged:\n--- run 1\n%s\n--- run 2\n%s", aLines, bLines)
+	}
+	if other := run(8); other.Fingerprint == a.Fingerprint {
+		t.Errorf("seeds 7 and 8 produced the same trace fingerprint %s", a.Fingerprint)
+	}
+}
+
+// TestScenarioFailingInvariantFailsRun wires an unsatisfiable invariant
+// into a scenario and requires the run to FAIL — if the checker were
+// neutered (verdicts ignored, Check never called), this test catches it.
+func TestScenarioFailingInvariantFailsRun(t *testing.T) {
+	spec, err := Lookup("replay-diurnal")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	spec.Invariants = []Invariant{
+		Accounted{},
+		BoundedP99{Max: time.Nanosecond}, // no real invocation is this fast
+	}
+	res, err := Run(context.Background(), spec, 1, testScale)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Passed {
+		t.Fatal("run passed despite an unsatisfiable invariant — the checker is not wired in")
+	}
+	var failed bool
+	for _, v := range res.Verdicts {
+		if v.Invariant == (BoundedP99{Max: time.Nanosecond}).Name() && !v.Pass {
+			failed = true
+			if v.Detail == "" {
+				t.Error("failing verdict carries no diagnostic detail")
+			}
+		}
+	}
+	if !failed {
+		t.Error("the unsatisfiable invariant did not produce a failing verdict")
+	}
+	if !strings.Contains(strings.Join(res.DeterministicLines(), "\n"), "result: FAIL") {
+		t.Error("deterministic output does not report FAIL")
+	}
+}
+
+// TestScenarioCancel aborts a run mid-replay and requires a prompt,
+// typed return instead of a hang.
+func TestScenarioCancel(t *testing.T) {
+	spec, err := Lookup("chaos-flap")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, spec, 1, 200) // slow scale: the run outlives the cancel
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestLookupUnknownListsKnown(t *testing.T) {
+	_, err := Lookup("no-such-scenario")
+	if err == nil {
+		t.Fatal("Lookup accepted an unknown scenario")
+	}
+	if !strings.Contains(err.Error(), "replay-diurnal") {
+		t.Errorf("error %q does not list known scenarios", err)
+	}
+	if len(List()) < 6 {
+		t.Errorf("registry has %d scenarios, want at least 6", len(List()))
+	}
+}
+
+// --- invariant checker unit tests: each invariant must detect its
+// violation on crafted run data (the anti-neutering suite). ---
+
+// passingData builds a RunData that satisfies every registry invariant.
+func passingData() *RunData {
+	d := &RunData{
+		Issued: 4,
+		Records: []Record{
+			{Index: 0, Outcome: OutcomeOK, Latency: time.Millisecond},
+			{Index: 1, Outcome: OutcomeOK, Latency: 2 * time.Millisecond},
+			{Index: 2, Outcome: OutcomeOK, Latency: 3 * time.Millisecond},
+			{Index: 3, Outcome: OutcomeShed, Latency: time.Microsecond},
+		},
+		Counts:              map[Outcome]int{OutcomeOK: 3, OutcomeShed: 1},
+		ScriptedTransitions: 2,
+		ObservedTransitions: 2,
+		BreakerTransitions:  3,
+		Drained:             true,
+		Stats: []core.Stats{{
+			PerDevice: map[string]core.DeviceStats{
+				"gpu0": {BreakerState: "closed", BreakerTransitions: 3},
+			},
+		}},
+	}
+	return d
+}
+
+func TestInvariantsDetectViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		inv     Invariant
+		mutate  func(*RunData)
+		passing bool
+	}{
+		{"accounted-ok", Accounted{}, nil, true},
+		{"accounted-lost-record", Accounted{}, func(d *RunData) {
+			d.Records = d.Records[:3]
+		}, false},
+		{"accounted-count-drift", Accounted{}, func(d *RunData) {
+			d.Counts[OutcomeOK] = 1
+		}, false},
+		{"typed-ok", TypedFailures{}, nil, true},
+		{"typed-untyped-error", TypedFailures{}, func(d *RunData) {
+			d.Records[3] = Record{Index: 3, Outcome: OutcomeUntyped, Err: "write: broken pipe"}
+			d.Counts = map[Outcome]int{OutcomeOK: 3, OutcomeUntyped: 1}
+		}, false},
+		{"outcomes-ok", OutcomesIn{Allowed: []Outcome{OutcomeOK, OutcomeShed}}, nil, true},
+		{"outcomes-disallowed", OutcomesIn{Allowed: []Outcome{OutcomeOK}}, nil, false},
+		{"min-success-ok", MinSuccess{Fraction: 0.75}, nil, true},
+		{"min-success-below-floor", MinSuccess{Fraction: 0.8}, nil, false},
+		{"p99-ok", BoundedP99{Max: time.Second}, nil, true},
+		{"p99-stall", BoundedP99{Max: time.Second}, func(d *RunData) {
+			d.Records[2].Latency = time.Minute
+		}, false},
+		{"shed-ok", ShedBounded{MaxFraction: 0.25}, nil, true},
+		{"shed-storm", ShedBounded{MaxFraction: 0.25}, func(d *RunData) {
+			d.Counts[OutcomeShed] = 3
+			d.Counts[OutcomeOK] = 1
+		}, false},
+		{"breaker-ok", BreakerRecovered{MinTransitions: 3}, nil, true},
+		{"breaker-never-tripped", BreakerRecovered{MinTransitions: 4}, nil, false},
+		{"breaker-stuck-open", BreakerRecovered{MinTransitions: 3}, func(d *RunData) {
+			d.Stats[0].PerDevice["gpu0"] = core.DeviceStats{BreakerState: "open", BreakerTransitions: 3}
+		}, false},
+		{"drain-ok", DrainClean{}, nil, true},
+		{"drain-never-ran", DrainClean{}, func(d *RunData) { d.Drained = false }, false},
+		{"drain-timed-out", DrainClean{}, func(d *RunData) {
+			d.DrainErr = context.DeadlineExceeded
+		}, false},
+		{"drain-left-inflight", DrainClean{}, func(d *RunData) {
+			st := d.Stats[0]
+			st.InFlight = 2
+			d.Stats[0] = st
+		}, false},
+		{"transitions-ok", TransitionsComplete{}, nil, true},
+		{"transitions-lost-cycle", TransitionsComplete{}, func(d *RunData) {
+			d.ObservedTransitions = 1
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := passingData()
+			if tc.mutate != nil {
+				tc.mutate(d)
+			}
+			err := tc.inv.Check(d)
+			if tc.passing && err != nil {
+				t.Errorf("%s.Check = %v, want pass", tc.inv.Name(), err)
+			}
+			if !tc.passing && err == nil {
+				t.Errorf("%s.Check passed on violating data — the invariant is neutered", tc.inv.Name())
+			}
+		})
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Outcome
+	}{
+		{"nil", nil, OutcomeOK},
+		{"overloaded", fmt.Errorf("wrapped: %w", core.ErrOverloaded), OutcomeShed},
+		{"draining", core.ErrDraining, OutcomeDraining},
+		{"server-closed", core.ErrServerClosed, OutcomeDraining},
+		{"unavailable", core.ErrUnavailable, OutcomeUnavailable},
+		{"device-failed", fmt.Errorf("core: failover exhausted after 3 attempts for %q: %w", "mci", accel.ErrDeviceFailed), OutcomeUnavailable},
+		{"context-released", accel.ErrContextReleased, OutcomeUnavailable},
+		{"deadline", context.DeadlineExceeded, OutcomeDeadline},
+		{"remote-overloaded", &client.RemoteError{Code: wire.CodeOverloaded}, OutcomeShed},
+		{"remote-unavailable", &client.RemoteError{Code: wire.CodeUnavailable}, OutcomeUnavailable},
+		{"remote-deadline", &client.RemoteError{Code: wire.CodeDeadlineExceeded}, OutcomeDeadline},
+		{"remote-internal", &client.RemoteError{Code: wire.CodeInternal}, OutcomeUntyped},
+		{"raw", errors.New("write: broken pipe"), OutcomeUntyped},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+			}
+		})
+	}
+}

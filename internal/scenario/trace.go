@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one invocation in a trace: fire kernel Kernel with problem
+// size N and a payload of Payload bytes, At after the replay starts
+// (modeled time).
+type Event struct {
+	At      time.Duration `json:"at"`
+	Kernel  string        `json:"kernel"`
+	N       float64       `json:"n"`
+	Payload int           `json:"payload"`
+}
+
+// Trace is a time-ordered invocation schedule.
+type Trace []Event
+
+// Offsets returns the arrival offsets in replay order, the shape
+// workload.Replay consumes.
+func (t Trace) Offsets() []time.Duration {
+	out := make([]time.Duration, len(t))
+	for i, e := range t {
+		out[i] = e.At
+	}
+	return out
+}
+
+// Duration returns the offset of the last event (zero for an empty
+// trace) — the modeled span of the arrival schedule.
+func (t Trace) Duration() time.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].At
+}
+
+// Fingerprint hashes the full trace content (offsets at millisecond
+// granularity, kernel names, sizes, payload lengths) to a short hex
+// string. Two runs that print the same fingerprint replayed the same
+// trace — it is part of the deterministic output surface that the
+// reproducibility check diffs across runs.
+func (t Trace) Fingerprint() string {
+	h := fnv.New64a()
+	for _, e := range t {
+		fmt.Fprintf(h, "%d|%s|%g|%d;", e.At.Milliseconds(), e.Kernel, e.N, e.Payload)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// KernelMix weights one kernel within a synthesized trace.
+type KernelMix struct {
+	// Kernel is the kernel name (must be registered by the scenario).
+	Kernel string `json:"kernel"`
+	// Weight is the relative probability of drawing this kernel.
+	Weight float64 `json:"weight"`
+	// MinN and MaxN bound the uniformly drawn problem size.
+	MinN float64 `json:"min_n,omitempty"`
+	MaxN float64 `json:"max_n,omitempty"`
+	// Payload is the in-band payload size in bytes (0 = none).
+	Payload int `json:"payload,omitempty"`
+}
+
+// TraceSpec describes a synthetic trace: how many events, their arrival
+// process, and the kernel mix. It is pure data so the registry can embed
+// it and Synthesize can derive the same trace from it for any seed.
+type TraceSpec struct {
+	Events   int         `json:"events"`
+	Arrivals ArrivalSpec `json:"arrivals"`
+	Mix      []KernelMix `json:"mix"`
+}
+
+// Synthesize expands the spec into a concrete trace using a PRNG seeded
+// with seed. The same (spec, seed) pair always yields the same trace —
+// the foundation of the harness's reproducibility guarantee.
+func Synthesize(spec TraceSpec, seed int64) (Trace, error) {
+	if spec.Events <= 0 {
+		return nil, fmt.Errorf("scenario: trace needs a positive event count, got %d", spec.Events)
+	}
+	if len(spec.Mix) == 0 {
+		return nil, fmt.Errorf("scenario: trace needs a kernel mix")
+	}
+	var totalWeight float64
+	for i, m := range spec.Mix {
+		if m.Kernel == "" {
+			return nil, fmt.Errorf("scenario: mix entry %d has no kernel", i)
+		}
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("scenario: mix entry %d (%s) needs a positive weight", i, m.Kernel)
+		}
+		if m.MinN < 0 || m.MaxN < m.MinN {
+			return nil, fmt.Errorf("scenario: mix entry %d (%s) has invalid size range [%g, %g]",
+				i, m.Kernel, m.MinN, m.MaxN)
+		}
+		totalWeight += m.Weight
+	}
+	proc, err := spec.Arrivals.build()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	trace := make(Trace, 0, spec.Events)
+	var at time.Duration
+	for i := 0; i < spec.Events; i++ {
+		if i > 0 {
+			at += proc.next(rng)
+		}
+		m := drawMix(spec.Mix, totalWeight, rng)
+		n := m.MinN
+		if m.MaxN > m.MinN {
+			n = m.MinN + rng.Float64()*(m.MaxN-m.MinN)
+		}
+		trace = append(trace, Event{At: at, Kernel: m.Kernel, N: n, Payload: m.Payload})
+	}
+	return trace, nil
+}
+
+// drawMix picks a mix entry proportionally to its weight.
+func drawMix(mix []KernelMix, total float64, rng *rand.Rand) KernelMix {
+	x := rng.Float64() * total
+	for _, m := range mix {
+		if x < m.Weight {
+			return m
+		}
+		x -= m.Weight
+	}
+	return mix[len(mix)-1]
+}
+
+// ParseCSV reads a trace from CSV text, one event per line:
+//
+//	offset_ms,kernel,n,payload_bytes
+//
+// Blank lines and lines starting with '#' are ignored; a header line
+// beginning with "offset" is skipped. Offsets must be non-decreasing (the
+// open-loop replay contract), so externally recorded traces are validated
+// at load time instead of failing mid-replay.
+func ParseCSV(r io.Reader) (Trace, error) {
+	var trace Trace
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(text), "offset") {
+			continue // header
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("scenario: trace line %d: want 4 fields offset_ms,kernel,n,payload, got %d", line, len(fields))
+		}
+		offMS, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil || offMS < 0 {
+			return nil, fmt.Errorf("scenario: trace line %d: bad offset %q", line, fields[0])
+		}
+		kernel := strings.TrimSpace(fields[1])
+		if kernel == "" {
+			return nil, fmt.Errorf("scenario: trace line %d: empty kernel", line)
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("scenario: trace line %d: bad n %q", line, fields[2])
+		}
+		payload, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+		if err != nil || payload < 0 {
+			return nil, fmt.Errorf("scenario: trace line %d: bad payload %q", line, fields[3])
+		}
+		trace = append(trace, Event{
+			At:      time.Duration(offMS * float64(time.Millisecond)),
+			Kernel:  kernel,
+			N:       n,
+			Payload: payload,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading trace: %w", err)
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("scenario: trace is empty")
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].At < trace[j].At }) {
+		return nil, fmt.Errorf("scenario: trace offsets must be non-decreasing")
+	}
+	return trace, nil
+}

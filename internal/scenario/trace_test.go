@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"kaas/internal/faults"
+	"kaas/internal/netshape"
+)
+
+func testTraceSpec(kind string) TraceSpec {
+	a := ArrivalSpec{Kind: kind, Mean: 10 * time.Millisecond}
+	switch kind {
+	case "mmpp":
+		a.Burst = 2 * time.Millisecond
+		a.SwitchProb = 0.1
+	case "pareto":
+		a.Alpha = 1.5
+	case "diurnal":
+		a.Amplitude = 0.5
+		a.Period = time.Second
+	}
+	return TraceSpec{
+		Events:   200,
+		Arrivals: a,
+		Mix: []KernelMix{
+			{Kernel: "mci", Weight: 3, MinN: 1e8, MaxN: 1e9},
+			{Kernel: "mci", Weight: 1, MinN: 1e9, MaxN: 2e9, Payload: 512},
+		},
+	}
+}
+
+// TestSynthesizeDeterministic: same (spec, seed) must yield an identical
+// trace; a different seed must not. Every arrival kind is exercised and
+// must emit a valid, replayable (non-decreasing) schedule.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, kind := range []string{"uniform", "poisson", "mmpp", "pareto", "diurnal"} {
+		t.Run(kind, func(t *testing.T) {
+			spec := testTraceSpec(kind)
+			a, err := Synthesize(spec, 42)
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			b, err := Synthesize(spec, 42)
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Errorf("same seed, different traces: %s vs %s", a.Fingerprint(), b.Fingerprint())
+			}
+			if len(a) != spec.Events {
+				t.Errorf("got %d events, want %d", len(a), spec.Events)
+			}
+			offs := a.Offsets()
+			if !sort.SliceIsSorted(offs, func(i, j int) bool { return offs[i] < offs[j] }) {
+				t.Error("offsets are not non-decreasing")
+			}
+			for i, e := range a {
+				if e.N < 1e8 || e.N > 2e9 {
+					t.Fatalf("event %d size %g outside the mix range", i, e.N)
+				}
+			}
+			if kind != "uniform" {
+				c, err := Synthesize(spec, 43)
+				if err != nil {
+					t.Fatalf("Synthesize: %v", err)
+				}
+				if c.Fingerprint() == a.Fingerprint() {
+					t.Error("different seeds produced the same trace")
+				}
+			}
+		})
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	base := testTraceSpec("poisson")
+	cases := []struct {
+		name   string
+		mutate func(*TraceSpec)
+	}{
+		{"zero-events", func(s *TraceSpec) { s.Events = 0 }},
+		{"empty-mix", func(s *TraceSpec) { s.Mix = nil }},
+		{"zero-weight", func(s *TraceSpec) { s.Mix[0].Weight = 0 }},
+		{"nameless-kernel", func(s *TraceSpec) { s.Mix[0].Kernel = "" }},
+		{"inverted-size-range", func(s *TraceSpec) { s.Mix[0].MaxN = s.Mix[0].MinN - 1 }},
+		{"unknown-arrival-kind", func(s *TraceSpec) { s.Arrivals.Kind = "fractal" }},
+		{"nonpositive-mean", func(s *TraceSpec) { s.Arrivals.Mean = 0 }},
+		{"mmpp-burst-above-mean", func(s *TraceSpec) {
+			s.Arrivals = ArrivalSpec{Kind: "mmpp", Mean: time.Millisecond, Burst: time.Second, SwitchProb: 0.1}
+		}},
+		{"mmpp-bad-switch-prob", func(s *TraceSpec) {
+			s.Arrivals = ArrivalSpec{Kind: "mmpp", Mean: time.Second, Burst: time.Millisecond, SwitchProb: 1.5}
+		}},
+		{"pareto-infinite-mean", func(s *TraceSpec) {
+			s.Arrivals = ArrivalSpec{Kind: "pareto", Mean: time.Millisecond, Alpha: 0.9}
+		}},
+		{"diurnal-bad-amplitude", func(s *TraceSpec) {
+			s.Arrivals = ArrivalSpec{Kind: "diurnal", Mean: time.Millisecond, Amplitude: 1.0, Period: time.Second}
+		}},
+		{"diurnal-no-period", func(s *TraceSpec) {
+			s.Arrivals = ArrivalSpec{Kind: "diurnal", Mean: time.Millisecond, Amplitude: 0.5}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testTraceSpec("poisson")
+			spec.Mix = append([]KernelMix(nil), base.Mix...)
+			tc.mutate(&spec)
+			if _, err := Synthesize(spec, 1); err == nil {
+				t.Errorf("Synthesize accepted invalid spec %+v", spec)
+			}
+		})
+	}
+}
+
+func TestParseCSV(t *testing.T) {
+	trace, err := ParseCSV(strings.NewReader(`# recorded trace
+offset_ms,kernel,n,payload
+
+0,mci,1000000,0
+12.5,mci,2000000,1024
+40,matmul,500,0
+`))
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("got %d events, want 3", len(trace))
+	}
+	if trace[1].At != 12500*time.Microsecond || trace[1].Payload != 1024 {
+		t.Errorf("event 1 = %+v, want offset 12.5ms payload 1024", trace[1])
+	}
+	if trace[2].Kernel != "matmul" {
+		t.Errorf("event 2 kernel = %q, want matmul", trace[2].Kernel)
+	}
+
+	bad := []struct {
+		name, csv string
+	}{
+		{"empty", "# nothing\n"},
+		{"missing-field", "0,mci,100\n"},
+		{"negative-offset", "-5,mci,100,0\n"},
+		{"bad-n", "0,mci,huge,0\n"},
+		{"bad-payload", "0,mci,100,many\n"},
+		{"empty-kernel", "0,,100,0\n"},
+		{"decreasing-offsets", "10,mci,100,0\n5,mci,100,0\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCSV(strings.NewReader(tc.csv)); err == nil {
+				t.Errorf("ParseCSV accepted %q", tc.csv)
+			}
+		})
+	}
+}
+
+// TestChaosTransitions: the scripted transition count must be a pure
+// function of the spec — it is part of the deterministic output surface.
+func TestChaosTransitions(t *testing.T) {
+	c := Chaos{
+		Flaps: []FlapSpec{
+			{Device: 0, Schedule: faults.FlapSchedule{Cycles: 3}},
+			{Device: 1, Schedule: faults.FlapSchedule{Cycles: 2}},
+		},
+		Link:      &LinkSpec{Degraded: netshape.Profile{RTT: time.Millisecond, BandwidthBps: 1e9}},
+		ConnKills: &ConnKillSpec{Kills: 4},
+		Drain:     &DrainSpec{},
+	}
+	// 2*(3+2) flap transitions + 2 link + 4 kills + 1 drain.
+	if got := c.Transitions(); got != 17 {
+		t.Errorf("Transitions = %d, want 17", got)
+	}
+	if got := (Chaos{}).Transitions(); got != 0 {
+		t.Errorf("empty chaos Transitions = %d, want 0", got)
+	}
+}

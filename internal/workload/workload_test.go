@@ -157,3 +157,210 @@ func TestRampStopsAtTotal(t *testing.T) {
 		t.Errorf("ramp overran to %v, want ~Total", elapsed)
 	}
 }
+
+func TestRampValidationEdgeCases(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	cases := []struct {
+		name string
+		cfg  RampConfig
+	}{
+		{"nil clock", RampConfig{Interval: time.Second, MaxClients: 1, Total: time.Second}},
+		{"zero interval", RampConfig{Clock: clock, MaxClients: 1, Total: time.Second}},
+		{"zero max clients", RampConfig{Clock: clock, Interval: time.Second, Total: time.Second}},
+		{"negative max clients", RampConfig{Clock: clock, Interval: time.Second, MaxClients: -3, Total: time.Second}},
+		{"zero total", RampConfig{Clock: clock, Interval: time.Second, MaxClients: 1}},
+		{"negative total", RampConfig{Clock: clock, Interval: time.Second, MaxClients: 1, Total: -time.Second}},
+	}
+	for _, tc := range cases {
+		if _, err := Ramp(context.Background(), tc.cfg, nil); err == nil {
+			t.Errorf("%s: Ramp accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestRampCtxCancelMidRamp(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := RampConfig{
+		Clock:      clock,
+		Interval:   time.Second,
+		MaxClients: 4,
+		// An hour of modeled time: without prompt cancellation the run
+		// would wait out the schedule for ~3.6 wall seconds.
+		Total:           time.Hour,
+		ClientThinkTime: 100 * time.Millisecond,
+	}
+	var calls atomic.Int32
+	done := make(chan struct{})
+	var (
+		completions []Completion
+		err         error
+	)
+	go func() {
+		defer close(done)
+		completions, err = Ramp(ctx, cfg, func(context.Context, int) (time.Duration, error) {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+			clock.Sleep(200 * time.Millisecond)
+			return 200 * time.Millisecond, nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ramp did not return promptly after ctx cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// Completions recorded before the cancel are preserved.
+	if len(completions) == 0 {
+		t.Error("no completions returned from a cancelled ramp")
+	}
+}
+
+func TestRampPreCancelledContext(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := RampConfig{Clock: clock, Interval: time.Second, MaxClients: 2, Total: time.Hour}
+	var calls atomic.Int32
+	start := time.Now()
+	_, err := Ramp(ctx, cfg, func(context.Context, int) (time.Duration, error) {
+		calls.Add(1)
+		return time.Millisecond, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pre-cancelled ramp ran for %v wall time", elapsed)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	noop := func(context.Context, int) (time.Duration, error) { return 0, nil }
+	if _, err := Replay(context.Background(), clock, nil, 0, nil); err == nil {
+		t.Error("nil task accepted")
+	}
+	if _, err := Replay(context.Background(), nil, nil, 0, noop); err == nil {
+		t.Error("nil clock accepted")
+	}
+	unsorted := []time.Duration{2 * time.Second, time.Second}
+	if _, err := Replay(context.Background(), clock, unsorted, 0, noop); err == nil {
+		t.Error("unsorted offsets accepted")
+	}
+	got, err := Replay(context.Background(), clock, nil, 0, noop)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty replay = (%v, %v), want no completions, nil", got, err)
+	}
+}
+
+func TestReplayFiresAtOffsets(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	offsets := []time.Duration{0, 500 * time.Millisecond, time.Second, time.Second}
+	completions, err := Replay(context.Background(), clock, offsets, 0,
+		func(_ context.Context, i int) (time.Duration, error) {
+			clock.Sleep(50 * time.Millisecond)
+			return 50 * time.Millisecond, nil
+		})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(completions) != len(offsets) {
+		t.Fatalf("completions = %d, want %d", len(completions), len(offsets))
+	}
+	starts := make(map[int]time.Duration, len(completions))
+	for _, c := range completions {
+		starts[c.Client] = c.Start
+	}
+	for i, off := range offsets {
+		if starts[i] < off {
+			t.Errorf("task %d started at %v, before its offset %v", i, starts[i], off)
+		}
+		// Generous upper bound: scheduling noise, not the schedule.
+		if starts[i] > off+5*time.Second {
+			t.Errorf("task %d started at %v, far past its offset %v", i, starts[i], off)
+		}
+	}
+}
+
+func TestReplayErrorsAreNotRecorded(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	boom := errors.New("boom")
+	offsets := []time.Duration{0, 0, 0}
+	completions, err := Replay(context.Background(), clock, offsets, 0,
+		func(_ context.Context, i int) (time.Duration, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return time.Millisecond, nil
+		})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(completions) != 2 {
+		t.Errorf("completions = %d, want 2 (failed task dropped)", len(completions))
+	}
+}
+
+func TestReplayBoundsConcurrency(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	offsets := make([]time.Duration, 16) // all fire immediately
+	var inFlight, peak atomic.Int32
+	completions, err := Replay(context.Background(), clock, offsets, 2,
+		func(context.Context, int) (time.Duration, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			clock.Sleep(100 * time.Millisecond)
+			inFlight.Add(-1)
+			return 100 * time.Millisecond, nil
+		})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(completions) != 16 {
+		t.Errorf("completions = %d, want 16", len(completions))
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeded bound 2", p)
+	}
+}
+
+func TestReplayCtxCancelAbandonsSchedule(t *testing.T) {
+	clock := vclock.Scaled(1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Second arrival is an hour of modeled time out; cancel must not
+	// wait for it.
+	offsets := []time.Duration{0, time.Hour}
+	var calls atomic.Int32
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Replay(ctx, clock, offsets, 0,
+			func(context.Context, int) (time.Duration, error) {
+				calls.Add(1)
+				cancel()
+				return time.Millisecond, nil
+			})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replay did not return promptly after ctx cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (second arrival abandoned)", calls.Load())
+	}
+}
