@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json scenario-ci scenario-json ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart scenario-ci scenario-json ci clean
 
 all: build
 
@@ -68,6 +68,12 @@ scenario-ci:
 # Regenerate the committed scenario result baseline.
 scenario-json:
 	$(GO) run ./cmd/kaasbench -scenario all -seed 1 -scenario-out BENCH_PR6.json
+
+# Regenerate the committed cold-start report: the cold / cached-cold /
+# warm temperature ladder plus the diurnal always-warm vs. scale-to-zero
+# vs. pre-warm device-seconds comparison.
+bench-coldstart:
+	$(GO) run ./cmd/kaasbench -coldstart -seed 1 -coldstart-out BENCH_PR7.json
 
 ci: vet build test race fuzz scenario-ci
 

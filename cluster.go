@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"kaas/internal/artifact"
 	"kaas/internal/core"
 )
 
@@ -34,6 +35,14 @@ func NewCluster(platforms ...*Platform) (*Cluster, error) {
 	}
 	copied := make([]*Platform, len(platforms))
 	copy(copied, platforms)
+	// Link the members' compiled-kernel caches (where configured, see
+	// WithArtifactCache) so a kernel JIT-compiled on one host is a cache
+	// hit on its peers: cross-node boots are cached-cold, not cold.
+	for i, a := range copied {
+		for _, b := range copied[i+1:] {
+			artifact.Link(a.artifacts, b.artifacts)
+		}
+	}
 	return &Cluster{
 		platforms: copied,
 		inflight:  make([]int, len(copied)),

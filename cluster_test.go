@@ -181,3 +181,50 @@ func TestClusterAllHostsDownSurfacesTypedError(t *testing.T) {
 		t.Errorf("Invoke on fully-drained cluster = %v, want ErrServerClosed", err)
 	}
 }
+
+// TestClusterSharesCompiledArtifacts: a kernel JIT-compiled during a cold
+// start on one cluster member is seeded into its peers' caches, so the
+// peer's first boot of the same kernel is cached-cold — it skips
+// compilation entirely.
+func TestClusterSharesCompiledArtifacts(t *testing.T) {
+	opts := []Option{WithTimeScale(5000), WithArtifactCache(64 << 20)}
+	p1, err := New(append([]Option{WithHostName("node-1")}, opts...)...)
+	if err != nil {
+		t.Fatalf("New p1: %v", err)
+	}
+	p2, err := New(append([]Option{WithHostName("node-2")}, opts...)...)
+	if err != nil {
+		t.Fatalf("New p2: %v", err)
+	}
+	c, err := NewCluster(p1, p2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.RegisterByName("matmul"); err != nil {
+		t.Fatalf("RegisterByName: %v", err)
+	}
+
+	_, r1, err := p1.Invoke(context.Background(), "matmul", Params{"n": 32}, nil)
+	if err != nil {
+		t.Fatalf("Invoke on node-1: %v", err)
+	}
+	if !r1.Cold || r1.CachedCold {
+		t.Errorf("node-1 first boot: Cold=%v CachedCold=%v, want a plain cold start", r1.Cold, r1.CachedCold)
+	}
+
+	_, r2, err := p2.Invoke(context.Background(), "matmul", Params{"n": 32}, nil)
+	if err != nil {
+		t.Fatalf("Invoke on node-2: %v", err)
+	}
+	if !r2.Cold || !r2.CachedCold {
+		t.Errorf("node-2 first boot: Cold=%v CachedCold=%v, want cached-cold via the seeded artifact", r2.Cold, r2.CachedCold)
+	}
+	st := p2.Stats()
+	if st.ArtifactCache == nil || st.ArtifactCache.Seeded != 1 {
+		t.Fatalf("node-2 cache stats = %+v, want 1 seeded artifact", st.ArtifactCache)
+	}
+	if ks := st.PerKernel["matmul"]; ks.CacheHits != 1 || ks.CacheMisses != 0 {
+		t.Errorf("node-2 cache hits/misses = %d/%d, want 1/0", ks.CacheHits, ks.CacheMisses)
+	}
+}

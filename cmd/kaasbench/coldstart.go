@@ -1,0 +1,421 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/artifact"
+	"kaas/internal/core"
+	"kaas/internal/kernels"
+	"kaas/internal/scenario"
+	"kaas/internal/vclock"
+	"kaas/internal/workload"
+)
+
+// runColdStart measures the cold-start subsystem end to end and writes
+// the report as JSON when out is non-empty.
+//
+// Phase A is the temperature ladder: on a fresh single-GPU platform with
+// an artifact cache and a short keepalive, the same kernel is invoked
+// cold (empty cache, pays the modeled JIT compile), cached-cold (after
+// scale-to-zero reaped the runner, the reboot hits the compiled-artifact
+// cache and skips the compile), and warm (live runner). Latencies are
+// modeled time from the invocation reports, so the ladder is independent
+// of machine speed.
+//
+// Phase B replays one synthesized diurnal trace against three platform
+// configurations — always-warm (no keepalive: runners hold their device
+// slots forever), scale-to-zero (idle runners release their slots), and
+// scale-to-zero with predictive pre-warm — and compares tail latency
+// against the device-seconds each configuration pays. Steady-state
+// percentiles exclude each run's first invocation: every configuration
+// pays that first boot, and what distinguishes them is what repeat
+// arrivals cost.
+type coldStartConfig struct {
+	Samples int
+	Seed    int64
+	Scale   float64
+	Out     string
+}
+
+// ladderStats summarizes one temperature rung in modeled milliseconds.
+type ladderStats struct {
+	MeanMS    float64 `json:"mean_ms"`
+	MinMS     float64 `json:"min_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	CompileMS float64 `json:"compile_ms"`
+}
+
+// diurnalRow is one Phase B configuration's outcome.
+type diurnalRow struct {
+	Config        string  `json:"config"`
+	Events        int     `json:"events"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	SteadyP50MS   float64 `json:"steady_p50_ms"`
+	SteadyP99MS   float64 `json:"steady_p99_ms"`
+	DeviceSeconds float64 `json:"device_seconds"`
+	ColdStarts    int     `json:"cold_starts"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	PreWarms      int     `json:"pre_warms"`
+	Reaps         uint64  `json:"reaps"`
+}
+
+// coldStartReport is the BENCH_PR7 document.
+type coldStartReport struct {
+	GeneratedBy string  `json:"generated_by"`
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Samples     int     `json:"samples"`
+
+	Ladder struct {
+		Cold       ladderStats `json:"cold"`
+		CachedCold ladderStats `json:"cached_cold"`
+		Warm       ladderStats `json:"warm"`
+		// ColdOverCachedCold is the headline speedup the artifact cache
+		// buys on a runner reboot.
+		ColdOverCachedCold float64 `json:"cold_over_cached_cold"`
+	} `json:"temperature_ladder"`
+
+	Diurnal []diurnalRow `json:"diurnal_trace"`
+
+	Summary struct {
+		// PreWarmSteadyP99OverWarm compares the pre-warmed
+		// configuration's steady-state p99 against always-warm's.
+		PreWarmSteadyP99OverWarm float64 `json:"prewarm_steady_p99_over_warm"`
+		// PreWarmDeviceSecondsFraction is the share of always-warm's
+		// device-seconds the pre-warmed configuration paid.
+		PreWarmDeviceSecondsFraction float64 `json:"prewarm_device_seconds_fraction"`
+	} `json:"summary"`
+}
+
+func runColdStart(w io.Writer, cfg coldStartConfig) error {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 5
+	}
+	rep := &coldStartReport{
+		GeneratedBy: "kaasbench -coldstart",
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		Samples:     cfg.Samples,
+	}
+
+	fmt.Fprintf(w, "cold-start bench: seed=%d scale=%.0fx samples=%d\n\n", cfg.Seed, cfg.Scale, cfg.Samples)
+	if err := runLadder(w, cfg, rep); err != nil {
+		return err
+	}
+	if err := runDiurnalComparison(w, cfg, rep); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nsummary: cached-cold reboot %.1fx faster than cold; pre-warm steady p99 %.2fx warm at %.0f%% of always-warm device-seconds\n",
+		rep.Ladder.ColdOverCachedCold,
+		rep.Summary.PreWarmSteadyP99OverWarm,
+		100*rep.Summary.PreWarmDeviceSecondsFraction)
+
+	if cfg.Out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.Out)
+	}
+	return nil
+}
+
+// ladderServer builds the fresh single-GPU platform one ladder sample
+// runs against.
+func ladderServer(clock vclock.Clock) (*core.Server, func(), error) {
+	host, err := accel.NewHost(clock, "coldstart", accel.XeonE52698, accel.TeslaP100)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := core.New(core.Config{
+		Clock: clock,
+		Host:  host,
+		// Short keepalive so the sample's scale-to-zero wait is cheap.
+		KeepAlive:      core.KeepAlive{Idle: 5 * time.Second, SweepEvery: time.Second},
+		Artifacts:      artifact.NewCache(64 << 20),
+		DisableCompute: true,
+	})
+	if err != nil {
+		host.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		srv.Close()
+		host.Close()
+	}
+	k, err := kernels.ByName("mci")
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if err := srv.Register(k); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return srv, cleanup, nil
+}
+
+// runLadder measures Phase A.
+func runLadder(w io.Writer, cfg coldStartConfig, rep *coldStartReport) error {
+	var cold, cached, warm, compile []time.Duration
+	req := func() *kernels.Request {
+		return &kernels.Request{Params: kernels.Params{"n": 2e9}}
+	}
+	for i := 0; i < cfg.Samples; i++ {
+		clock := vclock.Scaled(cfg.Scale)
+		srv, cleanup, err := ladderServer(clock)
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+
+		_, r1, err := srv.Invoke(ctx, "mci", req())
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("coldstart: cold invoke: %w", err)
+		}
+		if !r1.Cold || r1.CachedCold {
+			cleanup()
+			return fmt.Errorf("coldstart: first invoke was not an uncached cold start (cold=%v cached=%v)", r1.Cold, r1.CachedCold)
+		}
+		cold = append(cold, r1.Total())
+		compile = append(compile, r1.Breakdown.Compile)
+
+		// Wait for scale-to-zero: the keepalive reaper must release the
+		// runner before the reboot can demonstrate a cache hit.
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Stats().Runners != 0 {
+			if time.Now().After(deadline) {
+				cleanup()
+				return fmt.Errorf("coldstart: runner was never reaped")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+
+		_, r2, err := srv.Invoke(ctx, "mci", req())
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("coldstart: cached-cold invoke: %w", err)
+		}
+		if !r2.Cold || !r2.CachedCold {
+			cleanup()
+			return fmt.Errorf("coldstart: reboot did not hit the artifact cache (cold=%v cached=%v)", r2.Cold, r2.CachedCold)
+		}
+		cached = append(cached, r2.Total())
+
+		_, r3, err := srv.Invoke(ctx, "mci", req())
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("coldstart: warm invoke: %w", err)
+		}
+		if r3.Cold {
+			cleanup()
+			return fmt.Errorf("coldstart: third invoke was not warm")
+		}
+		warm = append(warm, r3.Total())
+		cleanup()
+	}
+
+	rep.Ladder.Cold = summarize(cold, mean(compile))
+	rep.Ladder.CachedCold = summarize(cached, 0)
+	rep.Ladder.Warm = summarize(warm, 0)
+	rep.Ladder.ColdOverCachedCold = rep.Ladder.Cold.MeanMS / rep.Ladder.CachedCold.MeanMS
+
+	fmt.Fprintf(w, "temperature ladder (modeled time, mci n=2e9, %d samples):\n", cfg.Samples)
+	fmt.Fprintf(w, "  %-12s %10s %10s %10s %10s\n", "temp", "mean", "min", "max", "compile")
+	for _, row := range []struct {
+		name string
+		s    ladderStats
+	}{{"cold", rep.Ladder.Cold}, {"cached-cold", rep.Ladder.CachedCold}, {"warm", rep.Ladder.Warm}} {
+		fmt.Fprintf(w, "  %-12s %9.0fms %9.0fms %9.0fms %9.0fms\n",
+			row.name, row.s.MeanMS, row.s.MinMS, row.s.MaxMS, row.s.CompileMS)
+	}
+	fmt.Fprintf(w, "  cold / cached-cold = %.1fx\n\n", rep.Ladder.ColdOverCachedCold)
+	return nil
+}
+
+// diurnalSpec is the Phase B workload: the same sparse diurnal shape the
+// diurnal-scale-to-zero scenario replays, with a fixed problem size so
+// per-invocation latencies are comparable across configurations.
+var diurnalSpec = scenario.TraceSpec{
+	Events: 80,
+	Arrivals: scenario.ArrivalSpec{
+		Kind:      "diurnal",
+		Mean:      90 * time.Second,
+		Amplitude: 0.5,
+		Period:    1800 * time.Second,
+	},
+	// A fixed, substantial problem size (~1s of modeled GPU time): the
+	// regime scale-to-zero targets is kernels that do real work, where a
+	// cached-cold reboot amortizes against execution rather than
+	// dominating it.
+	Mix: []scenario.KernelMix{{Kernel: "mci", Weight: 1, MinN: 1e11, MaxN: 1e11}},
+}
+
+// runDiurnalComparison measures Phase B.
+func runDiurnalComparison(w io.Writer, cfg coldStartConfig, rep *coldStartReport) error {
+	trace, err := scenario.Synthesize(diurnalSpec, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// cacheBytes 1 is the no-cache control: the compile model stays on,
+	// but a 1-byte budget rejects every artifact, so each reboot pays
+	// the full JIT — what scale-to-zero costs without the cache.
+	configs := []struct {
+		name       string
+		keep       core.KeepAlive
+		cacheBytes int64
+	}{
+		{"always-warm", core.KeepAlive{}, 64 << 20},
+		{"scale-to-zero-nocache", core.KeepAlive{Idle: 30 * time.Second, SweepEvery: 10 * time.Second}, 1},
+		{"scale-to-zero", core.KeepAlive{Idle: 30 * time.Second, SweepEvery: 10 * time.Second}, 64 << 20},
+		{"scale-to-zero+prewarm", core.KeepAlive{Idle: 30 * time.Second, SweepEvery: 10 * time.Second, PreWarmLead: 15 * time.Second}, 64 << 20},
+	}
+
+	fmt.Fprintf(w, "diurnal trace (%d events over %.0f modeled minutes, mean gap 90s):\n",
+		len(trace), trace.Duration().Minutes())
+	fmt.Fprintf(w, "  %-22s %9s %9s %11s %6s %6s %8s %6s\n",
+		"config", "p50", "steadyP99", "device-sec", "cold", "hits", "prewarms", "reaps")
+
+	for _, c := range configs {
+		row, err := replayConfig(c.name, c.keep, c.cacheBytes, trace, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		rep.Diurnal = append(rep.Diurnal, *row)
+		fmt.Fprintf(w, "  %-22s %7.0fms %7.0fms %11.0f %6d %6d %8d %6d\n",
+			row.Config, row.P50MS, row.SteadyP99MS, row.DeviceSeconds,
+			row.ColdStarts, row.CacheHits, row.PreWarms, row.Reaps)
+	}
+
+	warmRow, preRow := rep.Diurnal[0], rep.Diurnal[3]
+	rep.Summary.PreWarmSteadyP99OverWarm = preRow.SteadyP99MS / warmRow.SteadyP99MS
+	rep.Summary.PreWarmDeviceSecondsFraction = preRow.DeviceSeconds / warmRow.DeviceSeconds
+	return nil
+}
+
+// replayConfig replays the trace against one platform configuration and
+// collects its latency distribution and device-second bill.
+func replayConfig(name string, keep core.KeepAlive, cacheBytes int64, trace scenario.Trace, scale float64) (*diurnalRow, error) {
+	clock := vclock.Scaled(scale)
+	host, err := accel.NewHost(clock, "diurnal", accel.XeonE52698, accel.TeslaP100, accel.TeslaP100)
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+	srv, err := core.New(core.Config{
+		Clock:          clock,
+		Host:           host,
+		KeepAlive:      keep,
+		Artifacts:      artifact.NewCache(cacheBytes),
+		DisableCompute: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	k, err := kernels.ByName("mci")
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Register(k); err != nil {
+		return nil, err
+	}
+
+	latencies := make([]time.Duration, len(trace))
+	task := func(ctx context.Context, i int) (time.Duration, error) {
+		e := trace[i]
+		_, r, err := srv.Invoke(ctx, e.Kernel, &kernels.Request{Params: kernels.Params{"n": e.N}})
+		if err != nil {
+			return 0, fmt.Errorf("coldstart: %s event %d: %w", name, i, err)
+		}
+		latencies[i] = r.Total()
+		return r.Total(), nil
+	}
+	if _, err := workload.Replay(context.Background(), clock, trace.Offsets(), 32, task); err != nil {
+		return nil, err
+	}
+
+	st := srv.Stats()
+	row := &diurnalRow{
+		Config:     name,
+		Events:     len(trace),
+		ColdStarts: st.ColdStarts,
+		PreWarms:   st.PreWarms,
+		Reaps:      st.Reaps,
+	}
+	if st.ArtifactCache != nil {
+		row.CacheHits = st.ArtifactCache.Hits
+		row.CacheMisses = st.ArtifactCache.Misses
+	}
+	for _, d := range st.PerDevice {
+		row.DeviceSeconds += d.SlotBusy.Seconds()
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	row.P50MS = pctMS(sorted, 0.50)
+	row.P99MS = pctMS(sorted, 0.99)
+	// Steady state drops the run's first arrival: every configuration
+	// pays that first boot; repeat arrivals are where they differ.
+	steady := sorted[:0:0]
+	for i, l := range latencies {
+		if i == 0 {
+			continue
+		}
+		steady = append(steady, l)
+	}
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	row.SteadyP50MS = pctMS(steady, 0.50)
+	row.SteadyP99MS = pctMS(steady, 0.99)
+	return row, nil
+}
+
+// summarize reduces modeled samples to a ladder row.
+func summarize(samples []time.Duration, compileMean float64) ladderStats {
+	min, max := samples[0], samples[0]
+	for _, s := range samples {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return ladderStats{
+		MeanMS:    mean(samples),
+		MinMS:     float64(min) / float64(time.Millisecond),
+		MaxMS:     float64(max) / float64(time.Millisecond),
+		CompileMS: compileMean,
+	}
+}
+
+// mean returns the average in modeled milliseconds.
+func mean(samples []time.Duration) float64 {
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(samples)) / float64(time.Millisecond)
+}
+
+// pctMS reads a nearest-rank percentile in modeled milliseconds.
+func pctMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1)*p + 0.5)
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

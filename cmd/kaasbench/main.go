@@ -83,6 +83,8 @@ func run(args []string) error {
 	sweepOut := fs.String("sweep-out", "", "write the -sweep report as JSON to this file")
 	sweepFigures := fs.String("sweep-figures", "", "file of go test -bench output to embed in the -sweep report")
 	sweepProfile := fs.String("sweep-cpuprofile", "", "write a pprof CPU profile per -sweep cell with this path prefix")
+	coldstart := fs.Bool("coldstart", false, "measure the cold/cached-cold/warm temperature ladder and the diurnal scale-to-zero device-seconds tradeoff")
+	coldstartOut := fs.String("coldstart-out", "", "write the -coldstart report as JSON to this file")
 	scenarioName := fs.String("scenario", "", "run a named replay/chaos scenario against its invariants (a name, all, or list)")
 	seed := fs.Int64("seed", 1, "scenario seed: same seed, same trace, same chaos, same verdict lines")
 	scenarioOut := fs.String("scenario-out", "", "write the -scenario results (with diagnostics) as JSON to this file")
@@ -93,6 +95,15 @@ func run(args []string) error {
 
 	if *scenarioName != "" {
 		return runScenario(os.Stdout, *scenarioName, *seed, *scale, *scenarioTrace, *scenarioOut)
+	}
+
+	if *coldstart {
+		return runColdStart(os.Stdout, coldStartConfig{
+			Samples: *samples,
+			Seed:    *seed,
+			Scale:   *scale,
+			Out:     *coldstartOut,
+		})
 	}
 
 	if *faultcheck {

@@ -89,7 +89,10 @@ func run(args []string) error {
 			return err
 		}
 		start := "warm"
-		if res.Cold {
+		switch {
+		case res.Cold && res.CachedCold:
+			start = "cached-cold"
+		case res.Cold:
 			start = "cold"
 		}
 		fmt.Printf("%s start, server time %v\n", start, res.ServerTime)
@@ -203,11 +206,16 @@ func simulate(path string) error {
 // and per-device occupancy as aligned tables — the CLI view of the
 // paper's Fig. 2/Fig. 7 breakdowns.
 func printVerboseStats(w io.Writer, st *core.Stats) error {
-	fmt.Fprintf(w, "kernels: %d  runners: %d  in-flight: %d  cold starts: %d  failovers: %d  evictions: %d  reaps: %d\n\n",
-		st.Kernels, st.Runners, st.InFlight, st.ColdStarts, st.Failovers, st.Evictions, st.Reaps)
+	fmt.Fprintf(w, "kernels: %d  runners: %d  in-flight: %d  cold starts: %d  pre-warms: %d  failovers: %d  evictions: %d  reaps: %d\n",
+		st.Kernels, st.Runners, st.InFlight, st.ColdStarts, st.PreWarms, st.Failovers, st.Evictions, st.Reaps)
+	if ac := st.ArtifactCache; ac != nil {
+		fmt.Fprintf(w, "artifact cache: %d entries (%s of %s)  hits: %d  misses: %d  seeded: %d  evictions: %d\n",
+			ac.Entries, formatBytes(ac.UsedBytes), formatBytes(ac.BudgetBytes), ac.Hits, ac.Misses, ac.Seeded, ac.Evictions)
+	}
+	fmt.Fprintln(w)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "KERNEL\tINV\tERR\tCOLD\tFAILOVER\tRUNNERS\tWARM p50/p95/p99\tCOLD p50/p95/p99")
+	fmt.Fprintln(tw, "KERNEL\tINV\tERR\tCOLD\tHIT/MISS\tPREWARM\tFAILOVER\tRUNNERS\tWARM p50/p95/p99\tCOLD p50/p95/p99\tCACHED-COLD p50/p95/p99")
 	names := make([]string, 0, len(st.PerKernel))
 	for name := range st.PerKernel {
 		names = append(names, name)
@@ -215,9 +223,10 @@ func printVerboseStats(w io.Writer, st *core.Stats) error {
 	sort.Strings(names)
 	for _, name := range names {
 		ks := st.PerKernel[name]
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			name, ks.Invocations, ks.Errors, ks.ColdStarts, ks.Failovers, ks.Runners,
-			formatPercentiles(ks.Warm), formatPercentiles(ks.Cold))
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d/%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			name, ks.Invocations, ks.Errors, ks.ColdStarts, ks.CacheHits, ks.CacheMisses,
+			ks.PreWarms, ks.Failovers, ks.Runners,
+			formatPercentiles(ks.Warm), formatPercentiles(ks.Cold), formatPercentiles(ks.CachedCold))
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -225,7 +234,7 @@ func printVerboseStats(w io.Writer, st *core.Stats) error {
 
 	fmt.Fprintln(w)
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "DEVICE\tKIND\tRUNNERS\tCTX/SLOTS\tUTIL\tBUSY\tMEM\tEVICT\tREAP")
+	fmt.Fprintln(tw, "DEVICE\tKIND\tRUNNERS\tCTX/SLOTS\tUTIL\tBUSY\tSLOT-BUSY\tMEM\tEVICT\tREAP")
 	ids := make([]string, 0, len(st.PerDevice))
 	for id := range st.PerDevice {
 		ids = append(ids, id)
@@ -233,9 +242,10 @@ func printVerboseStats(w io.Writer, st *core.Stats) error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		ds := st.PerDevice[id]
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d/%d\t%.0f%%\t%s\t%s\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d/%d\t%.0f%%\t%s\t%s\t%s\t%d\t%d\n",
 			id, ds.Kind, ds.Runners, ds.ActiveContexts, ds.Slots, ds.Utilization*100,
-			formatDuration(ds.ComputeBusy), formatBytes(ds.MemoryUsed), ds.Evictions, ds.Reaps)
+			formatDuration(ds.ComputeBusy), formatDuration(ds.SlotBusy),
+			formatBytes(ds.MemoryUsed), ds.Evictions, ds.Reaps)
 	}
 	return tw.Flush()
 }

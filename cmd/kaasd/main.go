@@ -48,7 +48,10 @@ func run(args []string, ready ...chan<- string) error {
 	tpus := fs.Int("tpus", 0, "number of simulated TPU v3 chips")
 	qpus := fs.Int("qpus", 0, "number of simulated QPU backends")
 	scale := fs.Float64("scale", 1, "modeled seconds per wall second")
-	idle := fs.Duration("idle-timeout", 0, "reap task runners idle this long (0 = never)")
+	idle := fs.Duration("idle-timeout", 0, "reap task runners idle this long (0 = never); modeled time")
+	sweep := fs.Duration("keepalive-sweep", 0, "idle-reaper sweep cadence (0 = half the idle timeout); modeled time")
+	prewarmLead := fs.Duration("prewarm-lead", 0, "boot a speculative runner this long before the predicted next arrival of a scaled-to-zero kernel (0 = off); modeled time")
+	artifactCache := fs.Int64("artifact-cache-bytes", 0, "compiled-kernel artifact cache budget in bytes (0 = no cache)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight invocations (0 = exit immediately)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics over HTTP on this address (e.g. 127.0.0.1:9090)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
@@ -75,7 +78,13 @@ func run(args []string, ready ...chan<- string) error {
 		kaas.WithListenAddr(*listen),
 		kaas.WithTimeScale(*scale),
 		kaas.WithAccelerators(profiles...),
-		kaas.WithIdleTimeout(*idle),
+		kaas.WithKeepAlive(*idle, *sweep),
+	}
+	if *prewarmLead > 0 {
+		popts = append(popts, kaas.WithPreWarm(*prewarmLead))
+	}
+	if *artifactCache > 0 {
+		popts = append(popts, kaas.WithArtifactCache(*artifactCache))
 	}
 	if *maxConnStreams > 0 {
 		popts = append(popts, kaas.WithMuxStreams(*maxConnStreams))

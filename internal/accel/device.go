@@ -45,6 +45,12 @@ type Device struct {
 	ctxCounter int
 	activeCtx  int
 	coldStarts int
+	// slotHeld accumulates slot occupancy of released contexts;
+	// liveCtxStartSum is the sum of live contexts' acquire offsets from
+	// createdAt, so Stats can charge still-held slots without a context
+	// list.
+	slotHeld        time.Duration
+	liveCtxStartSum time.Duration
 }
 
 // NewDevice creates a device with the given id and profile, timed by clock.
@@ -156,10 +162,13 @@ func (d *Device) Acquire(ctx context.Context) (*Context, error) {
 	d.ctxCounter++
 	d.activeCtx++
 	d.coldStarts++
+	now := d.clock.Now()
 	c := &Context{
-		id:     fmt.Sprintf("%s/ctx-%d", d.id, d.ctxCounter),
-		device: d,
+		id:         fmt.Sprintf("%s/ctx-%d", d.id, d.ctxCounter),
+		device:     d,
+		acquiredAt: now,
 	}
+	d.liveCtxStartSum += now.Sub(d.createdAt)
 	d.mu.Unlock()
 	return c, nil
 }
@@ -178,6 +187,11 @@ type Stats struct {
 	ComputeActive int
 	// WorkDone is the total compute work served.
 	WorkDone float64
+	// SlotBusy is cumulative modeled time context slots were held,
+	// summed across slots — the "device-seconds" a tenancy accounting
+	// would bill. A device holding 2 contexts for 1 modeled second
+	// accrues 2 seconds.
+	SlotBusy time.Duration
 	// Uptime is modeled time since device creation.
 	Uptime time.Duration
 }
@@ -185,8 +199,14 @@ type Stats struct {
 // Stats returns current device statistics.
 func (d *Device) Stats() Stats {
 	cu := d.compute.Usage()
+	now := d.clock.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Slot-busy time of live contexts: each has been held from its
+	// acquire instant to now; the start-offset sum folds them all in
+	// without tracking the context list.
+	uptime := now.Sub(d.createdAt)
+	slotBusy := d.slotHeld + time.Duration(d.activeCtx)*uptime - d.liveCtxStartSum
 	return Stats{
 		ActiveContexts: d.activeCtx,
 		ColdStarts:     d.coldStarts,
@@ -194,7 +214,8 @@ func (d *Device) Stats() Stats {
 		ComputeBusy:    cu.BusyTime,
 		ComputeActive:  cu.Active,
 		WorkDone:       cu.WorkDone,
-		Uptime:         d.clock.Now().Sub(d.createdAt),
+		SlotBusy:       slotBusy,
+		Uptime:         uptime,
 	}
 }
 
@@ -222,8 +243,9 @@ func (d *Device) Utilization() float64 {
 // several goroutines concurrently; kernels launched through it contend on
 // the device's shared compute fabric.
 type Context struct {
-	id     string
-	device *Device
+	id         string
+	device     *Device
+	acquiredAt time.Time
 
 	mu       sync.Mutex
 	released bool
@@ -249,9 +271,12 @@ func (c *Context) Release() {
 	c.mu.Unlock()
 
 	d := c.device
+	now := d.clock.Now()
 	d.mu.Lock()
 	d.memUsed -= held
 	d.activeCtx--
+	d.slotHeld += now.Sub(c.acquiredAt)
+	d.liveCtxStartSum -= c.acquiredAt.Sub(d.createdAt)
 	d.mu.Unlock()
 	<-d.slots
 }

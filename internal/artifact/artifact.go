@@ -1,0 +1,206 @@
+// Package artifact implements the content-addressed compiled-kernel
+// cache behind the platform's cold-start path. Compiling (JIT'ing,
+// transpiling, or place-and-routing) a kernel for a device kind is the
+// dominant first-invocation cost on every accelerator the paper models;
+// the cache makes that cost a one-time event per (kernel, device-kind)
+// pair. Entries are addressed by a digest of the kernel's identity and
+// compile signature, bounded by a byte budget with LRU eviction, and —
+// mirroring GKM-style kernel registries — distributable across federated
+// hosts so an artifact compiled on one node is a hit on its peers.
+package artifact
+
+import (
+	"container/list"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key is the content address of a compiled artifact: a 64-bit FNV-1a
+// digest, hex-encoded, over the kernel's identity and compile signature.
+type Key string
+
+// KeyFor digests the given identity parts into a cache key. Parts are
+// joined with an unlikely separator so ("ab","c") and ("a","bc") hash
+// differently.
+func KeyFor(parts ...string) Key {
+	h := fnv.New64a()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0x1f}) // unit separator
+		}
+		h.Write([]byte(p))
+	}
+	const hexdigits = "0123456789abcdef"
+	sum := h.Sum64()
+	var b strings.Builder
+	for shift := 60; shift >= 0; shift -= 4 {
+		b.WriteByte(hexdigits[(sum>>uint(shift))&0xf])
+	}
+	return Key(b.String())
+}
+
+// Artifact is one compiled kernel image: the key it is addressed by,
+// human-readable provenance, its size against the cache budget, and the
+// modeled compile cost a miss would pay.
+type Artifact struct {
+	Key Key
+	// Kernel and Kind record provenance (kernel name, device kind).
+	Kernel string
+	Kind   string
+	// Size is the artifact's footprint in bytes.
+	Size int64
+	// CompileCost is the modeled JIT duration this artifact saves.
+	CompileCost time.Duration
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Seeded counts artifacts received from peer caches.
+	Seeded      uint64 `json:"seeded"`
+	Entries     int    `json:"entries"`
+	UsedBytes   int64  `json:"used_bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+}
+
+// Cache is a concurrency-safe LRU artifact cache with a byte budget.
+// Lookup and Store implement the local hit/miss path; Seed inserts
+// without hit/miss accounting and is how peer caches propagate artifacts
+// cluster-wide (see Link). The zero budget means "unbounded".
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used; values are *Artifact
+	index  map[Key]*list.Element
+
+	hits, misses, evictions, seeded uint64
+
+	peers []*Cache
+}
+
+// NewCache creates a cache bounded to budget bytes (0 = unbounded).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		order:  list.New(),
+		index:  make(map[Key]*list.Element),
+	}
+}
+
+// Lookup returns the cached artifact for key, or nil on a miss, and
+// updates recency and hit/miss counters.
+func (c *Cache) Lookup(key Key) *Artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*Artifact)
+}
+
+// Store inserts an artifact compiled locally and seeds it into every
+// linked peer cache, so a kernel compiled on one node is a cache hit on
+// its siblings. Artifacts larger than the whole budget are not cached.
+func (c *Cache) Store(a *Artifact) {
+	c.mu.Lock()
+	c.insertLocked(a)
+	peers := append([]*Cache(nil), c.peers...)
+	c.mu.Unlock()
+	// Seed outside c.mu: peers lock themselves, and bidirectional links
+	// would otherwise order locks both ways.
+	for _, p := range peers {
+		p.Seed(a)
+	}
+}
+
+// Seed inserts an artifact received from a peer. Unlike Store it does
+// not re-propagate (no flooding loops) and does not count as a miss.
+func (c *Cache) Seed(a *Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[a.Key]; ok {
+		return
+	}
+	if c.insertLocked(a) {
+		c.seeded++
+	}
+}
+
+// insertLocked adds (or refreshes) an artifact and evicts LRU entries
+// until the budget holds. Returns false if the artifact alone exceeds
+// the budget and was rejected.
+func (c *Cache) insertLocked(a *Artifact) bool {
+	if el, ok := c.index[a.Key]; ok {
+		c.used += a.Size - el.Value.(*Artifact).Size
+		el.Value = a
+		c.order.MoveToFront(el)
+		c.evictOverBudgetLocked()
+		return true
+	}
+	if c.budget > 0 && a.Size > c.budget {
+		return false
+	}
+	c.index[a.Key] = c.order.PushFront(a)
+	c.used += a.Size
+	c.evictOverBudgetLocked()
+	return true
+}
+
+func (c *Cache) evictOverBudgetLocked() {
+	for c.budget > 0 && c.used > c.budget {
+		el := c.order.Back()
+		if el == nil {
+			return
+		}
+		victim := el.Value.(*Artifact)
+		c.order.Remove(el)
+		delete(c.index, victim.Key)
+		c.used -= victim.Size
+		c.evictions++
+	}
+}
+
+// Link connects two caches bidirectionally: artifacts stored on either
+// are seeded into the other. Linking is idempotent.
+func Link(a, b *Cache) {
+	if a == nil || b == nil || a == b {
+		return
+	}
+	a.addPeer(b)
+	b.addPeer(a)
+}
+
+func (c *Cache) addPeer(p *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, q := range c.peers {
+		if q == p {
+			return
+		}
+	}
+	c.peers = append(c.peers, p)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Seeded:      c.seeded,
+		Entries:     len(c.index),
+		UsedBytes:   c.used,
+		BudgetBytes: c.budget,
+	}
+}

@@ -474,6 +474,10 @@ type Result struct {
 	Data []byte
 	// Cold reports whether the invocation started a new runner.
 	Cold bool
+	// CachedCold reports whether a cold start skipped JIT compilation
+	// because the compiled artifact was already cached. Only meaningful
+	// when Cold is true.
+	CachedCold bool
 	// InvocationID is the server-assigned identifier of this invocation,
 	// joinable against the server's structured logs and metrics.
 	InvocationID string
@@ -540,6 +544,7 @@ func (c *Client) invoke(ctx context.Context, msg *wire.Message) (*Result, error)
 		Values:       reply.Header.Values,
 		Data:         reply.Body,
 		Cold:         reply.Header.ColdStart,
+		CachedCold:   reply.Header.CachedColdStart,
 		InvocationID: reply.Header.InvocationID,
 		ServerTime:   time.Duration(reply.Header.DurationNanos),
 	}

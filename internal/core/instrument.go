@@ -24,6 +24,9 @@ const (
 	metricShed         = "kaas_shed_total"
 	metricBreakerGauge = "kaas_breaker_state"
 	metricBreakerTrans = "kaas_breaker_transitions_total"
+	metricCacheHits    = "kaas_artifact_cache_hits_total"
+	metricCacheMisses  = "kaas_artifact_cache_misses_total"
+	metricPreWarms     = "kaas_prewarms_total"
 )
 
 // shedReasons enumerates the admission-control rejection reasons used as
@@ -48,6 +51,9 @@ func registerHelp(reg *metrics.Registry) {
 	reg.Help(metricShed, "Invocations rejected by admission control, per kernel and reason.")
 	reg.Help(metricBreakerGauge, "Circuit breaker state per device (0=closed, 1=open, 2=half-open).")
 	reg.Help(metricBreakerTrans, "Circuit breaker state transitions per device, labeled by destination state.")
+	reg.Help(metricCacheHits, "Cold starts that found the kernel's compiled artifact cached, per kernel.")
+	reg.Help(metricCacheMisses, "Cold starts that paid JIT compilation, per kernel.")
+	reg.Help(metricPreWarms, "Runners booted speculatively by the pre-warm predictor, per kernel.")
 }
 
 // kernelMetrics caches one kernel's metric instances so the invocation
@@ -58,45 +64,59 @@ type kernelMetrics struct {
 	errors      *metrics.Counter
 	coldStarts  *metrics.Counter
 	failovers   *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	preWarms    *metrics.Counter
 	inFlight    *metrics.Gauge
 	queueDepth  *metrics.Gauge
 	sheds       map[string]*metrics.Counter // by rejection reason
 
-	latCold   *metrics.Histogram
-	latWarm   *metrics.Histogram
-	phaseCold map[string]*metrics.Counter
-	phaseWarm map[string]*metrics.Counter
+	latCold         *metrics.Histogram
+	latCachedCold   *metrics.Histogram
+	latWarm         *metrics.Histogram
+	phaseCold       map[string]*metrics.Counter
+	phaseCachedCold map[string]*metrics.Counter
+	phaseWarm       map[string]*metrics.Counter
 }
 
 func newKernelMetrics(reg *metrics.Registry, kernel string) *kernelMetrics {
 	km := &kernelMetrics{
-		invocations: reg.Counter(metricInvocations, "kernel", kernel),
-		errors:      reg.Counter(metricErrors, "kernel", kernel),
-		coldStarts:  reg.Counter(metricColdStarts, "kernel", kernel),
-		failovers:   reg.Counter(metricFailovers, "kernel", kernel),
-		inFlight:    reg.Gauge(metricInFlight, "kernel", kernel),
-		queueDepth:  reg.Gauge(metricQueueDepth, "kernel", kernel),
-		sheds:       make(map[string]*metrics.Counter, len(shedReasons)),
-		latCold:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "cold"),
-		latWarm:     reg.Histogram(metricLatency, "kernel", kernel, "temp", "warm"),
-		phaseCold:   make(map[string]*metrics.Counter),
-		phaseWarm:   make(map[string]*metrics.Counter),
+		invocations:     reg.Counter(metricInvocations, "kernel", kernel),
+		errors:          reg.Counter(metricErrors, "kernel", kernel),
+		coldStarts:      reg.Counter(metricColdStarts, "kernel", kernel),
+		failovers:       reg.Counter(metricFailovers, "kernel", kernel),
+		inFlight:        reg.Gauge(metricInFlight, "kernel", kernel),
+		queueDepth:      reg.Gauge(metricQueueDepth, "kernel", kernel),
+		cacheHits:       reg.Counter(metricCacheHits, "kernel", kernel),
+		cacheMisses:     reg.Counter(metricCacheMisses, "kernel", kernel),
+		preWarms:        reg.Counter(metricPreWarms, "kernel", kernel),
+		sheds:           make(map[string]*metrics.Counter, len(shedReasons)),
+		latCold:         reg.Histogram(metricLatency, "kernel", kernel, "temp", "cold"),
+		latCachedCold:   reg.Histogram(metricLatency, "kernel", kernel, "temp", "cached-cold"),
+		latWarm:         reg.Histogram(metricLatency, "kernel", kernel, "temp", "warm"),
+		phaseCold:       make(map[string]*metrics.Counter),
+		phaseCachedCold: make(map[string]*metrics.Counter),
+		phaseWarm:       make(map[string]*metrics.Counter),
 	}
 	for _, reason := range shedReasons {
 		km.sheds[reason] = reg.Counter(metricShed, "kernel", kernel, "reason", reason)
 	}
 	for _, p := range (metrics.Breakdown{}).Phases() {
 		km.phaseCold[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "cold")
+		km.phaseCachedCold[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "cached-cold")
 		km.phaseWarm[p.Name] = reg.Counter(metricPhaseNanos, "kernel", kernel, "phase", p.Name, "temp", "warm")
 	}
 	return km
 }
 
 // observe records one completed invocation's latency and phase breakdown
-// under the cold or warm series.
-func (km *kernelMetrics) observe(cold bool, b metrics.Breakdown) {
+// under the cold, cached-cold, or warm series.
+func (km *kernelMetrics) observe(cold, cachedCold bool, b metrics.Breakdown) {
 	lat, phases := km.latWarm, km.phaseWarm
-	if cold {
+	switch {
+	case cold && cachedCold:
+		lat, phases = km.latCachedCold, km.phaseCachedCold
+	case cold:
 		lat, phases = km.latCold, km.phaseCold
 	}
 	lat.Observe(b.Total())

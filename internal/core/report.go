@@ -36,6 +36,9 @@ type Report struct {
 	// retried after a device failure, in which case the retry's cold
 	// start is part of the invocation).
 	Cold bool
+	// CachedCold refines Cold: the runner boot hit the compiled-kernel
+	// artifact cache and skipped JIT compilation.
+	CachedCold bool
 	// Attempts counts placement attempts: 1 for a normally served
 	// invocation, more when device failures forced failover retries.
 	Attempts int

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kaas/internal/accel"
+	"kaas/internal/artifact"
 	"kaas/internal/breaker"
 	"kaas/internal/kernels"
 	"kaas/internal/metrics"
@@ -79,6 +80,23 @@ func (p PlacementPolicy) String() string {
 	}
 }
 
+// KeepAlive is the scale-to-zero policy: how long idle runners keep
+// their device slots, how often the reaper sweeps, and whether a
+// predictive pre-warm pool re-boots runners ahead of forecast demand.
+type KeepAlive struct {
+	// Idle releases a runner's device slot after this much idle modeled
+	// time (0 = retain forever). It generalizes the original
+	// RunnerIdleTimeout knob, which is still honored as a fallback.
+	Idle time.Duration
+	// SweepEvery is the reaper cadence in modeled time (default Idle/2).
+	SweepEvery time.Duration
+	// PreWarmLead enables predictive pre-warming when positive: after a
+	// kernel scales to zero, a runner is booted this much modeled time
+	// before the arrival-rate estimator's predicted next demand, so the
+	// first real invocation of the new busy period lands warm.
+	PreWarmLead time.Duration
+}
+
 // Config configures a Server.
 type Config struct {
 	// Clock is the time source (required).
@@ -99,7 +117,16 @@ type Config struct {
 	// routing and serialization inside the host. Default 2 ms.
 	RoutingOverhead time.Duration
 	// RunnerIdleTimeout releases runners idle for this long (0 = never).
+	// Deprecated alias for KeepAlive.Idle; ignored when that is set.
 	RunnerIdleTimeout time.Duration
+	// KeepAlive tunes scale-to-zero and predictive pre-warming.
+	KeepAlive KeepAlive
+	// Artifacts is the content-addressed compiled-kernel cache consulted
+	// on every cold start: a miss pays the kernel's modeled JIT compile
+	// cost and stores the artifact, a hit skips compilation entirely
+	// ("cached-cold"). Nil disables compile-cost modeling, preserving the
+	// pre-cache cold-start timing exactly.
+	Artifacts *artifact.Cache
 	// MaxInFlightTotal caps invocations admitted server-wide; beyond it
 	// requests are shed with ErrOverloaded. 0 disables the cap.
 	MaxInFlightTotal int
@@ -140,6 +167,12 @@ type Server struct {
 	invSeq   atomic.Uint64
 	breakers *breaker.Set // nil when breakers are disabled
 
+	// baseCtx bounds background work (pre-warm boots); cancel fires on
+	// Close so speculative cold starts never outlive the server.
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	prewarmWG sync.WaitGroup
+
 	mu         sync.Mutex
 	cond       *sync.Cond // broadcast when inFlight reaches 0 (and on Close)
 	entries    map[string]*entry
@@ -147,6 +180,7 @@ type Server struct {
 	runnersOn  map[string]int // device ID -> runner count
 	runnerSeq  int
 	coldStarts int
+	preWarms   int
 	inFlight   int
 	draining   bool
 	closed     bool
@@ -179,6 +213,19 @@ type entry struct {
 	// Wall time is used because client deadlines are wall-clock.
 	ewmaWall     float64
 	ewmaColdWall float64
+	// Arrival-rate estimator state behind the predictive pre-warm pool
+	// (guarded by Server.mu, all in modeled time). ewmaGap averages the
+	// inter-arrival gaps of a busy period; ewmaIdleGap averages only the
+	// gaps that exceeded the keepalive window — the "overnight" silences
+	// whose end pre-warming tries to beat. lastArrival anchors the next
+	// prediction, prewarmedAt stops a reaped speculative runner from
+	// being re-booted until real demand returns, and prewarm is the
+	// pending boot timer (nil when none).
+	ewmaGap     float64
+	ewmaIdleGap float64
+	lastArrival time.Time
+	prewarmedAt time.Time
+	prewarm     vclock.Timer
 }
 
 // runner is a task runner holding a warm device context.
@@ -189,6 +236,9 @@ type runner struct {
 
 	ready    chan struct{} // closed when cold start completes
 	startErr error
+	// cached records that the cold start hit the artifact cache and
+	// skipped compilation. Written before ready closes, read after.
+	cached bool
 
 	// guarded by Server.mu
 	inflight int
@@ -228,6 +278,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.KeepAlive.Idle == 0 {
+		cfg.KeepAlive.Idle = cfg.RunnerIdleTimeout
+	}
+	if cfg.KeepAlive.SweepEvery <= 0 {
+		cfg.KeepAlive.SweepEvery = cfg.KeepAlive.Idle / 2
+	}
+	if cfg.KeepAlive.SweepEvery <= 0 {
+		cfg.KeepAlive.SweepEvery = cfg.KeepAlive.Idle
+	}
 	registerHelp(cfg.Metrics)
 	s := &Server{
 		cfg:       cfg,
@@ -239,6 +298,7 @@ func New(cfg Config) (*Server, error) {
 		runnersOn: make(map[string]int),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	for _, d := range append(cfg.Host.Devices(), cfg.Host.CPU()) {
 		s.devMet[d.ID()] = newDeviceMetrics(s.reg, d.ID())
 	}
@@ -250,7 +310,7 @@ func New(cfg Config) (*Server, error) {
 			OnTransition: s.onBreakerTransition,
 		})
 	}
-	if cfg.RunnerIdleTimeout > 0 {
+	if cfg.KeepAlive.Idle > 0 {
 		s.scheduleReapLocked()
 	}
 	return s, nil
@@ -413,6 +473,7 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 	}
 	s.inFlight++
 	e.inFlight++
+	s.observeArrivalLocked(e)
 	kind := e.kernel.Kind()
 	s.mu.Unlock()
 
@@ -473,7 +534,7 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		met.errors.Inc()
 		return nil, nil, err
 	}
-	met.observe(report.Cold, report.Breakdown)
+	met.observe(report.Cold, report.CachedCold, report.Breakdown)
 	s.observeWallTime(e, report.Cold, time.Since(wallStart))
 	return resp, report, nil
 }
@@ -500,6 +561,114 @@ func (s *Server) observeWallTime(e *entry, cold bool, d time.Duration) {
 			e.ewmaColdWall = ewmaAlpha*v + (1-ewmaAlpha)*e.ewmaColdWall
 		}
 	}
+}
+
+// observeArrivalLocked folds one admitted invocation into the kernel's
+// arrival-rate estimator. Gaps shorter than the keepalive window update
+// the in-period EWMA; longer gaps are the idle periods whose length the
+// pre-warm predictor learns. Real demand also cancels any pending
+// speculative boot — the arrival itself will warm the pool.
+func (s *Server) observeArrivalLocked(e *entry) {
+	now := s.clock.Now()
+	if !e.lastArrival.IsZero() {
+		gap := float64(now.Sub(e.lastArrival))
+		if idle := s.cfg.KeepAlive.Idle; idle > 0 && gap >= float64(idle) {
+			if e.ewmaIdleGap == 0 {
+				e.ewmaIdleGap = gap
+			} else {
+				e.ewmaIdleGap = ewmaAlpha*gap + (1-ewmaAlpha)*e.ewmaIdleGap
+			}
+		} else if gap > 0 {
+			if e.ewmaGap == 0 {
+				e.ewmaGap = gap
+			} else {
+				e.ewmaGap = ewmaAlpha*gap + (1-ewmaAlpha)*e.ewmaGap
+			}
+		}
+	}
+	e.lastArrival = now
+	if e.prewarm != nil {
+		e.prewarm.Stop()
+		e.prewarm = nil
+	}
+}
+
+// schedulePreWarmLocked arms a speculative runner boot for a kernel that
+// just scaled to zero. The predicted next arrival is the last real
+// arrival plus the learned idle-gap EWMA; the boot fires PreWarmLead
+// ahead of it so the runner is warm when the busy period resumes. No
+// prediction is made until at least one full idle gap has been observed
+// (the first night is always paid cold), and a kernel is pre-warmed at
+// most once per real arrival so a speculative runner that found no
+// demand is not re-booted in a warm/reap loop that would burn the very
+// device-seconds scale-to-zero exists to save.
+func (s *Server) schedulePreWarmLocked(e *entry) {
+	if s.cfg.KeepAlive.PreWarmLead <= 0 || s.draining || s.closed {
+		return
+	}
+	if e.ewmaIdleGap == 0 || !e.prewarmedAt.Before(e.lastArrival) {
+		return
+	}
+	eta := e.lastArrival.Add(time.Duration(e.ewmaIdleGap)).Sub(s.clock.Now()) - s.cfg.KeepAlive.PreWarmLead
+	if eta < 0 {
+		// The predicted arrival is already past: the estimator has no
+		// basis for a boot now being useful, so stay scaled to zero.
+		return
+	}
+	if e.prewarm != nil {
+		e.prewarm.Stop()
+	}
+	e.prewarm = s.clock.AfterFunc(eta, func() {
+		// Cold starts sleep modeled time; hand off so the clock's
+		// dispatcher is not blocked. The Add is ordered against Close's
+		// closed flag under the lock, so a timer that beats its Stop can
+		// never race the Close-side Wait at a zero counter.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.prewarmWG.Add(1)
+		s.mu.Unlock()
+		go s.preWarm(e)
+	})
+}
+
+// preWarm speculatively boots one runner for a scaled-to-zero kernel.
+// The boot follows the normal cold-start path (artifact cache included),
+// then releases its claim so the runner sits warm and idle; if demand
+// never materializes the regular keepalive reaper retires it.
+func (s *Server) preWarm(e *entry) {
+	defer s.prewarmWG.Done()
+	s.mu.Lock()
+	e.prewarm = nil
+	if s.closed || s.draining || len(e.runners) > 0 {
+		s.mu.Unlock()
+		return
+	}
+	k := e.kernel
+	dev := s.placeLocked(e)
+	if dev == nil {
+		s.mu.Unlock()
+		return
+	}
+	r := s.newRunnerLocked(e, dev)
+	e.prewarmedAt = s.clock.Now()
+	s.preWarms++
+	s.mu.Unlock()
+
+	met := s.kernelMet(e)
+	met.preWarms.Inc()
+	inv := fmt.Sprintf("prewarm-%d", s.invSeq.Add(1))
+	s.cfg.Logger.Info("pre-warming runner", "inv", inv, "kernel", e.name, "runner", r.id)
+	var b metrics.Breakdown
+	s.coldStart(s.baseCtx, inv, e, k, r, &b)
+	if r.startErr != nil {
+		s.removeRunner(e, r)
+		s.recordDeviceOutcome(r.device.ID(), r.startErr)
+		return
+	}
+	s.releaseRunner(e, r)
 }
 
 // admitLocked applies admission control to one invocation before any
@@ -602,7 +771,8 @@ func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request,
 
 	if spawner {
 		report.Cold = true
-		s.coldStart(ctx, report.InvocationID, k, r, &report.Breakdown)
+		s.coldStart(ctx, report.InvocationID, e, k, r, &report.Breakdown)
+		report.CachedCold = r.cached
 	} else {
 		// Wait for the runner to finish starting if necessary.
 		waitStart := s.clock.Now()
@@ -645,7 +815,7 @@ func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request,
 			s.cfg.Logger.Warn("device failure, failing over",
 				"inv", report.InvocationID, "kernel", report.Kernel,
 				"runner", r.id, "device", r.device.ID())
-			s.removeRunner(e, r)
+			s.retireRunner(e, r)
 		}
 		return nil, err
 	}
@@ -736,8 +906,9 @@ func (s *Server) newRunnerLocked(e *entry, dev *accel.Device) *runner {
 	e.runners = append(e.runners, r)
 	s.runnersOn[dev.ID()]++
 	e.runnersOn[dev.ID()]++
-	s.coldStarts++
-	s.kernelMet(e).coldStarts.Inc()
+	// Cold starts are counted at completion (see coldStart), not here:
+	// counting at creation double-charged a kernel when an aborted cold
+	// start's waiter retried on a fresh runner.
 	if dm := s.devMet[dev.ID()]; dm != nil {
 		dm.runners.Inc()
 	}
@@ -825,7 +996,7 @@ func (s *Server) leastLoadedDeviceLocked(e *entry) *accel.Device {
 // free context slot, an idle runner of another kernel is evicted first so
 // single-slot devices (FPGAs) can serve multiple registered kernels
 // without deadlocking.
-func (s *Server) coldStart(ctx context.Context, inv string, k kernels.Kernel, r *runner, b *metrics.Breakdown) {
+func (s *Server) coldStart(ctx context.Context, inv string, e *entry, k kernels.Kernel, r *runner, b *metrics.Breakdown) {
 	defer close(r.ready)
 
 	if err := ctx.Err(); err != nil {
@@ -845,6 +1016,32 @@ func (s *Server) coldStart(ctx context.Context, inv string, k kernels.Kernel, r 
 	r.dctx = dctx
 	s.cfg.Logger.Info("runner started", "inv", inv, "runner", r.id, "device", r.device.ID())
 
+	// JIT compilation against the artifact cache: a hit means some
+	// runner (here or on a linked peer host) already compiled this
+	// kernel for this device kind, and the boot proceeds straight to
+	// setup ("cached-cold"); a miss pays the modeled compile cost and
+	// publishes the artifact.
+	if c := s.cfg.Artifacts; c != nil {
+		compile, size := kernels.CompileProfile(k)
+		key := artifact.KeyFor(k.Name(), k.Kind().String(), compile.String())
+		met := s.kernelMet(e)
+		if c.Lookup(key) != nil {
+			r.cached = true
+			met.cacheHits.Inc()
+		} else {
+			met.cacheMisses.Inc()
+			s.clock.Sleep(compile)
+			b.Compile += compile
+			c.Store(&artifact.Artifact{
+				Key:         key,
+				Kernel:      k.Name(),
+				Kind:        k.Kind().String(),
+				Size:        size,
+				CompileCost: compile,
+			})
+		}
+	}
+
 	// Kernel setup (weight loading, transpilation): a fixed modeled
 	// duration independent of the device's compute rate.
 	cost, err := k.Cost(&kernels.Request{Params: kernels.Params{}})
@@ -852,16 +1049,47 @@ func (s *Server) coldStart(ctx context.Context, inv string, k kernels.Kernel, r 
 		s.clock.Sleep(cost.SetupTime)
 		b.Setup += cost.SetupTime
 	}
+
+	// The runner is up: this — not runner creation — is when a cold
+	// start is charged, so an aborted boot whose waiter respawned is one
+	// cold start, not two.
+	s.mu.Lock()
+	s.coldStarts++
+	s.mu.Unlock()
+	s.kernelMet(e).coldStarts.Inc()
 }
 
-// evictRetrySlice bounds (in wall time) how long a blocked cold start
-// waits on a saturated device before re-checking for an evictable idle
-// runner. It makes slot acquisition race-free without holding the server
-// lock across the blocking wait: two concurrent cold starts on a
-// single-slot device may both pass the pressure check and find only one
-// evictable runner, but the loser retries its eviction instead of
-// blocking forever.
-const evictRetrySlice = 2 * time.Millisecond
+// evictRetrySlice bounds how long a blocked cold start waits on a
+// saturated device before re-checking for an evictable idle runner. It
+// makes slot acquisition race-free without holding the server lock
+// across the blocking wait: two concurrent cold starts on a single-slot
+// device may both pass the pressure check and find only one evictable
+// runner, but the loser retries its eviction instead of blocking
+// forever.
+//
+// Device occupancy advances in modeled time, so the retry slice is a
+// modeled duration converted to the wall-clock timeout dev.Acquire
+// needs. The original constant was 2ms of wall time, which at the
+// default test scale of 5000 quantized the re-check to 10 modeled
+// seconds — a blocked cold start could idle for ~10 modeled seconds
+// after the contended slot's holder had already gone idle.
+const evictRetrySliceModeled = 25 * time.Millisecond
+
+// evictRetrySliceFloor keeps the wall slice from collapsing to a busy
+// spin on highly scaled clocks, and stands in entirely on clocks with no
+// wall conversion (Manual returns scale 0).
+const evictRetrySliceFloor = 50 * time.Microsecond
+
+// evictRetrySlice converts the modeled retry slice to wall time for the
+// server's clock.
+func (s *Server) evictRetrySlice() time.Duration {
+	if scale := s.clock.Scale(); scale > 0 {
+		if d := time.Duration(float64(evictRetrySliceModeled) / scale); d > evictRetrySliceFloor {
+			return d
+		}
+	}
+	return evictRetrySliceFloor
+}
 
 // acquireSlot obtains a device context for a cold start, evicting idle
 // runners under slot pressure and retrying the eviction for as long as
@@ -878,7 +1106,7 @@ func (s *Server) acquireSlot(ctx context.Context, dev *accel.Device) (*accel.Con
 			s.evictIdleRunnerLocked(dev)
 			s.mu.Unlock()
 		}
-		actx, cancel := context.WithTimeout(ctx, evictRetrySlice)
+		actx, cancel := context.WithTimeout(ctx, s.evictRetrySlice())
 		dctx, err := dev.Acquire(actx)
 		cancel()
 		if err == nil {
@@ -987,10 +1215,33 @@ func (s *Server) evictIdleRunnerLocked(dev *accel.Device) bool {
 	return false
 }
 
-// removeRunner deletes a failed or reaped runner.
+// removeRunner deletes a failed runner on behalf of a caller that still
+// holds an in-flight claim on it; the claim is consumed either way, so
+// several waiters of one failed cold start can all call it and the
+// runner's in-flight accounting still ends exactly at zero.
 func (s *Server) removeRunner(e *entry, r *runner) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if r.removed {
+		r.inflight--
+		return
+	}
+	s.removeRunnerLocked(e, r)
+}
+
+// retireRunner deletes a runner on behalf of a caller that has already
+// released its claim (the failover path: releaseRunner runs before the
+// error is inspected). Without the balancing increment the removal
+// stole a surviving sibling's claim, driving the runner's in-flight
+// count negative — the accounting drift that lets an idle-runner sweep
+// mistake a claimed runner for reapable.
+func (s *Server) retireRunner(e *entry, r *runner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.removed {
+		return
+	}
+	r.inflight++ // balance the decrement in removeRunnerLocked
 	s.removeRunnerLocked(e, r)
 }
 
@@ -1032,7 +1283,7 @@ func (s *Server) reap() {
 	var victims []victim
 	for _, e := range s.entries {
 		for _, r := range e.runners {
-			if r.inflight == 0 && !r.removed && now.Sub(r.lastUsed) >= s.cfg.RunnerIdleTimeout {
+			if r.inflight == 0 && !r.removed && now.Sub(r.lastUsed) >= s.cfg.KeepAlive.Idle {
 				select {
 				case <-r.ready:
 					victims = append(victims, victim{e, r})
@@ -1043,6 +1294,14 @@ func (s *Server) reap() {
 		}
 	}
 	for _, v := range victims {
+		// Re-check at removal time. Selection and removal run under one
+		// continuous lock hold today, but the claim interlock — a runner
+		// picked for reaping in the same tick an invocation claims it
+		// must keep its device context — must not depend on that staying
+		// true, so the removal re-verifies the runner is still idle.
+		if v.r.removed || v.r.inflight != 0 {
+			continue
+		}
 		v.r.inflight++ // balance the decrement in removeRunnerLocked
 		s.removeRunnerLocked(v.e, v.r)
 		if dm := s.devMet[v.r.device.ID()]; dm != nil {
@@ -1050,6 +1309,11 @@ func (s *Server) reap() {
 		}
 		s.cfg.Logger.Info("idle runner reaped",
 			"runner", v.r.id, "device", v.r.device.ID())
+		if len(v.e.runners) == 0 && v.e.inFlight == 0 {
+			// The kernel scaled to zero: hand the next boot to the
+			// pre-warm predictor.
+			s.schedulePreWarmLocked(v.e)
+		}
 	}
 	s.scheduleReapLocked()
 	s.mu.Unlock()
@@ -1057,11 +1321,7 @@ func (s *Server) reap() {
 
 // scheduleReapLocked arms the idle-runner reaper timer.
 func (s *Server) scheduleReapLocked() {
-	interval := s.cfg.RunnerIdleTimeout / 2
-	if interval <= 0 {
-		interval = s.cfg.RunnerIdleTimeout
-	}
-	s.reapTimer = s.clock.AfterFunc(interval, s.reap)
+	s.reapTimer = s.clock.AfterFunc(s.cfg.KeepAlive.SweepEvery, s.reap)
 }
 
 // Drain gracefully shuts the server down: new invocations are rejected
@@ -1113,9 +1373,18 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.cancel != nil {
+		s.cancel() // abort in-flight pre-warm boots
+	}
 	if s.reapTimer != nil {
 		s.reapTimer.Stop()
 		s.reapTimer = nil
+	}
+	for _, e := range s.entries {
+		if e.prewarm != nil {
+			e.prewarm.Stop()
+			e.prewarm = nil
+		}
 	}
 	for _, e := range s.entries {
 		// removeRunnerLocked splices e.runners; iterate a snapshot.
@@ -1133,6 +1402,10 @@ func (s *Server) Close() {
 	}
 	s.cond.Broadcast() // wake any Drain waiter
 	s.mu.Unlock()
+	// Pre-warm boots see the cancelled base context (or the closed flag)
+	// and exit promptly; waiting here keeps Close's contract that no
+	// background work of this server survives it.
+	s.prewarmWG.Wait()
 }
 
 // discardHandler is a slog.Handler that drops every record, used when no

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kaas/internal/accel"
+	"kaas/internal/artifact"
 	"kaas/internal/metrics"
 )
 
@@ -40,8 +41,17 @@ func summarize(h *metrics.Histogram) LatencySummary {
 type KernelStats struct {
 	// Invocations counts accepted invocations (including failed ones).
 	Invocations uint64
-	// ColdStarts counts runner creations for this kernel.
+	// ColdStarts counts completed cold starts for this kernel (runner
+	// boots that reached readiness; an aborted boot whose waiter
+	// respawned counts once, not twice).
 	ColdStarts uint64
+	// CacheHits and CacheMisses count cold starts that found (or had to
+	// compile and publish) the kernel's artifact in the compiled-kernel
+	// cache. Both stay zero when no cache is configured.
+	CacheHits, CacheMisses uint64
+	// PreWarms counts runners booted speculatively by the pre-warm
+	// predictor for this kernel.
+	PreWarms uint64
 	// Failovers counts device-failure retries.
 	Failovers uint64
 	// Errors counts invocations that returned an error.
@@ -56,12 +66,14 @@ type KernelStats struct {
 	QueueDepth int64
 	// Runners is the kernel's live runner count.
 	Runners int
-	// Warm and Cold summarize the modeled latency distributions split by
-	// start temperature.
-	Warm, Cold LatencySummary
-	// PhasesWarm and PhasesCold are cumulative modeled time per
-	// invocation phase (queue, spawn, runtime_init, ...).
-	PhasesWarm, PhasesCold map[string]time.Duration
+	// Warm, Cold, and CachedCold summarize the modeled latency
+	// distributions split by start temperature: warm (runner reuse),
+	// cold (full boot with compilation), cached-cold (boot that skipped
+	// compilation on an artifact-cache hit).
+	Warm, Cold, CachedCold LatencySummary
+	// PhasesWarm, PhasesCold, and PhasesCachedCold are cumulative
+	// modeled time per invocation phase (queue, spawn, runtime_init, ...).
+	PhasesWarm, PhasesCold, PhasesCachedCold map[string]time.Duration
 }
 
 // DeviceStats is the per-device slice of a Stats snapshot.
@@ -89,6 +101,9 @@ type DeviceStats struct {
 	BreakerTransitions uint64
 	// ComputeBusy is total modeled time the compute fabric was active.
 	ComputeBusy time.Duration
+	// SlotBusy is cumulative modeled time context slots were held — the
+	// device-seconds scale-to-zero releases and always-warm pools pay.
+	SlotBusy time.Duration
 	// Uptime is modeled time since device creation.
 	Uptime time.Duration
 	// Utilization is the instantaneous compute utilization in [0, 1].
@@ -104,8 +119,10 @@ type Stats struct {
 	Runners int
 	// InFlight is the number of invocations currently being served.
 	InFlight int
-	// ColdStarts counts runner creations.
+	// ColdStarts counts completed cold starts.
 	ColdStarts int
+	// PreWarms counts speculative runner boots by the pre-warm pool.
+	PreWarms int
 	// Failovers counts device-failure retries across all kernels.
 	Failovers uint64
 	// Evictions counts slot-pressure evictions across all devices.
@@ -122,6 +139,9 @@ type Stats struct {
 	PerKernel map[string]KernelStats
 	// PerDevice holds per-device occupancy and utilization.
 	PerDevice map[string]DeviceStats
+	// ArtifactCache snapshots the compiled-kernel cache, or nil when the
+	// server runs without one.
+	ArtifactCache *artifact.Stats
 }
 
 // Stats returns current server statistics.
@@ -132,6 +152,7 @@ func (s *Server) Stats() Stats {
 		Kernels:          len(s.entries),
 		InFlight:         s.inFlight,
 		ColdStarts:       s.coldStarts,
+		PreWarms:         s.preWarms,
 		Draining:         s.draining,
 		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
 		PerKernel:        make(map[string]KernelStats, len(s.entries)),
@@ -141,18 +162,23 @@ func (s *Server) Stats() Stats {
 		st.Runners += len(e.runners)
 		met := s.kernelMet(e)
 		ks := KernelStats{
-			Invocations: met.invocations.Value(),
-			ColdStarts:  met.coldStarts.Value(),
-			Failovers:   met.failovers.Value(),
-			Errors:      met.errors.Value(),
-			Shed:        met.shedTotal(),
-			InFlight:    met.inFlight.Value(),
-			QueueDepth:  met.queueDepth.Value(),
-			Runners:     len(e.runners),
-			Warm:        summarize(met.latWarm),
-			Cold:        summarize(met.latCold),
-			PhasesWarm:  phaseTotals(met.phaseWarm),
-			PhasesCold:  phaseTotals(met.phaseCold),
+			Invocations:      met.invocations.Value(),
+			ColdStarts:       met.coldStarts.Value(),
+			CacheHits:        met.cacheHits.Value(),
+			CacheMisses:      met.cacheMisses.Value(),
+			PreWarms:         met.preWarms.Value(),
+			Failovers:        met.failovers.Value(),
+			Errors:           met.errors.Value(),
+			Shed:             met.shedTotal(),
+			InFlight:         met.inFlight.Value(),
+			QueueDepth:       met.queueDepth.Value(),
+			Runners:          len(e.runners),
+			Warm:             summarize(met.latWarm),
+			Cold:             summarize(met.latCold),
+			CachedCold:       summarize(met.latCachedCold),
+			PhasesWarm:       phaseTotals(met.phaseWarm),
+			PhasesCold:       phaseTotals(met.phaseCold),
+			PhasesCachedCold: phaseTotals(met.phaseCachedCold),
 		}
 		st.Failovers += ks.Failovers
 		st.Shed += ks.Shed
@@ -174,6 +200,7 @@ func (s *Server) Stats() Stats {
 			MemoryUsed:     ds.MemoryUsed,
 			ColdStarts:     ds.ColdStarts,
 			ComputeBusy:    ds.ComputeBusy,
+			SlotBusy:       ds.SlotBusy,
 			Uptime:         ds.Uptime,
 			Utilization:    d.Utilization(),
 		}
@@ -191,6 +218,10 @@ func (s *Server) Stats() Stats {
 		st.Evictions += dev.Evictions
 		st.Reaps += dev.Reaps
 		st.PerDevice[d.ID()] = dev
+	}
+	if s.cfg.Artifacts != nil {
+		cs := s.cfg.Artifacts.Stats()
+		st.ArtifactCache = &cs
 	}
 	return st
 }
@@ -231,6 +262,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 			func(d deviceSample) float64 { return d.util }},
 		{"kaas_device_busy_seconds_total", "counter", "Modeled time the compute fabric was active.",
 			func(d deviceSample) float64 { return d.stats.ComputeBusy.Seconds() }},
+		{"kaas_device_slot_busy_seconds_total", "counter", "Modeled device-seconds context slots were held.",
+			func(d deviceSample) float64 { return d.stats.SlotBusy.Seconds() }},
 		{"kaas_device_memory_bytes", "gauge", "Device memory currently allocated.",
 			func(d deviceSample) float64 { return float64(d.stats.MemoryUsed) }},
 		{"kaas_device_cold_starts_total", "counter", "Device context creations (each paid RuntimeInit).",

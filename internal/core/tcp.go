@@ -435,11 +435,12 @@ func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 	out := &wire.Message{
 		Type: wire.MsgResult,
 		Header: wire.Header{
-			Kernel:        msg.Header.Kernel,
-			Values:        resp.Values,
-			ColdStart:     report.Cold,
-			InvocationID:  report.InvocationID,
-			DurationNanos: int64(report.Total()),
+			Kernel:          msg.Header.Kernel,
+			Values:          resp.Values,
+			ColdStart:       report.Cold,
+			CachedColdStart: report.CachedCold,
+			InvocationID:    report.InvocationID,
+			DurationNanos:   int64(report.Total()),
 		},
 	}
 	if msg.Header.WantShmResult && t.regions != nil && len(resp.Data) > 0 {

@@ -1,0 +1,36 @@
+package faults
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GuardGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to (near) the
+// baseline — a dependency-free stand-in for goleak, shared by every
+// suite that asserts background work (fault injectors, pre-warm boots,
+// reapers) does not outlive its owner. The retry loop absorbs
+// goroutines that are legitimately still winding down (the vclock
+// dispatcher exits asynchronously once its heap drains).
+func GuardGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}

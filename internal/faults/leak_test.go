@@ -3,40 +3,12 @@ package faults
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"kaas/internal/vclock"
 )
-
-// guardGoroutines snapshots the goroutine count and registers a cleanup
-// that fails the test if the count has not returned to (near) the
-// baseline — a dependency-free stand-in for goleak. The retry loop
-// absorbs goroutines that are legitimately still winding down (the
-// vclock dispatcher exits asynchronously once its heap drains).
-func guardGoroutines(t *testing.T) {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(2 * time.Second)
-		var after int
-		for {
-			runtime.GC()
-			after = runtime.NumGoroutine()
-			if after <= before || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		if after > before {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
-		}
-	})
-}
 
 // fakeDevice implements FailRepairer and records its health.
 type fakeDevice struct {
@@ -63,7 +35,7 @@ func (d *fakeDevice) Down() bool {
 }
 
 func TestFlapScheduleRunsToCompletion(t *testing.T) {
-	guardGoroutines(t)
+	GuardGoroutines(t)
 	clock := vclock.Scaled(1000)
 	dev := &fakeDevice{}
 	f := NewDeviceFlapper(dev)
@@ -89,7 +61,7 @@ func TestFlapScheduleRunsToCompletion(t *testing.T) {
 }
 
 func TestFlapScheduleCancelMidFlapRepairsAndReturns(t *testing.T) {
-	guardGoroutines(t)
+	GuardGoroutines(t)
 	clock := vclock.Scaled(1000)
 	dev := &fakeDevice{}
 	f := NewDeviceFlapper(dev)
@@ -128,7 +100,7 @@ func TestFlapScheduleCancelMidFlapRepairsAndReturns(t *testing.T) {
 }
 
 func TestFlapScheduleCancelDuringDelay(t *testing.T) {
-	guardGoroutines(t)
+	GuardGoroutines(t)
 	clock := vclock.Scaled(1000)
 	dev := &fakeDevice{}
 	f := NewDeviceFlapper(dev)
@@ -146,7 +118,7 @@ func TestFlapScheduleCancelDuringDelay(t *testing.T) {
 }
 
 func TestFlapScheduleZeroCyclesIsNoop(t *testing.T) {
-	guardGoroutines(t)
+	GuardGoroutines(t)
 	clock := vclock.Scaled(1000)
 	f := NewDeviceFlapper(&fakeDevice{})
 	if err := f.Run(context.Background(), clock, FlapSchedule{}); err != nil {

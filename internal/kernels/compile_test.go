@@ -1,0 +1,43 @@
+package kernels
+
+import (
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+)
+
+func TestCompileProfileDeterministicAndSpread(t *testing.T) {
+	mci := NewMonteCarlo()
+	d1, s1 := CompileProfile(mci)
+	d2, s2 := CompileProfile(mci)
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("CompileProfile not deterministic: (%v,%d) vs (%v,%d)", d1, s1, d2, s2)
+	}
+	if d1 <= 0 || s1 <= 0 {
+		t.Fatalf("CompileProfile returned non-positive cost: %v, %d", d1, s1)
+	}
+	base := compileBase[mci.Kind()]
+	if d1 < time.Duration(float64(base.d)*0.75) || d1 >= time.Duration(float64(base.d)*1.25) {
+		t.Fatalf("compile duration %v outside ±25%% of base %v", d1, base.d)
+	}
+}
+
+func TestCompileProfileVariesAcrossKernels(t *testing.T) {
+	sizes := map[int64]bool{}
+	for _, k := range Suite() {
+		_, size := CompileProfile(k)
+		sizes[size] = true
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("all %d suite kernels share one artifact size; expected per-kernel spread", len(Suite()))
+	}
+}
+
+func TestCompileProfileUnknownKindFallback(t *testing.T) {
+	k := NewMatMul(accel.Kind(99))
+	d, s := CompileProfile(k)
+	if d <= 0 || s <= 0 {
+		t.Fatalf("fallback compile profile invalid: %v, %d", d, s)
+	}
+}

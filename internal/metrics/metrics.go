@@ -24,6 +24,9 @@ type Breakdown struct {
 	LibraryInit time.Duration
 	// RuntimeInit is device context creation cost.
 	RuntimeInit time.Duration
+	// Compile is JIT/compile cost on an artifact-cache miss; a cache hit
+	// (or a platform without a cache) leaves it zero.
+	Compile time.Duration
 	// Setup is kernel-specific one-time work (weights, transpile).
 	Setup time.Duration
 	// Network is client-server transfer time.
@@ -38,8 +41,8 @@ type Breakdown struct {
 
 // Total sums all phases.
 func (b Breakdown) Total() time.Duration {
-	return b.Queue + b.Spawn + b.LibraryInit + b.RuntimeInit + b.Setup +
-		b.Network + b.CopyIn + b.CopyOut + b.Exec + b.Other
+	return b.Queue + b.Spawn + b.LibraryInit + b.RuntimeInit + b.Compile +
+		b.Setup + b.Network + b.CopyIn + b.CopyOut + b.Exec + b.Other
 }
 
 // Overhead is total time minus data movement and kernel execution — the
@@ -60,6 +63,7 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 		Spawn:       b.Spawn + o.Spawn,
 		LibraryInit: b.LibraryInit + o.LibraryInit,
 		RuntimeInit: b.RuntimeInit + o.RuntimeInit,
+		Compile:     b.Compile + o.Compile,
 		Setup:       b.Setup + o.Setup,
 		Network:     b.Network + o.Network,
 		CopyIn:      b.CopyIn + o.CopyIn,
@@ -85,6 +89,7 @@ func (b Breakdown) Phases() []Phase {
 		{"spawn", b.Spawn},
 		{"library_init", b.LibraryInit},
 		{"runtime_init", b.RuntimeInit},
+		{"compile", b.Compile},
 		{"setup", b.Setup},
 		{"network", b.Network},
 		{"copy_in", b.CopyIn},

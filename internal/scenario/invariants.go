@@ -354,3 +354,77 @@ func (TransitionsComplete) Check(d *RunData) error {
 	}
 	return nil
 }
+
+// ScaledToZero asserts the keepalive reaper actually released idle
+// device slots during the run — the scale-to-zero half of the cold-start
+// story. A scenario that enables KeepAliveIdle but whose trace never
+// leaves a runner idle long enough exercises nothing; this makes that
+// loud. The bound is a floor, not an exact count: how many reaps land
+// depends on where sweeps fall inside idle windows, which tracks timer
+// granularity, so only "it happened at least this often" is stable
+// across machines and seeds.
+type ScaledToZero struct{ MinReaps uint64 }
+
+// Name implements Invariant.
+func (s ScaledToZero) Name() string { return fmt.Sprintf("scaled-to-zero(>=%d)", s.MinReaps) }
+
+// Check implements Invariant.
+func (s ScaledToZero) Check(d *RunData) error {
+	var reaps uint64
+	for _, st := range d.Stats {
+		reaps += st.Reaps
+	}
+	if reaps < s.MinReaps {
+		return fmt.Errorf("idle reaper released %d runners, want at least %d", reaps, s.MinReaps)
+	}
+	return nil
+}
+
+// CacheWarmed asserts the compiled-artifact cache converted repeat cold
+// starts into cached-cold boots: at least MinHits cold starts after the
+// first found their compiled kernel already cached (locally or seeded
+// from a peer host) and skipped the modeled JIT compile. Like
+// ScaledToZero this is a floor — the exact hit count depends on how
+// many scale-to-zero cycles the trace produces.
+type CacheWarmed struct{ MinHits uint64 }
+
+// Name implements Invariant.
+func (c CacheWarmed) Name() string { return fmt.Sprintf("cache-warmed(>=%d)", c.MinHits) }
+
+// Check implements Invariant.
+func (c CacheWarmed) Check(d *RunData) error {
+	var hits, misses uint64
+	for _, st := range d.Stats {
+		for _, ks := range st.PerKernel {
+			hits += ks.CacheHits
+			misses += ks.CacheMisses
+		}
+	}
+	if hits < c.MinHits {
+		return fmt.Errorf("artifact cache hit %d cold starts (missed %d), want at least %d hits", hits, misses, c.MinHits)
+	}
+	return nil
+}
+
+// PreWarmed asserts the predictive pre-warm pool booted at least Min
+// speculative runners: the arrival-rate estimator learned the trace's
+// idle gaps and spun capacity up ahead of predicted demand instead of
+// eating a cold start on it. A floor for the same reason as the other
+// two — predictions that land inside the skip window are legitimately
+// dropped, so only a minimum is portable.
+type PreWarmed struct{ Min int }
+
+// Name implements Invariant.
+func (p PreWarmed) Name() string { return fmt.Sprintf("pre-warmed(>=%d)", p.Min) }
+
+// Check implements Invariant.
+func (p PreWarmed) Check(d *RunData) error {
+	var boots int
+	for _, st := range d.Stats {
+		boots += st.PreWarms
+	}
+	if boots < p.Min {
+		return fmt.Errorf("pre-warm pool booted %d speculative runners, want at least %d", boots, p.Min)
+	}
+	return nil
+}

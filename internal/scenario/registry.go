@@ -276,4 +276,45 @@ var registry = map[string]Spec{
 			TransitionsComplete{},
 		},
 	},
+
+	"diurnal-scale-to-zero": {
+		Name: "diurnal-scale-to-zero",
+		Description: "sparse diurnal trace against scale-to-zero, the compiled-artifact cache, and predictive pre-warm; " +
+			"idle capacity is released, repeat boots skip the JIT, and no invocation is lost to the churn",
+		Transport: TransportInProcess,
+		Trace: TraceSpec{
+			// Mean inter-arrival gap (90s modeled) is 3x the keepalive
+			// window, so most gaps scale the kernel to zero and every
+			// boot after the first is a cache-hit reboot. Four diurnal
+			// periods give the pre-warm estimator dense daytime stretches
+			// to learn from and sparse nighttime stretches to predict.
+			Events: 80,
+			Arrivals: ArrivalSpec{
+				Kind:      "diurnal",
+				Mean:      90 * time.Second,
+				Amplitude: 0.5,
+				Period:    1800 * time.Second,
+			},
+			Mix: []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		// All modeled time, and every window is far above the worst-case
+		// timer granularity (a few modeled seconds at the default time
+		// scale), so reap/pre-warm/cache-hit counts clear their floors on
+		// any machine: runners idle out after 30s, sweeps land every 10s,
+		// and speculative boots fire 15s ahead of the predicted arrival.
+		KeepAliveIdle:      30 * time.Second,
+		KeepAliveSweep:     10 * time.Second,
+		PreWarmLead:        15 * time.Second,
+		ArtifactCacheBytes: 64 << 20,
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			BoundedP99{Max: 10 * time.Second},
+			ScaledToZero{MinReaps: 3},
+			CacheWarmed{MinHits: 3},
+			PreWarmed{Min: 1},
+		},
+	},
 }

@@ -12,6 +12,7 @@ import (
 
 	"kaas"
 	"kaas/internal/accel"
+	"kaas/internal/artifact"
 	"kaas/internal/client"
 	"kaas/internal/core"
 	"kaas/internal/faults"
@@ -66,6 +67,18 @@ type Spec struct {
 	// circuit breakers (0 = core defaults).
 	BreakerThreshold   int
 	BreakerOpenTimeout time.Duration
+	// KeepAliveIdle enables scale-to-zero when positive: idle runners
+	// release their device slots after this much modeled time.
+	// KeepAliveSweep is the reaper cadence (0 = idle/2).
+	KeepAliveIdle, KeepAliveSweep time.Duration
+	// PreWarmLead enables predictive pre-warming when positive: once a
+	// kernel scales to zero, a speculative runner boots this much
+	// modeled time before the predicted next arrival.
+	PreWarmLead time.Duration
+	// ArtifactCacheBytes enables the content-addressed compiled-kernel
+	// cache with this byte budget when positive, so repeat cold starts
+	// skip the modeled JIT compile (cached-cold).
+	ArtifactCacheBytes int64
 	// Retry enables client retries (tcp transports); its Seed is
 	// re-derived from the scenario seed at run time.
 	Retry *client.RetryPolicy
@@ -374,6 +387,10 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 		return nil, err
 	}
 	h.cleanup = append(h.cleanup, host.Close)
+	var cache *artifact.Cache
+	if spec.ArtifactCacheBytes > 0 {
+		cache = artifact.NewCache(spec.ArtifactCacheBytes)
+	}
 	srv, err := core.New(core.Config{
 		Clock:              clock,
 		Host:               host,
@@ -381,7 +398,13 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 		MaxQueuePerKernel:  spec.MaxQueuePerKernel,
 		BreakerThreshold:   spec.BreakerThreshold,
 		BreakerOpenTimeout: spec.BreakerOpenTimeout,
-		DisableCompute:     true,
+		KeepAlive: core.KeepAlive{
+			Idle:        spec.KeepAliveIdle,
+			SweepEvery:  spec.KeepAliveSweep,
+			PreWarmLead: spec.PreWarmLead,
+		},
+		Artifacts:      cache,
+		DisableCompute: true,
 	})
 	if err != nil {
 		h.close()
@@ -475,14 +498,24 @@ func buildCluster(spec Spec, names []string, clock vclock.Clock, scale float64) 
 	}
 	platforms := make([]*kaas.Platform, spec.Hosts)
 	for i := range platforms {
-		p, err := kaas.New(
+		opts := []kaas.Option{
 			kaas.WithTimeScale(scale),
 			kaas.WithHostName(fmt.Sprintf("host%d", i)),
 			kaas.WithAccelerators(profiles...),
 			kaas.WithAdmissionLimits(spec.MaxInFlightTotal, spec.MaxQueuePerKernel),
 			kaas.WithBreaker(spec.BreakerThreshold, spec.BreakerOpenTimeout),
 			kaas.WithoutResultComputation(),
-		)
+		}
+		if spec.KeepAliveIdle > 0 {
+			opts = append(opts, kaas.WithKeepAlive(spec.KeepAliveIdle, spec.KeepAliveSweep))
+		}
+		if spec.PreWarmLead > 0 {
+			opts = append(opts, kaas.WithPreWarm(spec.PreWarmLead))
+		}
+		if spec.ArtifactCacheBytes > 0 {
+			opts = append(opts, kaas.WithArtifactCache(spec.ArtifactCacheBytes))
+		}
+		p, err := kaas.New(opts...)
 		if err != nil {
 			h.close()
 			return nil, err

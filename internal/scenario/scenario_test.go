@@ -234,6 +234,26 @@ func TestInvariantsDetectViolations(t *testing.T) {
 		{"transitions-lost-cycle", TransitionsComplete{}, func(d *RunData) {
 			d.ObservedTransitions = 1
 		}, false},
+		{"scaled-to-zero-ok", ScaledToZero{MinReaps: 2}, func(d *RunData) {
+			d.Stats[0].Reaps = 2
+		}, true},
+		{"scaled-to-zero-never-reaped", ScaledToZero{MinReaps: 2}, func(d *RunData) {
+			d.Stats[0].Reaps = 1
+		}, false},
+		{"cache-warmed-ok", CacheWarmed{MinHits: 2}, func(d *RunData) {
+			d.Stats[0].PerKernel = map[string]core.KernelStats{
+				"mci": {CacheHits: 2, CacheMisses: 1},
+			}
+		}, true},
+		{"cache-warmed-all-misses", CacheWarmed{MinHits: 2}, func(d *RunData) {
+			d.Stats[0].PerKernel = map[string]core.KernelStats{
+				"mci": {CacheHits: 0, CacheMisses: 3},
+			}
+		}, false},
+		{"pre-warmed-ok", PreWarmed{Min: 1}, func(d *RunData) {
+			d.Stats[0].PreWarms = 1
+		}, true},
+		{"pre-warmed-never-fired", PreWarmed{Min: 1}, nil, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -201,6 +201,10 @@ type Header struct {
 	Stats json.RawMessage `json:"stats,omitempty"`
 	// ColdStart reports whether the invocation started a new runner.
 	ColdStart bool `json:"coldStart,omitempty"`
+	// CachedColdStart reports whether a cold start skipped JIT
+	// compilation because the compiled artifact was already cached.
+	// Only meaningful when ColdStart is true.
+	CachedColdStart bool `json:"cachedColdStart,omitempty"`
 	// InvocationID is the server-assigned invocation identifier returned
 	// on MsgResult. It joins the client-observed result with the server's
 	// structured log lines and metrics for that invocation.

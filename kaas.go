@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"kaas/internal/accel"
+	"kaas/internal/artifact"
 	"kaas/internal/client"
 	"kaas/internal/core"
 	"kaas/internal/kernels"
@@ -181,6 +182,9 @@ type config struct {
 	maxQueuePerKernel  int
 	breakerThreshold   int
 	breakerOpenTimeout time.Duration
+
+	artifactCacheBytes int64
+	keepAlive          core.KeepAlive
 }
 
 // clientOptions returns the client options implied by the platform
@@ -241,8 +245,45 @@ func WithPlacement(p core.PlacementPolicy) Option {
 }
 
 // WithIdleTimeout reaps task runners idle for longer than d.
+//
+// Deprecated: use WithKeepAlive, which also controls the sweep cadence.
+// WithIdleTimeout is kept as a shorthand for WithKeepAlive(d, 0).
 func WithIdleTimeout(d time.Duration) Option {
 	return func(c *config) { c.idleTimeout = d }
+}
+
+// WithKeepAlive sets the scale-to-zero policy: runners idle longer than
+// idle release their device slot (freeing the device-seconds an
+// always-warm pool would burn), checked every sweepEvery of modeled
+// time. A zero sweepEvery defaults to idle/2; a zero idle disables
+// reaping, keeping runners warm forever.
+func WithKeepAlive(idle, sweepEvery time.Duration) Option {
+	return func(c *config) {
+		c.keepAlive.Idle = idle
+		c.keepAlive.SweepEvery = sweepEvery
+	}
+}
+
+// WithPreWarm enables the predictive pre-warm pool: when a kernel scales
+// to zero, a per-kernel EWMA over its observed idle-gap lengths predicts
+// the next arrival, and one runner is booted lead of modeled time ahead
+// of it so the returning burst is served warm. Requires a keepalive
+// window (the predictor learns from the gaps the reaper observes); a
+// zero lead disables pre-warming.
+func WithPreWarm(lead time.Duration) Option {
+	return func(c *config) { c.keepAlive.PreWarmLead = lead }
+}
+
+// WithArtifactCache gives the platform a content-addressed cache of
+// compiled kernel artifacts with the given byte budget (least recently
+// used beyond it). A cold start that finds its kernel's artifact cached
+// skips JIT compilation entirely — the "cached-cold" start temperature —
+// and on a cache miss the compiled artifact is published for later boots
+// and for peer platforms in the same cluster (see NewCluster, which
+// links members' caches). A budget of zero or less disables the cache,
+// and every cold start pays the modeled compile cost.
+func WithArtifactCache(budgetBytes int64) Option {
+	return func(c *config) { c.artifactCacheBytes = budgetBytes }
 }
 
 // WithListenAddr serves the platform over TCP on the given address
@@ -340,6 +381,7 @@ type Platform struct {
 	server     *core.Server
 	tcp        *core.TCPServer
 	regions    *shm.Registry
+	artifacts  *artifact.Cache
 	clientOpts []client.Option
 }
 
@@ -362,6 +404,10 @@ func New(opts ...Option) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kaas: %w", err)
 	}
+	var artifacts *artifact.Cache
+	if cfg.artifactCacheBytes > 0 {
+		artifacts = artifact.NewCache(cfg.artifactCacheBytes)
+	}
 	server, err := core.New(core.Config{
 		Clock:                clock,
 		Host:                 host,
@@ -369,6 +415,8 @@ func New(opts ...Option) (*Platform, error) {
 		MaxRunnersPerDevice:  cfg.maxPerDevice,
 		Placement:            cfg.placement,
 		RunnerIdleTimeout:    cfg.idleTimeout,
+		KeepAlive:            cfg.keepAlive,
+		Artifacts:            artifacts,
 		MaxInFlightTotal:     cfg.maxInFlightTotal,
 		MaxQueuePerKernel:    cfg.maxQueuePerKernel,
 		BreakerThreshold:     cfg.breakerThreshold,
@@ -385,6 +433,7 @@ func New(opts ...Option) (*Platform, error) {
 		host:       host,
 		server:     server,
 		regions:    shm.NewRegistry(4 << 30),
+		artifacts:  artifacts,
 		clientOpts: cfg.clientOptions(),
 	}
 	switch {
