@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart scenario-ci scenario-json ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart bench-failover scenario-ci scenario-json ci clean
 
 all: build
 
@@ -74,6 +74,12 @@ scenario-json:
 # vs. pre-warm device-seconds comparison.
 bench-coldstart:
 	$(GO) run ./cmd/kaasbench -coldstart -seed 1 -coldstart-out BENCH_PR7.json
+
+# Regenerate the committed cluster-failover report: the steady /
+# node-kill / post-recovery ladder through the wire-backed control
+# plane, plus the retry-budget storm-suppression comparison.
+bench-failover:
+	$(GO) run ./cmd/kaasbench -failover 300 -failover-out BENCH_PR8.json
 
 ci: vet build test race fuzz scenario-ci
 

@@ -136,19 +136,34 @@ func reroutable(err error) bool {
 }
 
 // pick selects the host with the fewest cluster-routed in-flight
-// invocations among those that serve the kernel, skipping hosts already
-// tried by this invocation.
+// invocations among those that serve the kernel and could route it
+// right now (not draining or closed, with at least one eligible device
+// of the kernel's kind — a host whose every relevant breaker is open
+// would only fail the invocation, so it gets none). Hosts already tried
+// by this invocation are skipped. When no host is currently routable
+// but some still serve the kernel, the least-loaded of those is picked
+// anyway so the caller surfaces the host's own typed error (draining,
+// closed, breakers open) rather than a generic routing failure.
 func (c *Cluster) pick(name string, tried map[int]bool) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	best := -1
+	best, fallback := -1, -1
 	for i, p := range c.platforms {
 		if tried[i] || !platformServes(p, name) {
+			continue
+		}
+		if !p.server.Routable(name) {
+			if fallback == -1 || c.inflight[i] < c.inflight[fallback] {
+				fallback = i
+			}
 			continue
 		}
 		if best == -1 || c.inflight[i] < c.inflight[best] {
 			best = i
 		}
+	}
+	if best == -1 {
+		best = fallback
 	}
 	if best == -1 {
 		return -1, fmt.Errorf("kaas: no host serves kernel %q", name)

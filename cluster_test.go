@@ -182,6 +182,65 @@ func TestClusterAllHostsDownSurfacesTypedError(t *testing.T) {
 	}
 }
 
+// TestClusterSkipsBreakerOpenHost: a host whose every device of the
+// kernel's kind is excluded by an open circuit breaker must be
+// ineligible for routing — not merely failed over from after receiving
+// its least-loaded share. Before the Routable check in pick, host 0
+// kept receiving (and failing) invocations here; now its invocation
+// counter stays frozen while host 1 serves everything.
+func TestClusterSkipsBreakerOpenHost(t *testing.T) {
+	// Breaker: one failure opens, and the open timeout is hours of
+	// modeled time so it cannot half-open during the test.
+	opts := []Option{WithAccelerators(TeslaP100), WithBreaker(1, 12 * time.Hour)}
+	p0, err := New(append([]Option{WithHostName("sick")}, opts...)...)
+	if err != nil {
+		t.Fatalf("New p0: %v", err)
+	}
+	p1, err := New(append([]Option{WithHostName("healthy")}, opts...)...)
+	if err != nil {
+		t.Fatalf("New p1: %v", err)
+	}
+	c, err := NewCluster(p0, p1)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.RegisterByName("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	ctx := context.Background()
+	// Fail host 0's only GPU and invoke it directly: the failure is
+	// recorded as breaker evidence and (threshold 1) opens the breaker.
+	gpus := p0.host.DevicesByKind(GPU)
+	if len(gpus) != 1 {
+		t.Fatalf("host 0 has %d GPUs, want 1", len(gpus))
+	}
+	gpus[0].Fail()
+	if _, _, err := p0.Invoke(ctx, "mci", Params{"n": 1000}, nil); err == nil {
+		t.Fatal("Invoke on failed device succeeded")
+	}
+	// Repair the device: now only the open breaker excludes it.
+	gpus[0].Repair()
+	if p0.server.Routable("mci") {
+		t.Fatal("host 0 routable with its only GPU breaker open")
+	}
+
+	before := p0.Stats().PerKernel["mci"].Invocations
+	for i := 0; i < 6; i++ {
+		_, _, host, err := c.Invoke(ctx, "mci", Params{"n": 1000}, nil)
+		if err != nil {
+			t.Fatalf("Invoke %d: %v", i, err)
+		}
+		if host != 1 {
+			t.Errorf("invocation %d served by host %d, want 1", i, host)
+		}
+	}
+	if after := p0.Stats().PerKernel["mci"].Invocations; after != before {
+		t.Errorf("breaker-open host received %d invocations", after-before)
+	}
+}
+
 // TestClusterSharesCompiledArtifacts: a kernel JIT-compiled during a cold
 // start on one cluster member is seeded into its peers' caches, so the
 // peer's first boot of the same kernel is cached-cold — it skips

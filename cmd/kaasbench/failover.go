@@ -1,0 +1,312 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"kaas"
+	"kaas/internal/client"
+	"kaas/internal/cplane"
+	"kaas/internal/kernels"
+	"kaas/internal/metrics"
+	"kaas/internal/vclock"
+)
+
+// failoverConfig parameterizes the -failover benchmark.
+type failoverConfig struct {
+	Invocations int     // per ladder phase
+	Conc        int     // concurrent clients
+	Scale       float64 // modeled seconds per wall second
+	Out         string  // JSON report path ("" = stdout only)
+}
+
+// failoverPhase is one rung of the failover ladder: a load phase driven
+// through the cluster router, with the router's dispatch counters
+// reported as deltas over the phase.
+type failoverPhase struct {
+	Phase           string  `json:"phase"`
+	Invocations     int     `json:"invocations"`
+	OK              int     `json:"ok"`
+	Failed          int     `json:"failed"`
+	P50ms           float64 `json:"p50_ms"`
+	P99ms           float64 `json:"p99_ms"`
+	Dispatches      uint64  `json:"dispatches"`
+	Redispatches    uint64  `json:"redispatches"`
+	FailedOver      uint64  `json:"failed_over"`
+	BudgetExhausted uint64  `json:"budget_exhausted"`
+	Unroutable      uint64  `json:"unroutable"`
+}
+
+// stormSide is one arm of the retry-budget storm comparison: the same
+// offered retry load with and without a shared budget.
+type stormSide struct {
+	Retries         uint64  `json:"retries"`
+	ConnErrors      uint64  `json:"conn_errors"`
+	BudgetExhausted uint64  `json:"budget_exhausted,omitempty"`
+	Capacity        float64 `json:"capacity,omitempty"`
+	Ratio           float64 `json:"ratio,omitempty"`
+}
+
+// stormReport compares the aggregate retry volume a fleet of clients
+// fires at a dead address with and without a shared retry budget.
+type stormReport struct {
+	Clients              int       `json:"clients"`
+	InvocationsPerClient int       `json:"invocations_per_client"`
+	PolicyMaxAttempts    int       `json:"policy_max_attempts"`
+	WithoutBudget        stormSide `json:"without_budget"`
+	WithBudget           stormSide `json:"with_budget"`
+	SuppressionFactor    float64   `json:"suppression_factor"`
+}
+
+// failoverReport is the JSON document -failover-out writes.
+type failoverReport struct {
+	Scale  float64         `json:"scale"`
+	Hosts  int             `json:"hosts"`
+	Conc   int             `json:"concurrency"`
+	Ladder []failoverPhase `json:"ladder"`
+	Storm  stormReport     `json:"storm"`
+}
+
+// runFailover measures the cluster control plane's headline behavior:
+// a three-rung ladder (steady load on three nodes, the same load with
+// one node killed abruptly at the halfway mark, then post-recovery load
+// on the surviving pair) driven through the gossip-fed router, followed
+// by the retry-budget storm-suppression comparison. The run fails if
+// steady or recovery load loses an invocation, or if the node kill
+// completes without a single successful failover.
+func runFailover(w io.Writer, cfg failoverConfig) error {
+	const hosts = 3
+	clock := vclock.Scaled(cfg.Scale)
+
+	platforms := make([]*kaas.Platform, hosts)
+	var seeds []string
+	for i := range platforms {
+		p, err := kaas.New(
+			kaas.WithTimeScale(cfg.Scale),
+			kaas.WithHostName(fmt.Sprintf("node%d", i)),
+			kaas.WithAccelerators(kaas.TeslaP100, kaas.TeslaP100),
+			kaas.WithoutResultComputation(),
+			kaas.WithListenAddr("127.0.0.1:0"),
+			kaas.WithClusterNode(fmt.Sprintf("node%d", i), seeds...),
+		)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		platforms[i] = p
+		seeds = append(seeds, p.Addr())
+	}
+
+	obs := cplane.NewNode(cplane.Config{Name: "bench-router", Clock: clock})
+	defer obs.Close()
+	for _, p := range platforms {
+		obs.Join(p.Addr())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := obs.WaitMembers(ctx, hosts); err != nil {
+		return err
+	}
+	router := cplane.NewRouter(cplane.RouterConfig{
+		Node:       obs,
+		Budget:     client.NewRetryBudget(64, 0.5),
+		Idempotent: true, // mci is a pure function of its parameters
+	})
+	defer router.Close()
+	if err := router.Register(ctx, "mci"); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "failover ladder: %d nodes, %d invocations/phase at concurrency %d (scale %.0fx)\n",
+		hosts, cfg.Invocations, cfg.Conc, cfg.Scale)
+
+	report := &failoverReport{Scale: cfg.Scale, Hosts: hosts, Conc: cfg.Conc}
+	phases := []struct {
+		name    string
+		midway  func()
+		minOK   int
+		minFail uint64 // minimum FailedOver delta
+	}{
+		{"steady", nil, cfg.Invocations, 0},
+		{"node-kill", func() { platforms[hosts-1].Close() }, 0, 1},
+		{"post-recovery", nil, cfg.Invocations, 0},
+	}
+	for _, ph := range phases {
+		res := runFailoverPhase(router, cfg, ph.name, ph.midway)
+		report.Ladder = append(report.Ladder, res)
+		fmt.Fprintf(w, "  %-14s ok=%d/%d  p50=%.2fms p99=%.2fms  redispatches=%d failed-over=%d budget-exhausted=%d\n",
+			ph.name, res.OK, res.Invocations, res.P50ms, res.P99ms,
+			res.Redispatches, res.FailedOver, res.BudgetExhausted)
+		if res.OK < ph.minOK {
+			return fmt.Errorf("failover: phase %s completed %d of %d invocations", ph.name, res.OK, res.Invocations)
+		}
+		if res.FailedOver < ph.minFail {
+			return fmt.Errorf("failover: phase %s saw no successful cross-host failover", ph.name)
+		}
+	}
+
+	storm, err := runRetryStorm(cfg.Conc)
+	if err != nil {
+		return err
+	}
+	report.Storm = *storm
+	fmt.Fprintf(w, "retry storm vs one dead address (%d clients x %d invocations, %d attempts/policy):\n",
+		storm.Clients, storm.InvocationsPerClient, storm.PolicyMaxAttempts)
+	fmt.Fprintf(w, "  without budget: %d retries\n", storm.WithoutBudget.Retries)
+	fmt.Fprintf(w, "  with budget:    %d retries (capacity %.0f, ratio %.1f, exhausted %d times)\n",
+		storm.WithBudget.Retries, storm.WithBudget.Capacity, storm.WithBudget.Ratio, storm.WithBudget.BudgetExhausted)
+	fmt.Fprintf(w, "  suppression:    %.1fx fewer retries\n", storm.SuppressionFactor)
+
+	if cfg.Out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", cfg.Out, err)
+		}
+	}
+	return nil
+}
+
+// runFailoverPhase drives one ladder rung: Invocations calls through
+// the router at Conc concurrency, firing midway (when set) once half
+// the calls have been issued.
+func runFailoverPhase(router *cplane.Router, cfg failoverConfig, name string, midway func()) failoverPhase {
+	before := router.Stats()
+	var (
+		mu       sync.Mutex
+		lat      metrics.Sample
+		ok, fail int
+		once     sync.Once
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	conc := cfg.Conc
+	if conc < 1 {
+		conc = 1
+	}
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				_, err := router.Invoke(context.Background(), "mci", kernels.Params{"n": 1e9}, nil)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					fail++
+				} else {
+					ok++
+					lat.AddDuration(d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Invocations; i++ {
+		if midway != nil && i == cfg.Invocations/2 {
+			once.Do(midway)
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	after := router.Stats()
+	ms := func(p float64) float64 { return lat.Percentile(p) * 1e3 }
+	return failoverPhase{
+		Phase:           name,
+		Invocations:     cfg.Invocations,
+		OK:              ok,
+		Failed:          fail,
+		P50ms:           ms(50),
+		P99ms:           ms(99),
+		Dispatches:      after.Dispatches - before.Dispatches,
+		Redispatches:    after.Redispatches - before.Redispatches,
+		FailedOver:      after.FailedOver - before.FailedOver,
+		BudgetExhausted: after.BudgetExhausted - before.BudgetExhausted,
+		Unroutable:      after.Unroutable - before.Unroutable,
+	}
+}
+
+// runRetryStorm fires a fleet of clients at an address that refuses
+// connections — every invocation fails and walks its full retry ladder
+// — once without a budget and once sharing one small budget, and
+// reports the aggregate retry volume of both arms.
+func runRetryStorm(clients int) (*stormReport, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	const (
+		perClient   = 10
+		maxAttempts = 6
+		capacity    = 8
+		ratio       = 0.1
+	)
+	policy := client.RetryPolicy{MaxAttempts: maxAttempts, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond}
+
+	run := func(budget *client.RetryBudget) (stormSide, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return stormSide{}, err
+		}
+		addr := ln.Addr().String()
+		ln.Close() // the port now refuses connections
+		var side stormSide
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				opts := []client.Option{client.WithRetryPolicy(policy)}
+				if budget != nil {
+					opts = append(opts, client.WithRetryBudget(budget))
+				}
+				c := client.Dial(addr, opts...)
+				defer c.Close()
+				for j := 0; j < perClient; j++ {
+					c.InvokeContext(context.Background(), "mci", nil, nil)
+				}
+				m := c.Metrics()
+				mu.Lock()
+				side.Retries += m.Retries
+				side.ConnErrors += m.ConnErrors
+				side.BudgetExhausted += m.BudgetExhausted
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return side, nil
+	}
+
+	without, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	with, err := run(client.NewRetryBudget(capacity, ratio))
+	if err != nil {
+		return nil, err
+	}
+	with.Capacity = capacity
+	with.Ratio = ratio
+	report := &stormReport{
+		Clients:              clients,
+		InvocationsPerClient: perClient,
+		PolicyMaxAttempts:    maxAttempts,
+		WithoutBudget:        without,
+		WithBudget:           with,
+	}
+	if with.Retries > 0 {
+		report.SuppressionFactor = float64(without.Retries) / float64(with.Retries)
+	}
+	return report, nil
+}

@@ -11,6 +11,7 @@
 //	kaasbench -loadgen 200 -loadgen-conc 8 n=1000    # latency percentiles
 //	kaasbench -loadgen 100 -server 127.0.0.1:7070    # against a running kaasd
 //	kaasbench -overload 400 -overload-conc 64        # admission + breaker report
+//	kaasbench -failover 300 -failover-out BENCH_PR8.json   # cluster failover ladder
 //	kaasbench -scenario list                         # named replay/chaos scenarios
 //	kaasbench -scenario all -seed 1                  # full matrix against its invariants
 //	kaasbench -scenario chaos-flap -scenario-out out.json
@@ -85,6 +86,9 @@ func run(args []string) error {
 	sweepProfile := fs.String("sweep-cpuprofile", "", "write a pprof CPU profile per -sweep cell with this path prefix")
 	coldstart := fs.Bool("coldstart", false, "measure the cold/cached-cold/warm temperature ladder and the diurnal scale-to-zero device-seconds tradeoff")
 	coldstartOut := fs.String("coldstart-out", "", "write the -coldstart report as JSON to this file")
+	failover := fs.Int("failover", 0, "run the cross-host failover ladder (steady / node-kill / post-recovery) with this many invocations per phase, plus the retry-budget storm comparison (0 = off)")
+	failoverConc := fs.Int("failover-conc", 16, "concurrent clients for -failover")
+	failoverOut := fs.String("failover-out", "", "write the -failover report as JSON to this file")
 	scenarioName := fs.String("scenario", "", "run a named replay/chaos scenario against its invariants (a name, all, or list)")
 	seed := fs.Int64("seed", 1, "scenario seed: same seed, same trace, same chaos, same verdict lines")
 	scenarioOut := fs.String("scenario-out", "", "write the -scenario results (with diagnostics) as JSON to this file")
@@ -95,6 +99,15 @@ func run(args []string) error {
 
 	if *scenarioName != "" {
 		return runScenario(os.Stdout, *scenarioName, *seed, *scale, *scenarioTrace, *scenarioOut)
+	}
+
+	if *failover > 0 {
+		return runFailover(os.Stdout, failoverConfig{
+			Invocations: *failover,
+			Conc:        *failoverConc,
+			Scale:       *scale,
+			Out:         *failoverOut,
+		})
 	}
 
 	if *coldstart {

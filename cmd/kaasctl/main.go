@@ -9,6 +9,7 @@
 //	kaasctl -server 127.0.0.1:7070 list
 //	kaasctl -server 127.0.0.1:7070 stats
 //	kaasctl -server 127.0.0.1:7070 stats -v   # per-kernel p50/p95/p99 + device tables
+//	kaasctl -server 127.0.0.1:7070 cluster status   # membership + gossiped health
 //	kaasctl simulate circuit.qasm       # local quantum-circuit simulation
 //
 // -timeout bounds each call (deadline propagated to the server; 0 waits
@@ -30,6 +31,7 @@ import (
 
 	"kaas/internal/client"
 	"kaas/internal/core"
+	"kaas/internal/cplane"
 	"kaas/internal/kernels"
 	"kaas/internal/qsim"
 )
@@ -51,7 +53,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: kaasctl [-server addr] [-timeout d] [-retries n] <register|invoke|list|stats> ...")
+		return fmt.Errorf("usage: kaasctl [-server addr] [-timeout d] [-retries n] <register|invoke|list|stats|cluster> ...")
 	}
 
 	var copts []client.Option
@@ -143,6 +145,24 @@ func run(args []string) error {
 		fmt.Println(string(out))
 		return nil
 
+	case "cluster":
+		if len(rest) != 2 || rest[1] != "status" {
+			return fmt.Errorf("usage: kaasctl cluster status")
+		}
+		body, err := json.Marshal(cplane.Envelope{Type: cplane.ControlStatus})
+		if err != nil {
+			return err
+		}
+		reply, err := c.ControlContext(ctx, body)
+		if err != nil {
+			return err
+		}
+		var status cplane.Status
+		if err := json.Unmarshal(reply, &status); err != nil {
+			return fmt.Errorf("decoding cluster status: %w", err)
+		}
+		return printClusterStatus(os.Stdout, &status)
+
 	case "kernels":
 		// Offline helper: list the built-in kernel library.
 		for _, k := range kernels.Suite() {
@@ -200,6 +220,52 @@ func simulate(path string) error {
 		fmt.Printf("  ... %d more states\n", len(outcomes)-limit)
 	}
 	return nil
+}
+
+// printClusterStatus renders a node's membership view as a table: one
+// row per member with liveness, drain state, load, shed rate, open
+// breakers, and the kernels the member serves.
+func printClusterStatus(w io.Writer, st *cplane.Status) error {
+	fmt.Fprintf(w, "cluster view of node %s (%d members)\n\n", st.Node, len(st.Members))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tADDR\tSTATE\tBEATS\tDOWN/UP\tINFLIGHT\tSHED/S\tBREAKERS\tKERNELS")
+	for _, m := range st.Members {
+		state := "down"
+		switch {
+		case m.Self:
+			state = "self"
+		case m.Alive && m.Draining:
+			state = "draining"
+		case m.Alive:
+			state = "alive"
+		}
+		breakers := "-"
+		if n := countBreakers(m.OpenBreakers); n > 0 {
+			breakers = fmt.Sprintf("%d open", n)
+		}
+		kernels := "-"
+		if len(m.Kernels) > 0 {
+			names := append([]string(nil), m.Kernels...)
+			sort.Strings(names)
+			kernels = strings.Join(names, ",")
+		}
+		addr := m.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d/%d\t%d\t%.2f\t%s\t%s\n",
+			m.Node, addr, state, m.Beats, m.Downs, m.Ups, m.InFlight, m.ShedRate, breakers, kernels)
+	}
+	return tw.Flush()
+}
+
+// countBreakers totals a member's per-kind open-breaker counts.
+func countBreakers(open map[string]int) int {
+	n := 0
+	for _, c := range open {
+		n += c
+	}
+	return n
 }
 
 // printVerboseStats renders the server's per-kernel latency distributions

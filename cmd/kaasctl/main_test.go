@@ -71,6 +71,33 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLIClusterStatus drives `kaasctl cluster status` against a
+// platform serving as a single-node cluster, and checks the error paths:
+// bad subcommands and a server that is not a cluster node.
+func TestCLIClusterStatus(t *testing.T) {
+	p, err := kaas.New(
+		kaas.WithAccelerators(kaas.TeslaP100),
+		kaas.WithListenAddr("127.0.0.1:0"),
+		kaas.WithClusterNode("solo"),
+	)
+	if err != nil {
+		t.Fatalf("kaas.New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	if err := run([]string{"-server", p.Addr(), "cluster", "status"}); err != nil {
+		t.Errorf("cluster status: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-server", p.Addr(), "cluster"},
+		{"-server", p.Addr(), "cluster", "frobnicate"},
+		{"-server", startServer(t), "cluster", "status"}, // not a cluster node
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run %v succeeded, want error", args)
+		}
+	}
+}
+
 func TestCLITimeoutAndRetries(t *testing.T) {
 	addr := startServer(t)
 	steps := [][]string{

@@ -5,6 +5,12 @@
 //
 //	kaasd -listen 127.0.0.1:7070 -gpus 4 -fpgas 1 -scale 1
 //	kaasd -listen 127.0.0.1:7070 -metrics 127.0.0.1:9090
+//	kaasd -listen 127.0.0.1:7071 -node-name b -join 127.0.0.1:7070
+//
+// With -node-name the daemon joins the wire-backed cluster control
+// plane: it heartbeats the -join seeds (and any peers it learns from
+// them), gossips its health summary, adopts kernels registered on
+// peers, and answers `kaasctl cluster status`.
 //
 // With -scale 1 the device cost models run in real time; larger scales
 // compress modeled time for demonstrations. With -metrics the server
@@ -24,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +61,10 @@ func run(args []string, ready ...chan<- string) error {
 	artifactCache := fs.Int64("artifact-cache-bytes", 0, "compiled-kernel artifact cache budget in bytes (0 = no cache)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight invocations (0 = exit immediately)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics over HTTP on this address (e.g. 127.0.0.1:9090)")
+	nodeName := fs.String("node-name", "", "join the wire-backed cluster control plane under this node name")
+	join := fs.String("join", "", "comma-separated peer addresses to seed cluster membership (requires -node-name)")
+	heartbeat := fs.Duration("heartbeat", 0, "cluster heartbeat interval per peer (0 = default 1s); modeled time")
+	suspectAfter := fs.Int("suspect-after", 0, "consecutive heartbeat misses that mark a peer down (0 = default 2)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
 	maxConnStreams := fs.Int("max-conn-streams", 0, "max in-flight streams per multiplexed connection (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +99,21 @@ func run(args []string, ready ...chan<- string) error {
 	}
 	if *maxConnStreams > 0 {
 		popts = append(popts, kaas.WithMuxStreams(*maxConnStreams))
+	}
+	if *join != "" && *nodeName == "" {
+		return fmt.Errorf("-join requires -node-name")
+	}
+	if *nodeName != "" {
+		var peers []string
+		for _, p := range strings.Split(*join, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		popts = append(popts, kaas.WithClusterNode(*nodeName, peers...))
+		if *heartbeat > 0 || *suspectAfter > 0 {
+			popts = append(popts, kaas.WithClusterHeartbeat(*heartbeat, *suspectAfter))
+		}
 	}
 	p, err := kaas.New(popts...)
 	if err != nil {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"syscall"
 	"testing"
 	"time"
 
 	"kaas/internal/client"
+	"kaas/internal/cplane"
 	"kaas/internal/kernels"
 )
 
@@ -19,6 +22,92 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunBadListenAddr(t *testing.T) {
 	if err := run([]string{"-listen", "256.256.256.256:99999"}); err == nil {
 		t.Error("bad listen address succeeded")
+	}
+}
+
+func TestRunJoinRequiresNodeName(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0", "-join", "127.0.0.1:1"}); err == nil {
+		t.Error("-join without -node-name succeeded")
+	}
+}
+
+// TestClusterJoinGossipAndStatus boots two daemons, joins the second to
+// the first, and requires membership to converge, a kernel registered on
+// one node to be adopted by the other via gossip, and the control-plane
+// status query to see both members alive. One SIGTERM stops both
+// daemons (each run registers its own signal channel).
+func TestClusterJoinGossipAndStatus(t *testing.T) {
+	start := func(args ...string) (string, chan error) {
+		t.Helper()
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run(append([]string{
+				"-listen", "127.0.0.1:0",
+				"-gpus", "1", "-fpgas", "0",
+				"-scale", "1000",
+			}, args...), ready)
+		}()
+		select {
+		case addr := <-ready:
+			return addr, done
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never came up")
+			return "", nil
+		}
+	}
+	addrA, doneA := start("-node-name", "alpha")
+	addrB, doneB := start("-node-name", "beta", "-join", addrA)
+
+	ca := client.Dial(addrA)
+	defer ca.Close()
+	cb := client.Dial(addrB)
+	defer cb.Close()
+	if err := ca.Register("mci"); err != nil {
+		t.Fatalf("register on alpha: %v", err)
+	}
+
+	// Gossip must carry the registration to beta and converge the
+	// membership view to two live members.
+	deadline := time.Now().Add(10 * time.Second)
+	adopted, converged := false, false
+	for time.Now().Before(deadline) && !(adopted && converged) {
+		if names, err := cb.List(); err == nil {
+			for _, n := range names {
+				if n == "mci" {
+					adopted = true
+				}
+			}
+		}
+		if body, err := json.Marshal(cplane.Envelope{Type: cplane.ControlStatus}); err == nil {
+			if reply, err := cb.ControlContext(context.Background(), body); err == nil {
+				var status cplane.Status
+				if json.Unmarshal(reply, &status) == nil && len(status.Members) == 2 {
+					converged = status.Members[0].Alive && status.Members[1].Alive
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !adopted {
+		t.Error("beta never adopted the kernel registered on alpha")
+	}
+	if !converged {
+		t.Error("cluster status never showed two live members")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	for name, done := range map[string]chan error{"alpha": doneA, "beta": doneB} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s: run: %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s did not exit on SIGTERM", name)
+		}
 	}
 }
 

@@ -106,6 +106,14 @@ func WithMux(conns int) Option {
 	}
 }
 
+// WithRetryBudget attaches a cross-invocation retry budget: retries are
+// only attempted while the shared token bucket has tokens, so a dead
+// server cannot trigger a synchronized retry storm from every caller.
+// The same budget may be shared by many clients.
+func WithRetryBudget(b *RetryBudget) Option {
+	return func(c *Client) { c.budget = b }
+}
+
 // Metrics is a snapshot of the client's reliability counters.
 type Metrics struct {
 	// Attempts counts round-trip attempts, including retries.
@@ -119,15 +127,19 @@ type Metrics struct {
 	ConnErrors uint64
 	// RemoteErrors counts server-reported (never retried) failures.
 	RemoteErrors uint64
+	// BudgetExhausted counts retries this client skipped because the
+	// shared retry budget was empty (zero without WithRetryBudget).
+	BudgetExhausted uint64
 }
 
 // clientMetrics is the atomic backing store for Metrics.
 type clientMetrics struct {
-	attempts     atomic.Uint64
-	retries      atomic.Uint64
-	staleConns   atomic.Uint64
-	connErrors   atomic.Uint64
-	remoteErrors atomic.Uint64
+	attempts        atomic.Uint64
+	retries         atomic.Uint64
+	staleConns      atomic.Uint64
+	connErrors      atomic.Uint64
+	remoteErrors    atomic.Uint64
+	budgetExhausted atomic.Uint64
 }
 
 // Client talks to a KaaS server. It is safe for concurrent use: by
@@ -140,6 +152,7 @@ type Client struct {
 	regions  *shm.Registry
 	timeout  time.Duration
 	retry    RetryPolicy
+	budget   *RetryBudget
 	muxConns int
 
 	mux         *muxPool
@@ -172,11 +185,12 @@ func Dial(addr string, opts ...Option) *Client {
 // Metrics returns a snapshot of the client's reliability counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Attempts:     c.metrics.attempts.Load(),
-		Retries:      c.metrics.retries.Load(),
-		StaleConns:   c.metrics.staleConns.Load(),
-		ConnErrors:   c.metrics.connErrors.Load(),
-		RemoteErrors: c.metrics.remoteErrors.Load(),
+		Attempts:        c.metrics.attempts.Load(),
+		Retries:         c.metrics.retries.Load(),
+		StaleConns:      c.metrics.staleConns.Load(),
+		ConnErrors:      c.metrics.connErrors.Load(),
+		RemoteErrors:    c.metrics.remoteErrors.Load(),
+		BudgetExhausted: c.metrics.budgetExhausted.Load(),
 	}
 }
 
@@ -261,6 +275,13 @@ func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Messag
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if c.budget != nil && !c.budget.Spend() {
+				// The shared budget is empty: every caller is already
+				// retrying, and one more synchronized retry only deepens
+				// the storm. Fail with the last real error.
+				c.metrics.budgetExhausted.Add(1)
+				break
+			}
 			if !c.backoff(ctx, attempt) {
 				// The remaining deadline cannot cover the backoff (or the
 				// context was cancelled outright): give the caller the
@@ -272,6 +293,9 @@ func (c *Client) roundTrip(ctx context.Context, msg *wire.Message) (*wire.Messag
 		}
 		reply, err := c.attempt(ctx, msg)
 		if err == nil {
+			if c.budget != nil {
+				c.budget.Credit()
+			}
 			return reply, nil
 		}
 		var re *RemoteError
@@ -557,6 +581,22 @@ func (c *Client) invoke(ctx context.Context, msg *wire.Message) (*Result, error)
 		res.Data = data
 	}
 	return res, nil
+}
+
+// ControlContext performs one cluster control-plane round trip: payload
+// rides a MsgControl frame and the peer's MsgControlAck body is
+// returned. The cplane package uses it for heartbeat gossip; kaasctl
+// uses it for cluster status. Servers without a control plane answer
+// with a RemoteError.
+func (c *Client) ControlContext(ctx context.Context, payload []byte) ([]byte, error) {
+	reply, err := c.roundTrip(ctx, &wire.Message{Type: wire.MsgControl, Body: payload})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != wire.MsgControlAck {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return reply.Body, nil
 }
 
 // List returns the kernel names registered on the server.

@@ -112,6 +112,14 @@ func isConnError(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// IsConnFailure reports whether err (from any Client call) is a
+// connection-level failure — the request may never have reached a
+// healthy server, but equally may have executed before the connection
+// died. Cluster routing uses this ambiguity to decide whether
+// re-dispatching to a peer is safe: only idempotent work may be
+// re-dispatched after a connection failure.
+func IsConnFailure(err error) bool { return isConnError(err) }
+
 // asConnError classifies a raw transport failure, wrapping it so the
 // retry loop can recognize it. Errors that prove the server processed the
 // request (RemoteError) or that retrying cannot fix (ErrClosed, context

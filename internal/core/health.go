@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"kaas/internal/breaker"
+)
+
+// KindHealth summarizes routable capacity for one device kind.
+type KindHealth struct {
+	// Devices counts devices of this kind on the host.
+	Devices int `json:"devices"`
+	// Eligible counts devices placement may currently use: not failed
+	// and with a breaker that would admit a request.
+	Eligible int `json:"eligible"`
+	// OpenBreakers counts devices whose breaker is open (excluded from
+	// placement until the open timeout elapses).
+	OpenBreakers int `json:"openBreakers"`
+}
+
+// Health is the compact, routing-oriented view of a server. The cluster
+// control plane gossips it between nodes so peers can skip hosts that
+// are draining, closed, or have no eligible device for a kernel's kind.
+type Health struct {
+	// Draining reports a graceful shutdown in progress.
+	Draining bool `json:"draining,omitempty"`
+	// Closed reports the server no longer accepts work.
+	Closed bool `json:"closed,omitempty"`
+	// InFlight counts admitted invocations currently executing.
+	InFlight int `json:"inFlight"`
+	// Shed counts admission-control rejections since startup.
+	Shed uint64 `json:"shed"`
+	// Kinds maps device-kind name to its capacity summary.
+	Kinds map[string]KindHealth `json:"kinds,omitempty"`
+	// Kernels lists the registered kernel names, sorted.
+	Kernels []string `json:"kernels,omitempty"`
+}
+
+// Health returns the server's current routing-oriented health summary.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Draining: s.draining,
+		Closed:   s.closed,
+		InFlight: s.inFlight,
+		Kinds:    make(map[string]KindHealth),
+	}
+	for _, d := range s.cfg.Host.Devices() {
+		kind := d.Kind().String()
+		kh := h.Kinds[kind]
+		kh.Devices++
+		if s.deviceEligibleLocked(d) {
+			kh.Eligible++
+		}
+		if s.breakers != nil && s.breakers.State(d.ID()) == breaker.Open {
+			kh.OpenBreakers++
+		}
+		h.Kinds[kind] = kh
+	}
+	h.Kernels = make([]string, 0, len(s.entries))
+	for name, e := range s.entries {
+		h.Kernels = append(h.Kernels, name)
+		h.Shed += s.kernelMet(e).shedTotal()
+	}
+	sort.Strings(h.Kernels)
+	return h
+}
+
+// Routable reports whether an invocation of the named kernel could be
+// admitted and placed right now: the kernel is registered, the server
+// is accepting work, and at least one device of the kernel's kind is
+// eligible (not failed, breaker closed or ready to probe). Cluster
+// routing uses it to skip hosts that could only fail the invocation —
+// notably a host whose every device breaker for the kind is open.
+func (s *Server) Routable(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		return false
+	}
+	for _, d := range s.cfg.Host.DevicesByKind(e.kernel.Kind()) {
+		if s.deviceEligibleLocked(d) {
+			return true
+		}
+	}
+	return false
+}

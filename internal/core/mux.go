@@ -114,6 +114,8 @@ func (s *muxSession) readLoop() {
 			}})
 		case wire.MsgStats:
 			s.serveStats(msg)
+		case wire.MsgControl:
+			s.serveControl(msg)
 		default:
 			s.sendErr(msg.Header.StreamID, fmt.Errorf("unexpected message type %s", msg.Type))
 		}
@@ -278,6 +280,24 @@ func (s *muxSession) serveRegister(msg *wire.Message) {
 		Kernel:   msg.Header.Kernel,
 		StreamID: msg.Header.StreamID,
 	}})
+}
+
+// serveControl handles a cluster control-plane frame inline (heartbeats
+// are small, cheap, and must not queue behind invocation streams).
+func (s *muxSession) serveControl(msg *wire.Message) {
+	h := s.t.controlHandler()
+	if h == nil {
+		s.sendErr(msg.Header.StreamID, errors.New("cluster control plane not enabled"))
+		return
+	}
+	resp, err := h(msg.Body)
+	if err != nil {
+		s.sendErr(msg.Header.StreamID, err)
+		return
+	}
+	s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgControlAck, Header: wire.Header{
+		StreamID: msg.Header.StreamID,
+	}, Body: resp})
 }
 
 // serveStats handles a stats frame inline.

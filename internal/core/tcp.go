@@ -61,7 +61,28 @@ type TCPServer struct {
 	draining     bool
 	closed       bool
 	streamsLimit int
+	control      ControlHandler
 	wg           sync.WaitGroup
+}
+
+// ControlHandler serves cluster control-plane frames (MsgControl): it
+// receives the request payload and returns the reply payload carried on
+// MsgControlAck. A returned error reaches the peer as MsgError.
+type ControlHandler func(payload []byte) ([]byte, error)
+
+// SetControlHandler installs the cluster control-plane handler. With no
+// handler installed, MsgControl frames are answered with an error, which
+// lets a joining node discover that a peer is not clustered.
+func (t *TCPServer) SetControlHandler(h ControlHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.control = h
+}
+
+func (t *TCPServer) controlHandler() ControlHandler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.control
 }
 
 // SetMaxConnStreams bounds how many concurrent streams one multiplexed
@@ -327,6 +348,16 @@ func (t *TCPServer) dispatch(sc *serverConn, msg *wire.Message) bool {
 			Type:   wire.MsgStatsResult,
 			Header: wire.Header{Stats: stats},
 		})
+	case wire.MsgControl:
+		h := t.controlHandler()
+		if h == nil {
+			return t.replyErr(sc, errors.New("cluster control plane not enabled"))
+		}
+		resp, err := h(msg.Body)
+		if err != nil {
+			return t.replyErr(sc, err)
+		}
+		return t.reply(sc, &wire.Message{Type: wire.MsgControlAck, Body: resp})
 	default:
 		return t.replyErr(sc, fmt.Errorf("unexpected message type %s", msg.Type))
 	}

@@ -1,0 +1,389 @@
+package cplane_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaas"
+	"kaas/internal/client"
+	"kaas/internal/cplane"
+	"kaas/internal/vclock"
+	"kaas/internal/wire"
+)
+
+// fakePeer is a minimal wire endpoint that answers MsgControl frames
+// with its own gossip — or, while muted, with an error — so heartbeat
+// outcomes can be scripted without a real server.
+type fakePeer struct {
+	ln    net.Listener
+	name  string
+	muted atomic.Bool
+	seq   atomic.Uint64
+}
+
+func newFakePeer(t *testing.T, name string) *fakePeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	f := &fakePeer{ln: ln, name: name}
+	go f.serve()
+	t.Cleanup(func() { ln.Close() })
+	return f
+}
+
+func (f *fakePeer) addr() string { return f.ln.Addr().String() }
+
+func (f *fakePeer) serve() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				msg, err := wire.Read(conn)
+				if err != nil {
+					return
+				}
+				if msg.Type != wire.MsgControl || f.muted.Load() {
+					wire.Write(conn, &wire.Message{Type: wire.MsgError, Header: wire.Header{
+						Error: "muted", Code: wire.CodeInternal,
+					}})
+					continue
+				}
+				body, _ := json.Marshal(&cplane.Gossip{
+					Node: f.name, Addr: f.addr(), Seq: f.seq.Add(1),
+				})
+				wire.Write(conn, &wire.Message{Type: wire.MsgControlAck, Body: body})
+			}
+		}()
+	}
+}
+
+// waitFor polls cond until it holds or the wall deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// peerRow finds the membership row for the given address.
+func peerRow(n *cplane.Node, addr string) (cplane.Member, bool) {
+	for _, m := range n.Members() {
+		if m.Addr == addr {
+			return m, true
+		}
+	}
+	return cplane.Member{}, false
+}
+
+// TestHeartbeatFlapExactlyOnce drives a peer through miss/resume cycles
+// on a manual clock and asserts the node records exactly one transition
+// per state change: down once when SuspectAfter misses accumulate (no
+// per-miss thrash), up once when heartbeats resume.
+func TestHeartbeatFlapExactlyOnce(t *testing.T) {
+	fake := newFakePeer(t, "flappy")
+	clock := vclock.NewManual(time.Unix(0, 0))
+	n := cplane.NewNode(cplane.Config{
+		Name:           "observer",
+		Clock:          clock,
+		HeartbeatEvery: time.Second,
+		SuspectAfter:   2,
+	})
+	t.Cleanup(n.Close)
+
+	// Join fires the first beat immediately (no clock advance needed).
+	// Member.Beats increments only after the next beat's timer is armed,
+	// so once it ticks, one clock advance fires exactly one more beat —
+	// the stepping below is deterministic.
+	n.Join(fake.addr())
+	row := func() cplane.Member {
+		m, ok := peerRow(n, fake.addr())
+		if !ok {
+			t.Fatal("peer missing from membership view")
+		}
+		return m
+	}
+	waitFor(t, "initial beat", func() bool { return row().Beats >= 1 })
+	if m := row(); !m.Alive || m.Ups != 1 {
+		t.Fatalf("after admission: alive=%v ups=%d, want alive with 1 up", m.Alive, m.Ups)
+	}
+
+	beatOnce := func() {
+		t.Helper()
+		before := row().Beats
+		clock.Advance(time.Second)
+		waitFor(t, "heartbeat cycle", func() bool { return row().Beats == before+1 })
+	}
+
+	fake.muted.Store(true)
+	beatOnce() // miss 1: suspect, but no transition yet
+	if m := row(); !m.Alive || m.Downs != 0 {
+		t.Fatalf("after one miss: alive=%v downs=%d, want alive with 0 downs", m.Alive, m.Downs)
+	}
+	beatOnce() // miss 2 = SuspectAfter: exactly one down transition
+	if m := row(); m.Alive || m.Downs != 1 {
+		t.Fatalf("after two misses: alive=%v downs=%d, want down with 1 transition", m.Alive, m.Downs)
+	}
+	beatOnce() // misses 3 and 4: already down, no further transitions
+	beatOnce()
+	if m := row(); m.Downs != 1 || m.Ups != 1 {
+		t.Fatalf("after repeated misses: downs=%d ups=%d, want exactly 1/1", m.Downs, m.Ups)
+	}
+
+	fake.muted.Store(false)
+	beatOnce() // resume: exactly one up transition
+	if m := row(); !m.Alive || m.Ups != 2 {
+		t.Fatalf("after resume: alive=%v ups=%d, want re-admitted once", m.Alive, m.Ups)
+	}
+	beatOnce() // still alive: no further transitions
+	beatOnce()
+	if m := row(); m.Downs != 1 || m.Ups != 2 {
+		t.Fatalf("after flap settled: downs=%d ups=%d, want exactly 1/2", m.Downs, m.Ups)
+	}
+}
+
+// TestReportUnreachableSingleTransition: a router-reported failure marks
+// the peer down exactly once, repeated reports add nothing, and the next
+// successful heartbeat re-admits it.
+func TestReportUnreachableSingleTransition(t *testing.T) {
+	fake := newFakePeer(t, "gone")
+	clock := vclock.NewManual(time.Unix(0, 0))
+	n := cplane.NewNode(cplane.Config{Name: "observer", Clock: clock, HeartbeatEvery: time.Second})
+	t.Cleanup(n.Close)
+	n.Join(fake.addr())
+	row := func() cplane.Member {
+		m, _ := peerRow(n, fake.addr())
+		return m
+	}
+	waitFor(t, "admission", func() bool { return row().Beats >= 1 })
+
+	n.ReportUnreachable(fake.addr())
+	n.ReportUnreachable(fake.addr())
+	if m := row(); m.Alive || m.Downs != 1 {
+		t.Fatalf("after ReportUnreachable x2: alive=%v downs=%d, want down with 1 transition", m.Alive, m.Downs)
+	}
+	// Heartbeats still answer, so the next beat re-admits the peer.
+	before := row().Beats
+	clock.Advance(time.Second)
+	waitFor(t, "re-admission", func() bool { return row().Beats == before+1 })
+	if m := row(); !m.Alive || m.Ups != 2 || m.Downs != 1 {
+		t.Fatalf("after heartbeat resumes: alive=%v ups=%d downs=%d, want alive 2/1", m.Alive, m.Ups, m.Downs)
+	}
+}
+
+// newClusterNode builds a wire-serving platform joined to the given seed
+// peers.
+func newClusterNode(t *testing.T, name string, peers ...string) *kaas.Platform {
+	t.Helper()
+	p, err := kaas.New(
+		kaas.WithHostName(name),
+		kaas.WithAccelerators(kaas.TeslaP100),
+		kaas.WithTimeScale(2000),
+		kaas.WithListenAddr("127.0.0.1:0"),
+		kaas.WithClusterNode(name, peers...),
+	)
+	if err != nil {
+		t.Fatalf("New %s: %v", name, err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestGossipConvergesMembershipAndKernels: three nodes joined in a chain
+// (c→b→a) converge to a full mesh through gossiped peer lists, and a
+// kernel registered on one node propagates to all of them.
+func TestGossipConvergesMembershipAndKernels(t *testing.T) {
+	a := newClusterNode(t, "node-a")
+	b := newClusterNode(t, "node-b", a.Addr())
+	c := newClusterNode(t, "node-c", b.Addr())
+
+	for _, p := range []*kaas.Platform{a, b, c} {
+		p := p
+		waitFor(t, "full mesh on "+p.ClusterNode().Name(), func() bool {
+			alive := 0
+			for _, m := range p.ClusterNode().Members() {
+				if !m.Self && m.Alive {
+					alive++
+				}
+			}
+			return alive == 2
+		})
+	}
+
+	if err := a.RegisterByName("mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for _, p := range []*kaas.Platform{b, c} {
+		p := p
+		waitFor(t, "kernel propagation to "+p.ClusterNode().Name(), func() bool {
+			for _, name := range p.Kernels() {
+				if name == "mci" {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// The status envelope answers over the wire too (the kaasctl path).
+	cl, err := a.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cl.Close()
+	payload, _ := json.Marshal(&cplane.Envelope{Type: cplane.ControlStatus})
+	body, err := cl.ControlContext(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("ControlContext: %v", err)
+	}
+	var st cplane.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if st.Node != "node-a" || len(st.Members) != 3 {
+		t.Fatalf("status = node %q with %d members, want node-a with 3", st.Node, len(st.Members))
+	}
+	if !st.Members[0].Self {
+		t.Error("status does not list self first")
+	}
+}
+
+// TestRouterFailsOverOnNodeDeath: an observer-backed router re-dispatches
+// an invocation that hits a freshly killed node to a live peer, marks the
+// dead node unreachable, and counts the failover.
+func TestRouterFailsOverOnNodeDeath(t *testing.T) {
+	a := newClusterNode(t, "node-a")
+	b := newClusterNode(t, "node-b", a.Addr())
+
+	obs := cplane.NewNode(cplane.Config{Name: "router"})
+	t.Cleanup(obs.Close)
+	obs.Join(a.Addr())
+	obs.Join(b.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := obs.WaitMembers(ctx, 2); err != nil {
+		t.Fatalf("WaitMembers: %v", err)
+	}
+
+	budget := client.NewRetryBudget(8, 0.5)
+	r := cplane.NewRouter(cplane.RouterConfig{Node: obs, Budget: budget, Idempotent: true})
+	t.Cleanup(r.Close)
+	if err := r.Register(ctx, "mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := r.Invoke(ctx, "mci", kaas.Params{"n": 1000}, nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+
+	// Kill node-a abruptly. Ties break by name, so with equal load the
+	// router picks node-a first, observes the connection failure, and
+	// must fail over to node-b.
+	a.Close()
+	res, err := r.Invoke(ctx, "mci", kaas.Params{"n": 1000}, nil)
+	if err != nil {
+		t.Fatalf("Invoke after kill: %v", err)
+	}
+	if res == nil || res.Values["estimate"] == 0 {
+		t.Error("failover result missing")
+	}
+	st := r.Stats()
+	if st.FailedOver < 1 || st.Redispatches < 1 {
+		t.Errorf("router stats = %+v, want at least one failover", st)
+	}
+	if m, ok := peerRow(obs, a.Addr()); !ok || m.Alive {
+		t.Error("dead node still alive in membership view")
+	}
+
+	// Subsequent invocations skip the dead node outright: no further
+	// re-dispatches accrue.
+	before := r.Stats().Redispatches
+	for i := 0; i < 3; i++ {
+		if _, err := r.Invoke(ctx, "mci", kaas.Params{"n": 1000}, nil); err != nil {
+			t.Fatalf("Invoke %d after down-mark: %v", i, err)
+		}
+	}
+	if after := r.Stats().Redispatches; after != before {
+		t.Errorf("%d re-dispatches against a known-dead node", after-before)
+	}
+}
+
+// TestRouterSkipsDrainingNode: invocations keep succeeding across a
+// graceful drain — either the drain state has gossiped (the node is
+// skipped) or the race surfaces a typed UNAVAILABLE that re-dispatches
+// to the survivor.
+func TestRouterSkipsDrainingNode(t *testing.T) {
+	a := newClusterNode(t, "node-a")
+	b := newClusterNode(t, "node-b", a.Addr())
+
+	obs := cplane.NewNode(cplane.Config{Name: "router"})
+	t.Cleanup(obs.Close)
+	obs.Join(a.Addr())
+	obs.Join(b.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := obs.WaitMembers(ctx, 2); err != nil {
+		t.Fatalf("WaitMembers: %v", err)
+	}
+	r := cplane.NewRouter(cplane.RouterConfig{Node: obs, Idempotent: true})
+	t.Cleanup(r.Close)
+	if err := r.Register(ctx, "mci"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Invoke(ctx, "mci", kaas.Params{"n": 1000}, nil); err != nil {
+			t.Fatalf("Invoke %d during drain: %v", i, err)
+		}
+	}
+}
+
+// TestRouterUnknownKernel surfaces a terminal error instead of spinning
+// across members.
+func TestRouterUnknownKernel(t *testing.T) {
+	a := newClusterNode(t, "node-a")
+	obs := cplane.NewNode(cplane.Config{Name: "router"})
+	t.Cleanup(obs.Close)
+	obs.Join(a.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := obs.WaitMembers(ctx, 1); err != nil {
+		t.Fatalf("WaitMembers: %v", err)
+	}
+	r := cplane.NewRouter(cplane.RouterConfig{Node: obs})
+	t.Cleanup(r.Close)
+	if _, err := r.Invoke(ctx, "ghost", nil, nil); err == nil {
+		t.Fatal("unknown kernel succeeded")
+	}
+}
+
+// TestControlHandlerRejectsGarbage: malformed control payloads produce
+// typed errors, not panics.
+func TestControlHandlerRejectsGarbage(t *testing.T) {
+	n := cplane.NewNode(cplane.Config{Name: "n"})
+	t.Cleanup(n.Close)
+	if _, err := n.HandleControl([]byte("not json")); err == nil {
+		t.Error("garbage payload accepted")
+	}
+	if _, err := n.HandleControl([]byte(`{"type":"nope"}`)); err == nil {
+		t.Error("unknown control type accepted")
+	}
+	if _, err := n.HandleControl([]byte(`{"type":"gossip"}`)); err == nil {
+		t.Error("gossip without payload accepted")
+	}
+}

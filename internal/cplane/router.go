@@ -1,0 +1,281 @@
+package cplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kaas/internal/client"
+	"kaas/internal/kernels"
+	"kaas/internal/wire"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Node supplies the membership and health view the router routes
+	// on: a serving cluster node, or an observer Node (empty Addr, nil
+	// Local) joined to the cluster from the client side.
+	Node *Node
+	// Budget is the shared cross-host re-dispatch budget. Every
+	// failover spends one token, every success credits tokens back;
+	// when the bucket is empty failovers stop and the last error
+	// surfaces. Nil means unbounded.
+	Budget *client.RetryBudget
+	// Idempotent declares the routed workload safe to re-dispatch after
+	// a connection-level failure, where the dead node may or may not
+	// have executed the request. Typed pre-execution errors
+	// (OVERLOADED, UNAVAILABLE) re-dispatch regardless.
+	Idempotent bool
+	// DialOptions are applied to the clients the router opens to
+	// members.
+	DialOptions []client.Option
+}
+
+// RouterStats is a snapshot of the router's dispatch counters.
+type RouterStats struct {
+	// Dispatches counts invocations routed (first attempts).
+	Dispatches uint64 `json:"dispatches"`
+	// Redispatches counts cross-host failover attempts.
+	Redispatches uint64 `json:"redispatches"`
+	// FailedOver counts invocations that succeeded on a node other than
+	// the one first picked.
+	FailedOver uint64 `json:"failedOver"`
+	// BudgetExhausted counts failovers skipped because the shared retry
+	// budget was empty.
+	BudgetExhausted uint64 `json:"budgetExhausted"`
+	// Unroutable counts invocations that found no eligible node.
+	Unroutable uint64 `json:"unroutable"`
+}
+
+// Router dispatches invocations across the cluster using the health
+// view its Node gossips: it picks the least-loaded node that is alive,
+// not draining, serves the kernel, and has an eligible device of the
+// kernel's kind, and fails retryable typed errors over to the next
+// healthy peer under the shared retry budget.
+type Router struct {
+	cfg RouterConfig
+
+	dispatches      atomic.Uint64
+	redispatches    atomic.Uint64
+	failedOver      atomic.Uint64
+	budgetExhausted atomic.Uint64
+	unroutable      atomic.Uint64
+
+	mu       sync.Mutex
+	clients  map[string]*client.Client
+	inflight map[string]int
+	closed   bool
+}
+
+// NewRouter creates a router over the node's membership view.
+func NewRouter(cfg RouterConfig) *Router {
+	return &Router{
+		cfg:      cfg,
+		clients:  make(map[string]*client.Client),
+		inflight: make(map[string]int),
+	}
+}
+
+// Close closes the router's member clients. The underlying Node is not
+// closed; it may outlive the router.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	clients := make([]*client.Client, 0, len(r.clients))
+	for _, c := range r.clients {
+		clients = append(clients, c)
+	}
+	r.clients = make(map[string]*client.Client)
+	r.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// Stats returns a snapshot of the router's dispatch counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Dispatches:      r.dispatches.Load(),
+		Redispatches:    r.redispatches.Load(),
+		FailedOver:      r.failedOver.Load(),
+		BudgetExhausted: r.budgetExhausted.Load(),
+		Unroutable:      r.unroutable.Load(),
+	}
+}
+
+// Register registers a library kernel on every live member, so a
+// subsequent Invoke can land anywhere. Gossip then keeps late joiners
+// in sync. It succeeds when at least one member accepted the
+// registration.
+func (r *Router) Register(ctx context.Context, kernel string) error {
+	var ok int
+	var lastErr error
+	for _, m := range r.cfg.Node.Members() {
+		if m.Addr == "" || !m.Alive {
+			continue
+		}
+		if err := r.clientFor(m.Addr).RegisterContext(ctx, kernel); err != nil {
+			lastErr = fmt.Errorf("cplane: register %q on %s: %w", kernel, m.Node, err)
+			continue
+		}
+		r.cfg.Node.noteKernel(m.Addr, kernel)
+		ok++
+	}
+	if ok == 0 {
+		if lastErr != nil {
+			return lastErr
+		}
+		return fmt.Errorf("cplane: register %q: no live members", kernel)
+	}
+	return nil
+}
+
+// Invoke dispatches one invocation, failing over across members until
+// it succeeds, the candidates run out, or the retry budget does.
+func (r *Router) Invoke(ctx context.Context, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
+	kind := kindOf(kernel)
+	tried := make(map[string]bool)
+	var lastErr error
+	for hop := 0; ; hop++ {
+		m, ok := r.pick(kernel, kind, tried)
+		if !ok {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			r.unroutable.Add(1)
+			return nil, fmt.Errorf("cplane: no live node serves kernel %q", kernel)
+		}
+		if hop == 0 {
+			r.dispatches.Add(1)
+		} else {
+			if r.cfg.Budget != nil && !r.cfg.Budget.Spend() {
+				r.budgetExhausted.Add(1)
+				return nil, lastErr
+			}
+			r.redispatches.Add(1)
+		}
+		tried[m.Addr] = true
+		res, err := r.dispatch(ctx, m.Addr, kernel, params, data)
+		if err == nil {
+			if r.cfg.Budget != nil {
+				r.cfg.Budget.Credit()
+			}
+			if hop > 0 {
+				r.failedOver.Add(1)
+			}
+			return res, nil
+		}
+		lastErr = fmt.Errorf("cplane: node %s: %w", m.Node, err)
+		if client.IsConnFailure(err) {
+			// The node vanished mid-request: mark it down now rather
+			// than waiting for missed heartbeats, so sibling
+			// invocations stop picking it.
+			r.cfg.Node.ReportUnreachable(m.Addr)
+		}
+		if ctx.Err() != nil || !r.redispatchable(err) {
+			return nil, lastErr
+		}
+	}
+}
+
+// dispatch runs one attempt on the member at addr, tracking per-member
+// in-flight load for the least-loaded pick.
+func (r *Router) dispatch(ctx context.Context, addr, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
+	c := r.clientFor(addr)
+	r.addInflight(addr, 1)
+	defer r.addInflight(addr, -1)
+	return c.InvokeContext(ctx, kernel, params, data)
+}
+
+// redispatchable decides whether a failed attempt may move to another
+// node. Typed OVERLOADED and UNAVAILABLE errors are always safe: the
+// server reported them before executing the kernel. A connection-level
+// failure is ambiguous — the request may have executed on the node that
+// died — so it re-dispatches only for workloads declared idempotent.
+// Everything else (deadline expiry, unknown kernel, internal errors)
+// fails in place.
+func (r *Router) redispatchable(err error) bool {
+	var re *client.RemoteError
+	if errors.As(err, &re) {
+		return re.Code == wire.CodeOverloaded || re.Code == wire.CodeUnavailable
+	}
+	return r.cfg.Idempotent && client.IsConnFailure(err)
+}
+
+// pick selects the untried member with the least router-local in-flight
+// load among those that are alive, not draining, serve the kernel, and
+// have an eligible device of its kind. Ties break by node name so
+// routing is deterministic.
+func (r *Router) pick(kernel, kind string, tried map[string]bool) (Member, bool) {
+	members := r.cfg.Node.Members()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := -1
+	bestLoad := 0
+	for i, m := range members {
+		if m.Addr == "" || tried[m.Addr] || !m.Alive || m.Draining {
+			continue
+		}
+		if !containsString(m.Kernels, kernel) {
+			continue
+		}
+		if kind != "" && m.Eligible[kind] == 0 {
+			continue
+		}
+		load := r.inflight[m.Addr]
+		if best == -1 || load < bestLoad ||
+			(load == bestLoad && m.Node < members[best].Node) {
+			best, bestLoad = i, load
+		}
+	}
+	if best == -1 {
+		return Member{}, false
+	}
+	return members[best], true
+}
+
+// clientFor returns (creating on first use) the shared client for one
+// member address.
+func (r *Router) clientFor(addr string) *client.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.clients[addr]
+	if c == nil {
+		c = client.Dial(addr, r.cfg.DialOptions...)
+		if r.closed {
+			c.Close()
+		} else {
+			r.clients[addr] = c
+		}
+	}
+	return c
+}
+
+// addInflight adjusts the router-local in-flight count for addr.
+func (r *Router) addInflight(addr string, delta int) {
+	r.mu.Lock()
+	r.inflight[addr] += delta
+	r.mu.Unlock()
+}
+
+// kindOf resolves a library kernel's device kind name, or "" for
+// kernels the library does not know (eligibility is then not checked).
+func kindOf(kernel string) string {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return ""
+	}
+	return k.Kind().String()
+}
+
+// containsString reports whether list contains s.
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -31,8 +31,13 @@ type Chaos struct {
 	ConnKills *ConnKillSpec `json:"conn_kills,omitempty"`
 	// Drain gracefully drains the server mid-load (inproc transport).
 	Drain *DrainSpec `json:"drain,omitempty"`
-	// HostDown shuts one cluster host down mid-load (cluster transport).
+	// HostDown shuts one cluster host down mid-load (cluster and nodes
+	// transports).
 	HostDown *HostDownSpec `json:"host_down,omitempty"`
+	// NodeKill abruptly kills one cluster node mid-load (nodes
+	// transport): no drain, no goodbye — connections die mid-request,
+	// the way a real node death looks to its peers.
+	NodeKill *NodeKillSpec `json:"node_kill,omitempty"`
 }
 
 // Transitions returns the total scripted fault-transition count the
@@ -56,6 +61,9 @@ func (c Chaos) Transitions() int {
 		n++
 	}
 	if c.HostDown != nil {
+		n++
+	}
+	if c.NodeKill != nil {
 		n++
 	}
 	return n
@@ -120,6 +128,17 @@ type HostDownSpec struct {
 	Timeout    time.Duration `json:"timeout"`
 }
 
+// NodeKillSpec kills cluster node Node abruptly once the replay has
+// issued AfterEvent invocations (and At of modeled time has passed).
+// Unlike HostDownSpec there is no drain and no timeout: the node's
+// connections are cut with requests in flight, and the control plane
+// must detect the death and re-route around it.
+type NodeKillSpec struct {
+	Node       int           `json:"node"`
+	AfterEvent int           `json:"after_event,omitempty"`
+	At         time.Duration `json:"at,omitempty"`
+}
+
 // chaosEnv is what the injectors act on; the transport setup in Run
 // fills in whichever targets exist for the chosen transport.
 type chaosEnv struct {
@@ -134,6 +153,8 @@ type chaosEnv struct {
 	drain func(context.Context) error
 	// hostDown shuts down one cluster host.
 	hostDown func(ctx context.Context, host int) error
+	// nodeKill abruptly kills one cluster node (nodes transport).
+	nodeKill func(node int) error
 	// issued reports how many invocations the replay has dispatched so
 	// far — the anchor for AfterEvent triggers.
 	issued func() int
@@ -151,6 +172,7 @@ type chaosRun struct {
 	drained   bool
 	killsDone int
 	linkSwaps int
+	nodeKills int
 	errs      []error
 }
 
@@ -292,6 +314,26 @@ func (c Chaos) start(ctx context.Context, env *chaosEnv, seed int64) (*chaosRun,
 			run.mu.Unlock()
 		}()
 	}
+	if c.NodeKill != nil {
+		if env.nodeKill == nil {
+			return nil, errSpec("node-kill chaos needs the nodes transport")
+		}
+		spec := *c.NodeKill
+		run.wg.Add(1)
+		go func() {
+			defer run.wg.Done()
+			if !waitEvents(ctx, env, spec.AfterEvent) || !waitModeled(ctx, env.clock, spec.At) {
+				return
+			}
+			if err := env.nodeKill(spec.Node); err != nil {
+				run.record(err)
+				return
+			}
+			run.mu.Lock()
+			run.nodeKills++
+			run.mu.Unlock()
+		}()
+	}
 	return run, nil
 }
 
@@ -316,7 +358,7 @@ func (r *chaosRun) swapLink() {
 func (r *chaosRun) transitions() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := r.killsDone + r.linkSwaps
+	n := r.killsDone + r.linkSwaps + r.nodeKills
 	for _, f := range r.flappers {
 		fails, repairs := f.Cycles()
 		n += fails + repairs

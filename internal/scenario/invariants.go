@@ -11,6 +11,7 @@ import (
 	"kaas/internal/accel"
 	"kaas/internal/client"
 	"kaas/internal/core"
+	"kaas/internal/cplane"
 	"kaas/internal/wire"
 )
 
@@ -112,6 +113,9 @@ type RunData struct {
 	// is its result.
 	Drained  bool
 	DrainErr error
+	// Failover is the cluster router's dispatch-counter snapshot (nodes
+	// transport only, nil elsewhere).
+	Failover *cplane.RouterStats
 }
 
 // p99 returns the 99th-percentile latency of the OK records (0 if none).
@@ -241,6 +245,55 @@ func (m MinSuccess) Check(d *RunData) error {
 	if got < m.Fraction {
 		return fmt.Errorf("success rate %.1f%% (%d/%d) below the %.1f%% floor",
 			100*got, d.Counts[OutcomeOK], d.Issued, 100*m.Fraction)
+	}
+	return nil
+}
+
+// MinSuccessExclShed asserts that at least Fraction of the invocations
+// admission control did not shed ended in success. Failover scenarios
+// use it: shedding displaced load with the typed OVERLOADED contract is
+// legitimate back-pressure, but work the cluster accepted must land —
+// losing it to a dead node is exactly the failure the control plane
+// exists to mask.
+type MinSuccessExclShed struct{ Fraction float64 }
+
+// Name implements Invariant.
+func (m MinSuccessExclShed) Name() string {
+	return fmt.Sprintf("min-success-excl-shed(%.0f%%)", 100*m.Fraction)
+}
+
+// Check implements Invariant.
+func (m MinSuccessExclShed) Check(d *RunData) error {
+	admitted := d.Issued - d.Counts[OutcomeShed]
+	if admitted <= 0 {
+		return fmt.Errorf("no invocations admitted (%d issued, all shed)", d.Issued)
+	}
+	got := float64(d.Counts[OutcomeOK]) / float64(admitted)
+	if got < m.Fraction {
+		return fmt.Errorf("success rate %.1f%% (%d ok of %d admitted) below the %.1f%% floor",
+			100*got, d.Counts[OutcomeOK], admitted, 100*m.Fraction)
+	}
+	return nil
+}
+
+// FailedOver asserts the cluster router actually moved work between
+// nodes at least Min times. A node-kill scenario where nothing failed
+// over proves nothing — either the kill missed the load or the router
+// never re-dispatched — so the headline claim ("survives node death
+// mid-load") is only earned when this holds alongside the success floor.
+type FailedOver struct{ Min uint64 }
+
+// Name implements Invariant.
+func (f FailedOver) Name() string { return fmt.Sprintf("failed-over(>=%d)", f.Min) }
+
+// Check implements Invariant.
+func (f FailedOver) Check(d *RunData) error {
+	if d.Failover == nil {
+		return fmt.Errorf("no router failover stats recorded (invariant needs the nodes transport)")
+	}
+	if d.Failover.FailedOver < f.Min {
+		return fmt.Errorf("router failed over %d invocations, want at least %d (redispatches %d, budget exhausted %d)",
+			d.Failover.FailedOver, f.Min, d.Failover.Redispatches, d.Failover.BudgetExhausted)
 	}
 	return nil
 }

@@ -277,6 +277,59 @@ var registry = map[string]Spec{
 		},
 	},
 
+	"node-kill-midload": {
+		Name: "node-kill-midload",
+		Description: "three wire-joined kaasd nodes under sustained load; one is killed abruptly at peak — the control plane " +
+			"must detect the death, fail in-flight work over, and keep routing around the corpse",
+		Transport: TransportNodes,
+		Hosts:     3,
+		GPUs:      2,
+		Trace: TraceSpec{
+			Events:   600,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 10 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		Chaos: Chaos{
+			// Event-anchored at the halfway point so the kill lands with
+			// requests in flight on the dying node, whatever the machine
+			// speed.
+			NodeKill: &NodeKillSpec{Node: 2, AfterEvent: 300},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			MinSuccessExclShed{Fraction: 0.99},
+			BoundedP99{Max: 10 * time.Second},
+			FailedOver{Min: 1},
+			TransitionsComplete{},
+		},
+	},
+
+	"node-drain-handoff": {
+		Name: "node-drain-handoff",
+		Description: "two wire-joined kaasd nodes; one drains gracefully mid-load — gossip broadcasts the drain, routing hands " +
+			"off to the survivor, and no caller ever sees an error",
+		Transport: TransportNodes,
+		Hosts:     2,
+		GPUs:      2,
+		Trace: TraceSpec{
+			Events:   400,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 15 * time.Millisecond},
+			Mix:      []KernelMix{{Kernel: "mci", Weight: 1, MinN: 5e8, MaxN: 2e9}},
+		},
+		Chaos: Chaos{
+			HostDown: &HostDownSpec{Host: 0, AfterEvent: 200, Timeout: 20 * time.Second},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK}},
+			MinSuccess{Fraction: 1},
+			DrainClean{},
+			TransitionsComplete{},
+		},
+	},
+
 	"diurnal-scale-to-zero": {
 		Name: "diurnal-scale-to-zero",
 		Description: "sparse diurnal trace against scale-to-zero, the compiled-artifact cache, and predictive pre-warm; " +

@@ -15,6 +15,7 @@ import (
 	"kaas/internal/artifact"
 	"kaas/internal/client"
 	"kaas/internal/core"
+	"kaas/internal/cplane"
 	"kaas/internal/faults"
 	"kaas/internal/kernels"
 	"kaas/internal/netshape"
@@ -41,6 +42,11 @@ const (
 	TransportShaped Transport = "shaped"
 	// TransportCluster invokes through a federated multi-host Cluster.
 	TransportCluster Transport = "cluster"
+	// TransportNodes invokes through the wire-backed cluster control
+	// plane: Hosts kaasd platforms joined into one gossip cluster, with a
+	// cplane.Router dispatching over the wire and failing work over
+	// across nodes under a shared retry budget.
+	TransportNodes Transport = "nodes"
 )
 
 // Spec is a complete scenario: the workload, the platform shape, the
@@ -82,6 +88,11 @@ type Spec struct {
 	// Retry enables client retries (tcp transports); its Seed is
 	// re-derived from the scenario seed at run time.
 	Retry *client.RetryPolicy
+	// RetryBudgetCapacity and RetryBudgetRatio shape the shared
+	// cross-host retry budget of the nodes transport (0 = a generous
+	// 256-token bucket refilled at half a token per success — wide enough
+	// that legitimate failover is never clipped, finite so a storm is).
+	RetryBudgetCapacity, RetryBudgetRatio float64
 	// MuxConns is the mux pool size (mux transport, default 4).
 	MuxConns int
 	// BaseLink is the healthy link profile (shaped transport).
@@ -144,12 +155,13 @@ type Result struct {
 	Verdicts            []Verdict `json:"verdicts"`
 	Passed              bool      `json:"passed"`
 
-	Issued              int                `json:"issued"`
-	Counts              map[string]int     `json:"counts"`
-	ObservedTransitions int                `json:"observed_transitions"`
-	BreakerTransitions  uint64             `json:"breaker_transitions"`
-	LatencyMS           map[string]float64 `json:"latency_ms,omitempty"`
-	WallMS              float64            `json:"wall_ms"`
+	Issued              int                 `json:"issued"`
+	Counts              map[string]int      `json:"counts"`
+	ObservedTransitions int                 `json:"observed_transitions"`
+	BreakerTransitions  uint64              `json:"breaker_transitions"`
+	Failover            *cplane.RouterStats `json:"failover,omitempty"`
+	LatencyMS           map[string]float64  `json:"latency_ms,omitempty"`
+	WallMS              float64             `json:"wall_ms"`
 }
 
 // DeterministicLines renders the reproducible output surface: everything
@@ -194,10 +206,13 @@ func kernelNames(t Trace) []string {
 // harness is an assembled transport: an invoke function plus the chaos
 // targets and teardown for whatever was built.
 type harness struct {
-	invoke  func(ctx context.Context, e Event) error
-	env     *chaosEnv
-	stats   func() []core.Stats
-	cleanup []func()
+	invoke func(ctx context.Context, e Event) error
+	env    *chaosEnv
+	stats  func() []core.Stats
+	// failover snapshots the cluster router's dispatch counters (nodes
+	// transport only, nil elsewhere).
+	failover func() cplane.RouterStats
+	cleanup  []func()
 }
 
 func (h *harness) close() {
@@ -292,6 +307,10 @@ func RunTrace(ctx context.Context, spec Spec, trace Trace, seed int64, scale flo
 		Drained:             chaos.drained,
 		DrainErr:            chaos.drainErr,
 	}
+	if h.failover != nil {
+		fs := h.failover()
+		data.Failover = &fs
+	}
 	sort.Slice(data.Records, func(i, j int) bool { return data.Records[i].Index < data.Records[j].Index })
 	for _, r := range data.Records {
 		data.Counts[r.Outcome]++
@@ -315,6 +334,7 @@ func RunTrace(ctx context.Context, spec Spec, trace Trace, seed int64, scale flo
 		Counts:              map[string]int{},
 		ObservedTransitions: data.ObservedTransitions,
 		BreakerTransitions:  data.BreakerTransitions,
+		Failover:            data.Failover,
 		WallMS:              float64(wall) / float64(time.Millisecond),
 	}
 	for out, n := range data.Counts {
@@ -365,6 +385,8 @@ func buildHarness(spec Spec, trace Trace, clock vclock.Clock, seed int64, scale 
 	switch spec.Transport {
 	case TransportCluster:
 		return buildCluster(spec, names, clock, scale)
+	case TransportNodes:
+		return buildNodes(spec, names, clock, scale)
 	case TransportInProcess, TransportTCP, TransportMux, TransportShaped:
 		return buildServer(spec, names, clock, seed)
 	default:
@@ -546,6 +568,109 @@ func buildCluster(spec Spec, names []string, clock vclock.Clock, scale float64) 
 	h.stats = func() []core.Stats { return cluster.Stats() }
 	h.invoke = func(ctx context.Context, e Event) error {
 		_, _, _, err := cluster.Invoke(ctx, e.Kernel, kaas.Params{"n": e.N}, make([]byte, e.Payload))
+		return err
+	}
+	return h, nil
+}
+
+// buildNodes assembles the wire-backed cluster transport: Hosts kaasd
+// platforms joined into one gossip cluster over MsgControl frames, an
+// observer control-plane node tracking their health from the client
+// side, and a cplane.Router dispatching every invocation over the wire
+// with cross-host failover under a shared retry budget. Node-kill chaos
+// closes a platform abruptly (connections die mid-request); host-down
+// chaos drains one gracefully.
+func buildNodes(spec Spec, names []string, clock vclock.Clock, scale float64) (*harness, error) {
+	h := &harness{}
+	profiles := make([]kaas.DeviceProfile, spec.GPUs)
+	for i := range profiles {
+		profiles[i] = kaas.TeslaP100
+	}
+	platforms := make([]*kaas.Platform, spec.Hosts)
+	var seeds []string
+	for i := range platforms {
+		opts := []kaas.Option{
+			kaas.WithTimeScale(scale),
+			kaas.WithHostName(fmt.Sprintf("node%d", i)),
+			kaas.WithAccelerators(profiles...),
+			kaas.WithAdmissionLimits(spec.MaxInFlightTotal, spec.MaxQueuePerKernel),
+			kaas.WithBreaker(spec.BreakerThreshold, spec.BreakerOpenTimeout),
+			kaas.WithoutResultComputation(),
+			kaas.WithListenAddr("127.0.0.1:0"),
+			// Every node seeds from the ones before it; gossip converges
+			// the rest of the mesh.
+			kaas.WithClusterNode(fmt.Sprintf("node%d", i), seeds...),
+		}
+		p, err := kaas.New(opts...)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		platforms[i] = p
+		h.cleanup = append(h.cleanup, p.Close)
+		seeds = append(seeds, p.Addr())
+	}
+
+	obs := cplane.NewNode(cplane.Config{Name: "bench-router", Clock: clock})
+	h.cleanup = append(h.cleanup, obs.Close)
+	for _, p := range platforms {
+		obs.Join(p.Addr())
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := obs.WaitMembers(wctx, spec.Hosts); err != nil {
+		h.close()
+		return nil, err
+	}
+
+	capacity, ratio := spec.RetryBudgetCapacity, spec.RetryBudgetRatio
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if ratio <= 0 {
+		ratio = 0.5
+	}
+	router := cplane.NewRouter(cplane.RouterConfig{
+		Node:   obs,
+		Budget: client.NewRetryBudget(capacity, ratio),
+		// The scenario kernels are pure functions of their parameters, so
+		// re-dispatching after an ambiguous connection failure is safe.
+		Idempotent: true,
+	})
+	h.cleanup = append(h.cleanup, router.Close)
+	for _, name := range names {
+		if err := router.Register(wctx, name); err != nil {
+			h.close()
+			return nil, err
+		}
+	}
+
+	h.env = &chaosEnv{
+		clock: clock,
+		nodeKill: func(node int) error {
+			if node < 0 || node >= len(platforms) {
+				return errSpec("node-kill node %d out of range (cluster has %d)", node, len(platforms))
+			}
+			platforms[node].Close()
+			return nil
+		},
+		hostDown: func(ctx context.Context, host int) error {
+			if host < 0 || host >= len(platforms) {
+				return errSpec("host-down host %d out of range (cluster has %d)", host, len(platforms))
+			}
+			return platforms[host].Shutdown(ctx)
+		},
+	}
+	h.stats = func() []core.Stats {
+		out := make([]core.Stats, len(platforms))
+		for i, p := range platforms {
+			out[i] = p.Stats()
+		}
+		return out
+	}
+	h.failover = router.Stats
+	h.invoke = func(ctx context.Context, e Event) error {
+		_, err := router.Invoke(ctx, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
 		return err
 	}
 	return h, nil

@@ -11,6 +11,7 @@ import (
 	"kaas/internal/accel"
 	"kaas/internal/client"
 	"kaas/internal/core"
+	"kaas/internal/cplane"
 	"kaas/internal/wire"
 )
 
@@ -206,6 +207,18 @@ func TestInvariantsDetectViolations(t *testing.T) {
 		{"outcomes-disallowed", OutcomesIn{Allowed: []Outcome{OutcomeOK}}, nil, false},
 		{"min-success-ok", MinSuccess{Fraction: 0.75}, nil, true},
 		{"min-success-below-floor", MinSuccess{Fraction: 0.8}, nil, false},
+		{"min-success-excl-shed-ok", MinSuccessExclShed{Fraction: 0.99}, nil, true},
+		{"min-success-excl-shed-hard-failures", MinSuccessExclShed{Fraction: 0.99}, func(d *RunData) {
+			d.Records[3] = Record{Index: 3, Outcome: OutcomeUnavailable, Err: "unavailable"}
+			d.Counts = map[Outcome]int{OutcomeOK: 3, OutcomeUnavailable: 1}
+		}, false},
+		{"failed-over-ok", FailedOver{Min: 1}, func(d *RunData) {
+			d.Failover = &cplane.RouterStats{Dispatches: 4, Redispatches: 1, FailedOver: 1}
+		}, true},
+		{"failed-over-no-stats", FailedOver{Min: 1}, nil, false},
+		{"failed-over-never-fired", FailedOver{Min: 1}, func(d *RunData) {
+			d.Failover = &cplane.RouterStats{Dispatches: 4}
+		}, false},
 		{"p99-ok", BoundedP99{Max: time.Second}, nil, true},
 		{"p99-stall", BoundedP99{Max: time.Second}, func(d *RunData) {
 			d.Records[2].Latency = time.Minute

@@ -101,6 +101,15 @@ const (
 	// cancelled invocation still produces a (best-effort, usually
 	// discarded) error reply on its stream.
 	MsgCancel
+	// MsgControl carries a cluster control-plane request (heartbeat
+	// gossip, membership status) as an opaque JSON body. The wire layer
+	// does not interpret the payload; servers without a control plane
+	// answer MsgError, which a joining node treats as "peer not
+	// clustered".
+	MsgControl
+	// MsgControlAck returns the control-plane reply payload for a
+	// MsgControl request.
+	MsgControlAck
 )
 
 // String returns the message type name.
@@ -130,6 +139,10 @@ func (t MsgType) String() string {
 		return "hello-ack"
 	case MsgCancel:
 		return "cancel"
+	case MsgControl:
+		return "control"
+	case MsgControlAck:
+		return "control-ack"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}

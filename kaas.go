@@ -37,6 +37,7 @@ import (
 	"kaas/internal/artifact"
 	"kaas/internal/client"
 	"kaas/internal/core"
+	"kaas/internal/cplane"
 	"kaas/internal/kernels"
 	"kaas/internal/netshape"
 	"kaas/internal/shm"
@@ -185,6 +186,11 @@ type config struct {
 
 	artifactCacheBytes int64
 	keepAlive          core.KeepAlive
+
+	clusterName    string
+	clusterPeers   []string
+	clusterBeat    time.Duration
+	clusterSuspect int
 }
 
 // clientOptions returns the client options implied by the platform
@@ -361,6 +367,32 @@ func WithBreaker(threshold int, openTimeout time.Duration) Option {
 	}
 }
 
+// WithClusterNode joins this platform's TCP endpoint to the wire-backed
+// cluster control plane as the named node, seeded with the given peer
+// addresses. The node heartbeats its peers on the modeled clock,
+// gossips its health summary (drain state, in-flight load, shed rate,
+// open breakers per device kind), adopts kernel registrations gossiped
+// by peers, and answers MsgControl status queries (kaasctl cluster
+// status). Membership is symmetric: one reachable seed is enough to
+// join, and peers learn this node's address from its first heartbeat.
+// Requires a TCP endpoint (WithListenAddr or WithListener).
+func WithClusterNode(name string, peers ...string) Option {
+	return func(c *config) {
+		c.clusterName = name
+		c.clusterPeers = append([]string(nil), peers...)
+	}
+}
+
+// WithClusterHeartbeat tunes the cluster node's failure detector: every
+// is the modeled heartbeat interval per peer (default 1s), and
+// suspectAfter the consecutive misses that mark a peer down (default 2).
+func WithClusterHeartbeat(every time.Duration, suspectAfter int) Option {
+	return func(c *config) {
+		c.clusterBeat = every
+		c.clusterSuspect = suspectAfter
+	}
+}
+
 // WithoutResultComputation disables real kernel computation; invocations
 // charge modeled device time only. Used by the benchmark harness.
 func WithoutResultComputation() Option {
@@ -382,6 +414,7 @@ type Platform struct {
 	tcp        *core.TCPServer
 	regions    *shm.Registry
 	artifacts  *artifact.Cache
+	node       *cplane.Node
 	clientOpts []client.Option
 }
 
@@ -457,6 +490,26 @@ func New(opts ...Option) (*Platform, error) {
 	if p.tcp != nil && cfg.muxStreams > 0 {
 		p.tcp.SetMaxConnStreams(cfg.muxStreams)
 	}
+	if cfg.clusterName != "" {
+		if p.tcp == nil {
+			p.Close()
+			return nil, fmt.Errorf("kaas: a cluster node needs a TCP endpoint (use WithListenAddr)")
+		}
+		p.node = cplane.NewNode(cplane.Config{
+			Name:           cfg.clusterName,
+			Addr:           p.tcp.Addr(),
+			Clock:          clock,
+			Local:          server,
+			HeartbeatEvery: cfg.clusterBeat,
+			SuspectAfter:   cfg.clusterSuspect,
+			DialOptions:    cfg.clientOptions(),
+			Logger:         cfg.logger,
+		})
+		p.tcp.SetControlHandler(p.node.HandleControl)
+		for _, peer := range cfg.clusterPeers {
+			p.node.Join(peer)
+		}
+	}
 	return p, nil
 }
 
@@ -492,6 +545,10 @@ func (p *Platform) WriteMetrics(w io.Writer) error { return p.server.WriteMetric
 // MetricsHandler returns an HTTP handler serving WriteMetrics, mountable
 // as a Prometheus scrape endpoint (see kaasd's -metrics flag).
 func (p *Platform) MetricsHandler() http.Handler { return p.server.MetricsHandler() }
+
+// ClusterNode returns the platform's cluster control-plane node, or nil
+// when the platform was built without WithClusterNode.
+func (p *Platform) ClusterNode() *cplane.Node { return p.node }
 
 // Addr returns the TCP listen address, or "" when not serving.
 func (p *Platform) Addr() string {
@@ -540,6 +597,9 @@ func (p *Platform) NewRDMAClient() (*Client, error) {
 // work is rejected at once and open connections are cut. For a graceful
 // stop that lets in-flight work complete, use Shutdown.
 func (p *Platform) Close() {
+	if p.node != nil {
+		p.node.Close()
+	}
 	if p.tcp != nil {
 		p.tcp.Close()
 	}
@@ -554,6 +614,12 @@ func (p *Platform) Close() {
 // fenced and cut as in Close, and the context's error is returned.
 func (p *Platform) Shutdown(ctx context.Context) error {
 	var err error
+	if p.node != nil {
+		// Peers learn the drain from the last gossip exchanges and the
+		// routing layer stops picking this node; stopping our own
+		// heartbeats costs nothing further.
+		p.node.Close()
+	}
 	if p.tcp != nil {
 		err = p.tcp.Drain(ctx)
 	}
