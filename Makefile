@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart bench-failover scenario-ci scenario-json ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart bench-failover bench-fairness scenario-ci scenario-json ci clean
 
 all: build
 
@@ -80,6 +80,13 @@ bench-coldstart:
 # plane, plus the retry-budget storm-suppression comparison.
 bench-failover:
 	$(GO) run ./cmd/kaasbench -failover 300 -failover-out BENCH_PR8.json
+
+# Regenerate the committed fairness report: the same noisy-neighbor
+# trace replayed through the flat FCFS gate and through weighted fair
+# queueing, comparing victim p99, shed charging, and warm-hit rate.
+# The run fails unless WFQ materially improves the victims' tail.
+bench-fairness:
+	$(GO) run ./cmd/kaasbench -fairness 650 -fairness-out BENCH_PR9.json
 
 ci: vet build test race fuzz scenario-ci
 

@@ -6,6 +6,7 @@
 //	kaasctl -server 127.0.0.1:7070 register matmul
 //	kaasctl -server 127.0.0.1:7070 invoke matmul n=500 seed=7
 //	kaasctl -server 127.0.0.1:7070 -timeout 5s -retries 2 invoke matmul n=500
+//	kaasctl -server 127.0.0.1:7070 -tenant acme invoke matmul n=500
 //	kaasctl -server 127.0.0.1:7070 list
 //	kaasctl -server 127.0.0.1:7070 stats
 //	kaasctl -server 127.0.0.1:7070 stats -v   # per-kernel p50/p95/p99 + device tables
@@ -48,12 +49,13 @@ func run(args []string) error {
 	server := fs.String("server", "127.0.0.1:7070", "KaaS server address")
 	timeout := fs.Duration("timeout", 0, "per-call deadline, propagated to the server (0 = none)")
 	retries := fs.Int("retries", 0, "retries of connection-level failures per call")
+	tenant := fs.String("tenant", "", "tenant identity stamped on every invocation (empty = server-side default tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: kaasctl [-server addr] [-timeout d] [-retries n] <register|invoke|list|stats|cluster> ...")
+		return fmt.Errorf("usage: kaasctl [-server addr] [-timeout d] [-retries n] [-tenant name] <register|invoke|list|stats|cluster> ...")
 	}
 
 	var copts []client.Option
@@ -62,6 +64,9 @@ func run(args []string) error {
 	}
 	if *retries > 0 {
 		copts = append(copts, client.WithRetries(*retries+1))
+	}
+	if *tenant != "" {
+		copts = append(copts, client.WithTenant(*tenant))
 	}
 	c := client.Dial(*server, copts...)
 	defer c.Close()
@@ -296,6 +301,29 @@ func printVerboseStats(w io.Writer, st *core.Stats) error {
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+
+	if len(st.PerTenant) > 0 {
+		fmt.Fprintln(w)
+		if st.FairQueueing {
+			fmt.Fprintln(w, "fair queueing: on")
+		}
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TENANT\tWEIGHT\tADMITTED\tSHED\tINFLIGHT\tQUEUED\tLAT p50/p95/p99")
+		tenants := make([]string, 0, len(st.PerTenant))
+		for name := range st.PerTenant {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		for _, name := range tenants {
+			ts := st.PerTenant[name]
+			fmt.Fprintf(tw, "%s\t%g\t%d\t%d\t%d\t%d\t%s\n",
+				name, ts.Weight, ts.Admitted, ts.Shed, ts.InFlight, ts.Queued,
+				formatPercentiles(ts.Latency))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintln(w)

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +43,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kaasd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseTenantWeights parses "tenant=weight,tenant=weight" into the map
+// WithTenantWeights takes. Weights must be positive.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	weights := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: %q is not tenant=weight", pair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: tenant %q needs a positive weight, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("-tenant-weights: no tenant=weight pairs found")
+	}
+	return weights, nil
 }
 
 // run starts the daemon and blocks until a shutdown signal has been
@@ -67,6 +94,10 @@ func run(args []string, ready ...chan<- string) error {
 	suspectAfter := fs.Int("suspect-after", 0, "consecutive heartbeat misses that mark a peer down (0 = default 2)")
 	register := fs.Bool("register-suite", false, "pre-register every built-in kernel with a matching device")
 	maxConnStreams := fs.Int("max-conn-streams", 0, "max in-flight streams per multiplexed connection (0 = default 64)")
+	tenantWeights := fs.String("tenant-weights", "", "comma-separated tenant=weight pairs enabling weighted fair queueing (e.g. acme=10,free-tier=1)")
+	tenantMaxInFlight := fs.Int("tenant-max-inflight", 0, "per-tenant in-flight cap under fair queueing (0 = unlimited)")
+	tenantMaxQueue := fs.Int("tenant-max-queue", 0, "per-tenant fair-queue depth bound; overflow is shed and charged to the tenant (0 = unlimited)")
+	stickinessBound := fs.Int("stickiness-bound", 0, "max consecutive warm-runner sticky dispatches before strict fair order is forced (0 = default, negative = disable stickiness)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +130,19 @@ func run(args []string, ready ...chan<- string) error {
 	}
 	if *maxConnStreams > 0 {
 		popts = append(popts, kaas.WithMuxStreams(*maxConnStreams))
+	}
+	if *tenantWeights != "" {
+		weights, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			return err
+		}
+		popts = append(popts, kaas.WithTenantWeights(weights))
+	}
+	if *tenantMaxInFlight > 0 || *tenantMaxQueue > 0 {
+		popts = append(popts, kaas.WithTenantLimits(*tenantMaxInFlight, *tenantMaxQueue))
+	}
+	if *stickinessBound != 0 {
+		popts = append(popts, kaas.WithStickinessBound(*stickinessBound))
 	}
 	if *join != "" && *nodeName == "" {
 		return fmt.Errorf("-join requires -node-name")

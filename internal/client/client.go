@@ -114,6 +114,14 @@ func WithRetryBudget(b *RetryBudget) Option {
 	return func(c *Client) { c.budget = b }
 }
 
+// WithTenant stamps every invocation from this client with a tenant
+// identity for server-side fair queueing. Servers that predate tenant
+// accounting ignore the header; unidentified clients are accounted to
+// the server's "default" tenant.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
+}
+
 // Metrics is a snapshot of the client's reliability counters.
 type Metrics struct {
 	// Attempts counts round-trip attempts, including retries.
@@ -154,6 +162,7 @@ type Client struct {
 	retry    RetryPolicy
 	budget   *RetryBudget
 	muxConns int
+	tenant   string
 
 	mux         *muxPool
 	muxFallback atomic.Bool
@@ -520,9 +529,16 @@ func (c *Client) Invoke(kernel string, params kernels.Params, data []byte) (*Res
 // and cancelling mid-flight closes the connection, which the server
 // observes and cancels the kernel's context.
 func (c *Client) InvokeContext(ctx context.Context, kernel string, params kernels.Params, data []byte) (*Result, error) {
+	return c.InvokeTenantContext(ctx, c.tenant, kernel, params, data)
+}
+
+// InvokeTenantContext is InvokeContext with an explicit per-call tenant
+// identity, overriding any WithTenant default. Cluster routers use it to
+// share one client per server address across many tenants.
+func (c *Client) InvokeTenantContext(ctx context.Context, tenant, kernel string, params kernels.Params, data []byte) (*Result, error) {
 	return c.invoke(ctx, &wire.Message{
 		Type:   wire.MsgInvoke,
-		Header: wire.Header{Kernel: kernel, Params: params},
+		Header: wire.Header{Kernel: kernel, Params: params, Tenant: tenant},
 		Body:   data,
 	})
 }
@@ -550,6 +566,7 @@ func (c *Client) InvokeOutOfBandContext(ctx context.Context, kernel string, para
 		Header: wire.Header{
 			Kernel:        kernel,
 			Params:        params,
+			Tenant:        c.tenant,
 			ShmKey:        key,
 			WantShmResult: true,
 		},

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant identity assumed when a request carries no
+// tenant. Legacy (pre-v2 or pre-tenant) peers cannot send the header
+// field, and mapping them all to one deterministic key keeps
+// mixed-version clusters from splitting queues and metrics between ""
+// and "default".
+const DefaultTenant = "default"
+
+// NormalizeTenant maps the empty tenant identity to DefaultTenant.
+func NormalizeTenant(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
+// defaultStickinessBound is the consecutive-bypass budget used when fair
+// queueing is enabled without an explicit StickinessBound.
+const defaultStickinessBound = 4
+
+// tenantState is the per-tenant slice of server state (guarded by
+// Server.mu except for the lazily built metrics).
+type tenantState struct {
+	name   string
+	weight float64
+	// inFlight counts admitted invocations of this tenant; queued counts
+	// invocations waiting in the tenant's fair-queue flows.
+	inFlight int
+	queued   int
+	// met is created lazily on first use, for the same reason as
+	// entry.met (see Server.kernelMet).
+	metOnce sync.Once
+	met     *tenantMetrics
+}
+
+// tenantLocked returns (creating on first use) the state for a tenant.
+func (s *Server) tenantLocked(name string) *tenantState {
+	t, ok := s.tenants[name]
+	if !ok {
+		w := s.cfg.TenantWeights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantState{name: name, weight: w}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// tenantMet returns the tenant's cached metric instances, creating them
+// on first use.
+func (s *Server) tenantMet(t *tenantState) *tenantMetrics {
+	t.metOnce.Do(func() { t.met = newTenantMetrics(s.reg, t.name) })
+	return t.met
+}
+
+// shedObserved records one rejection against both the kernel's and the
+// tenant's shed counters and logs it.
+func (s *Server) shedObserved(e *entry, t *tenantState, reason string) {
+	s.kernelMet(e).shed(reason)
+	s.tenantMet(t).shed(reason)
+	s.cfg.Logger.Warn("invocation shed",
+		"kernel", e.name, "tenant", t.name, "reason", reason)
+}
+
+// admitOneLocked commits one admitted invocation to the in-flight
+// accounting shared by the flat and fair admission paths.
+func (s *Server) admitOneLocked(e *entry, t *tenantState) {
+	s.inFlight++
+	e.inFlight++
+	t.inFlight++
+	s.observeArrivalLocked(e)
+}
+
+// fairWaiter is one invocation queued in a flow, waiting for the
+// dispatcher to grant it an in-flight slot.
+type fairWaiter struct {
+	fl            *flow
+	start, finish float64       // virtual start/finish tags
+	enqueuedAt    time.Time     // modeled enqueue time
+	waited        time.Duration // modeled queue wait, set at grant
+	grant         chan struct{} // closed on grant or flush
+	granted       bool          // guarded by Server.mu
+	err           error         // set before grant closes on a flush
+}
+
+// flow is the FIFO lane of one (tenant, kernel) pair. Requests within a
+// flow dispatch in arrival order; across flows the dispatcher follows
+// virtual finish tags.
+type flow struct {
+	tenant *tenantState
+	entry  *entry
+	// lastFinish is the finish tag of the flow's most recently enqueued
+	// request; the next request starts no earlier (per-flow FIFO in
+	// virtual time).
+	lastFinish float64
+	queue      []*fairWaiter
+}
+
+// removeLocked withdraws a still-queued waiter, reporting whether it was
+// found (false means it was already granted or flushed).
+func (fl *flow) removeLocked(w *fairWaiter) bool {
+	for i, x := range fl.queue {
+		if x == w {
+			fl.queue = append(fl.queue[:i], fl.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// fairQueue is the tenant-aware dispatch layer: per-(tenant, kernel)
+// flows drained by weighted fair queueing in virtual time, with bounded
+// warm-runner stickiness. All state is guarded by Server.mu.
+//
+// Virtual time: each request is tagged start = max(V, flow.lastFinish)
+// and finish = start + cost/weight, where V is the system virtual time,
+// cost is the kernel's observed mean wall time (1.0 before any history),
+// and weight is the tenant's configured share. The dispatcher grants the
+// queued head with the smallest finish tag whenever an in-flight slot
+// frees, advancing V to the granted request's start tag — so a tenant's
+// long-run throughput share converges to weight/Σweights of the
+// contended capacity, and an idle tenant accumulates no credit.
+//
+// Stickiness: a flow whose kernel already holds a warm runner with free
+// capacity may be granted ahead of the strict minimum-finish flow —
+// dispatching where the warm state lives avoids churning the runners the
+// cold-start subsystem exists to protect. Each such bypass increments
+// stickyStreak; once it reaches the configured StickinessBound the next
+// grant is forced to follow strict virtual-finish order, so fairness
+// debt eventually overrides locality.
+type fairQueue struct {
+	vtime        float64
+	flows        map[string]*flow
+	order        []*flow // deterministic scan order (creation order)
+	stickyStreak int
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{flows: make(map[string]*flow)}
+}
+
+// flowLocked returns (creating on first use) the flow for a tenant and
+// kernel.
+func (f *fairQueue) flowLocked(t *tenantState, e *entry) *flow {
+	key := t.name + "\x00" + e.name
+	fl, ok := f.flows[key]
+	if !ok {
+		fl = &flow{tenant: t, entry: e}
+		f.flows[key] = fl
+		f.order = append(f.order, fl)
+	}
+	return fl
+}
+
+// costLocked estimates one request's service cost for finish-tag math:
+// the kernel's observed mean wall time in seconds, or 1.0 before any
+// history exists (the unit is irrelevant as long as it is consistent).
+func costLocked(e *entry) float64 {
+	if e.ewmaWall > 0 {
+		return e.ewmaWall / float64(time.Second)
+	}
+	return 1.0
+}
+
+// enqueueLocked admits one invocation into its (tenant, kernel) flow and
+// runs the dispatcher, so a request that is dispatchable right now comes
+// back already granted. It returns a shed reason plus a typed error when
+// admission bounds reject the request instead.
+func (f *fairQueue) enqueueLocked(s *Server, ctx context.Context, e *entry, t *tenantState) (*fairWaiter, string, error) {
+	if s.draining {
+		return nil, "draining", ErrDraining
+	}
+	// The kernel-level queue bound applies unchanged: fair queueing
+	// shares capacity between tenants, it does not grow the backlog one
+	// kernel may accumulate.
+	if s.cfg.MaxQueuePerKernel > 0 {
+		healthy := s.healthyCapacityLocked(e)
+		if e.inFlight >= healthy+s.cfg.MaxQueuePerKernel {
+			return nil, "queue_full", fmt.Errorf("%w: kernel %q has %d in flight (capacity %d + queue bound %d)",
+				ErrOverloaded, e.name, e.inFlight, healthy, s.cfg.MaxQueuePerKernel)
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := s.estimateWaitLocked(e); est > 0 && time.Until(dl) < est {
+			return nil, "deadline", fmt.Errorf("%w: expected wait %v exceeds remaining deadline %v",
+				ErrOverloaded, est.Round(time.Millisecond),
+				time.Until(dl).Round(time.Millisecond))
+		}
+	}
+	// Per-tenant bounds: with a queue bound, overflow beyond it sheds;
+	// without one, the in-flight cap itself sheds (nothing would bound
+	// the backlog otherwise). Both are charged to the offending tenant.
+	capT, bound := s.cfg.MaxInFlightPerTenant, s.cfg.MaxQueuePerTenant
+	if capT > 0 && bound == 0 && t.inFlight >= capT {
+		return nil, "tenant_in_flight_cap", fmt.Errorf("%w: tenant %q has %d invocations in flight (cap %d)",
+			ErrOverloaded, t.name, t.inFlight, capT)
+	}
+	if bound > 0 && t.queued >= bound {
+		return nil, "tenant_queue_full", fmt.Errorf("%w: tenant %q has %d invocations queued (bound %d)",
+			ErrOverloaded, t.name, t.queued, bound)
+	}
+
+	fl := f.flowLocked(t, e)
+	w := &fairWaiter{fl: fl, enqueuedAt: s.clock.Now(), grant: make(chan struct{})}
+	w.start = f.vtime
+	if fl.lastFinish > w.start {
+		w.start = fl.lastFinish
+	}
+	w.finish = w.start + costLocked(e)/t.weight
+	fl.lastFinish = w.finish
+	fl.queue = append(fl.queue, w)
+	t.queued++
+	s.tenantMet(t).queued.Inc()
+	f.dispatchLocked(s)
+	return w, "", nil
+}
+
+// dispatchLocked grants queued requests while in-flight capacity is
+// free, choosing flows by (sticky-bounded) virtual finish order.
+func (f *fairQueue) dispatchLocked(s *Server) {
+	for {
+		if s.closed || s.draining {
+			return
+		}
+		if s.cfg.MaxInFlightTotal > 0 && s.inFlight >= s.cfg.MaxInFlightTotal {
+			return
+		}
+		fl := f.pickLocked(s)
+		if fl == nil {
+			return
+		}
+		w := fl.queue[0]
+		fl.queue = fl.queue[1:]
+		fl.tenant.queued--
+		s.tenantMet(fl.tenant).queued.Dec()
+		if w.start > f.vtime {
+			f.vtime = w.start
+		}
+		w.granted = true
+		w.waited = s.clock.Now().Sub(w.enqueuedAt)
+		s.admitOneLocked(fl.entry, fl.tenant)
+		close(w.grant)
+	}
+}
+
+// pickLocked selects the next flow to dispatch from: the non-empty flow
+// with the smallest head finish tag whose tenant is under its in-flight
+// cap — unless a warm-runner flow exists and the stickiness budget
+// allows bypassing strict order in its favor. Ties break by flow
+// creation order, keeping dispatch deterministic under the modeled
+// clock.
+func (f *fairQueue) pickLocked(s *Server) *flow {
+	var strict, sticky *flow
+	capT := s.cfg.MaxInFlightPerTenant
+	for _, fl := range f.order {
+		if len(fl.queue) == 0 {
+			continue
+		}
+		if capT > 0 && fl.tenant.inFlight >= capT {
+			continue
+		}
+		if strict == nil || fl.queue[0].finish < strict.queue[0].finish {
+			strict = fl
+		}
+		if s.warmFreeRunnerLocked(fl.entry) &&
+			(sticky == nil || fl.queue[0].finish < sticky.queue[0].finish) {
+			sticky = fl
+		}
+	}
+	if strict == nil {
+		return nil
+	}
+	if bound := s.cfg.StickinessBound; bound > 0 && sticky != nil && sticky != strict {
+		if f.stickyStreak < bound {
+			f.stickyStreak++
+			return sticky
+		}
+	}
+	f.stickyStreak = 0
+	return strict
+}
+
+// warmFreeRunnerLocked reports whether the kernel holds a started,
+// healthy runner with in-flight headroom — the warm state sticky
+// dispatch steers toward.
+func (s *Server) warmFreeRunnerLocked(e *entry) bool {
+	for _, r := range e.runners {
+		if r.removed || r.draining || r.inflight >= s.cfg.MaxInFlightPerRunner {
+			continue
+		}
+		select {
+		case <-r.ready:
+			if r.startErr == nil {
+				return true
+			}
+		default:
+		}
+	}
+	return false
+}
+
+// flushLocked rejects every queued waiter with err, charging the shed to
+// its tenant. Drain and Close call it so waiters — which are not yet
+// in-flight and would otherwise never be granted — unblock promptly.
+func (f *fairQueue) flushLocked(s *Server, err error) {
+	for _, fl := range f.order {
+		for _, w := range fl.queue {
+			fl.tenant.queued--
+			s.tenantMet(fl.tenant).queued.Dec()
+			w.err = err
+			s.kernelMet(fl.entry).shed("draining")
+			s.tenantMet(fl.tenant).shed("draining")
+			close(w.grant)
+		}
+		fl.queue = nil
+	}
+}
+
+// await blocks until the waiter is granted, flushed, or its context
+// expires. A nil return means the invocation was admitted and its
+// in-flight accounting is live; any error means it was not (the
+// expiry-while-queued case is shed as "deadline", charged to the
+// tenant).
+func (w *fairWaiter) await(ctx context.Context, s *Server, e *entry, t *tenantState) error {
+	select {
+	case <-w.grant:
+		return w.err
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	if w.granted {
+		// The grant raced the expiry: the slot is held, so proceed as
+		// admitted and let the serving path surface the context error.
+		s.mu.Unlock()
+		return nil
+	}
+	if !w.fl.removeLocked(w) {
+		// Already flushed by drain/close; its typed error stands.
+		s.mu.Unlock()
+		return w.err
+	}
+	t.queued--
+	s.tenantMet(t).queued.Dec()
+	s.mu.Unlock()
+	s.shedObserved(e, t, "deadline")
+	return ctx.Err()
+}

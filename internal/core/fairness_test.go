@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/kernels"
+)
+
+// fairTestHarness pins the server at saturation and steps the dispatcher
+// one grant at a time, so the WFQ properties below are checked against
+// the exact grant order instead of a racy approximation. All mutation
+// happens under s.mu, the same discipline the production paths follow.
+type fairTestHarness struct {
+	s       *Server
+	waiters []*fairWaiter
+	granted map[*fairWaiter]bool
+}
+
+func newFairHarness(s *Server) *fairTestHarness {
+	return &fairTestHarness{s: s, granted: make(map[*fairWaiter]bool)}
+}
+
+// saturate pins the server's global in-flight count at its cap so
+// enqueued waiters queue instead of dispatching immediately.
+func (h *fairTestHarness) saturate() {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	h.s.inFlight = h.s.cfg.MaxInFlightTotal
+}
+
+// enqueue queues one waiter for (tenant, kernel), failing the test on a
+// shed.
+func (h *fairTestHarness) enqueue(t *testing.T, tenant, kernel string) {
+	t.Helper()
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	e, ok := h.s.entries[kernel]
+	if !ok {
+		t.Fatalf("kernel %q not registered", kernel)
+	}
+	ts := h.s.tenantLocked(tenant)
+	w, reason, err := h.s.fair.enqueueLocked(h.s, context.Background(), e, ts)
+	if err != nil {
+		t.Fatalf("enqueueLocked(%s/%s) shed %q: %v", tenant, kernel, reason, err)
+	}
+	h.waiters = append(h.waiters, w)
+}
+
+// step frees one in-flight slot, runs the dispatcher, and returns the
+// tenant granted by that step ("" when nothing was dispatchable).
+func (h *fairTestHarness) step() string {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	h.s.inFlight--
+	h.s.fair.dispatchLocked(h.s)
+	for _, w := range h.waiters {
+		if w.granted && !h.granted[w] {
+			h.granted[w] = true
+			return w.fl.tenant.name
+		}
+	}
+	h.s.inFlight++ // nothing granted: restore the pinned saturation
+	return ""
+}
+
+// registerFake registers a fake GPU kernel under the given name.
+func registerFake(t *testing.T, s *Server, name string) {
+	t.Helper()
+	if err := s.Register(&fakeKernel{name: name, kind: accel.GPU, cost: stdCost()}); err != nil {
+		t.Fatalf("Register(%s): %v", name, err)
+	}
+}
+
+// TestFairQueueWeightedShares drains a saturated two-tenant backlog and
+// requires the grant split to converge to the configured 3:1 weights.
+func TestFairQueueWeightedShares(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, func(c *Config) {
+		c.TenantWeights = map[string]float64{"heavy": 3, "light": 1}
+		c.MaxInFlightTotal = 4
+	})
+	registerFake(t, s, "k")
+	h := newFairHarness(s)
+	h.saturate()
+	for i := 0; i < 200; i++ {
+		h.enqueue(t, "heavy", "k")
+		h.enqueue(t, "light", "k")
+	}
+	counts := map[string]int{}
+	for g := 0; g < 200; g++ {
+		counts[h.step()]++
+	}
+	share := float64(counts["heavy"]) / 200
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("heavy tenant took %.0f%% of grants (%v), want ~75%% for 3:1 weights", 100*share, counts)
+	}
+}
+
+// TestFairQueueNoStarvation floods one flow at 10x weight and requires
+// the thin flow's waiters to still be granted near their virtual-time
+// slots — a backlogged heavy tenant must not starve a light one.
+func TestFairQueueNoStarvation(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, func(c *Config) {
+		c.TenantWeights = map[string]float64{"heavy": 10, "light": 1}
+		c.MaxInFlightTotal = 4
+	})
+	registerFake(t, s, "k")
+	h := newFairHarness(s)
+	h.saturate()
+	for i := 0; i < 200; i++ {
+		h.enqueue(t, "heavy", "k")
+	}
+	for i := 0; i < 5; i++ {
+		h.enqueue(t, "light", "k")
+	}
+	var lightPositions []int
+	for g := 0; g < 120; g++ {
+		if h.step() == "light" {
+			lightPositions = append(lightPositions, g+1)
+		}
+	}
+	if len(lightPositions) != 5 {
+		t.Fatalf("light tenant got %d of 5 grants in 120 steps: %v", len(lightPositions), lightPositions)
+	}
+	// The i-th light waiter's finish tag is i+1 virtual units; the heavy
+	// flow packs ~10 grants per unit, so position ~11(i+1) is on-schedule
+	// and anything far past it means starvation crept in.
+	for i, pos := range lightPositions {
+		if limit := 11*(i+1) + 3; pos > limit {
+			t.Errorf("light waiter %d granted at position %d, want <= %d", i, pos, limit)
+		}
+	}
+}
+
+// TestFairQueueStickinessBounded gives one flow a warm runner and a
+// worse virtual-time position, and requires sticky dispatch to favor it
+// for at most StickinessBound consecutive grants before strict finish
+// order takes back over.
+func TestFairQueueStickinessBounded(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, func(c *Config) {
+		// The cold tenant's 10x weight makes the cold flow the strict
+		// choice at every step, so every warm grant is a sticky bypass.
+		c.TenantWeights = map[string]float64{"cold-t": 10, "warm-t": 1}
+		c.MaxInFlightTotal = 4
+		c.StickinessBound = 3
+	})
+	registerFake(t, s, "warm")
+	registerFake(t, s, "cold")
+	// One real invocation boots a runner for "warm", giving its flow the
+	// warm-free-runner state sticky dispatch steers toward.
+	if _, _, err := s.Invoke(context.Background(), "warm", nil); err != nil {
+		t.Fatalf("warm-up Invoke: %v", err)
+	}
+	// Pin the warm kernel's observed cost high so its finish tags always
+	// trail the cold flow's: every warm grant is then provably a sticky
+	// bypass, never a strict-order win.
+	s.mu.Lock()
+	s.entries["warm"].ewmaWall = float64(10 * time.Second)
+	s.mu.Unlock()
+	h := newFairHarness(s)
+	h.saturate()
+	for i := 0; i < 20; i++ {
+		h.enqueue(t, "cold-t", "cold")
+		h.enqueue(t, "warm-t", "warm")
+	}
+	var order []string
+	for g := 0; g < 12; g++ {
+		order = append(order, h.step())
+	}
+	// Bound 3 yields a period-4 pattern: three sticky bypasses toward the
+	// warm flow, then one forced strict grant to the cold flow.
+	want := []string{
+		"warm-t", "warm-t", "warm-t", "cold-t",
+		"warm-t", "warm-t", "warm-t", "cold-t",
+		"warm-t", "warm-t", "warm-t", "cold-t",
+	}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("grant order %v, want %v", order, want)
+	}
+	streak, maxStreak := 0, 0
+	for _, g := range order {
+		if g == "warm-t" {
+			streak++
+			if streak > maxStreak {
+				maxStreak = streak
+			}
+		} else {
+			streak = 0
+		}
+	}
+	if maxStreak > 3 {
+		t.Errorf("sticky streak reached %d consecutive grants, bound is 3", maxStreak)
+	}
+}
+
+// TestFairQueueDeterministicOrder runs the same saturated enqueue
+// schedule on two fresh servers and requires identical grant orders —
+// the dispatcher must be a pure function of the schedule under the
+// modeled clock, with no map-iteration or timing nondeterminism.
+func TestFairQueueDeterministicOrder(t *testing.T) {
+	run := func() []string {
+		s, _, _ := newTestServer(t, 1, func(c *Config) {
+			c.TenantWeights = map[string]float64{"a": 2, "b": 1, "c": 1}
+			c.MaxInFlightTotal = 2
+		})
+		registerFake(t, s, "k")
+		h := newFairHarness(s)
+		h.saturate()
+		for i := 0; i < 30; i++ {
+			h.enqueue(t, "a", "k")
+			h.enqueue(t, "b", "k")
+			h.enqueue(t, "c", "k")
+		}
+		var order []string
+		for g := 0; g < 60; g++ {
+			order = append(order, h.step())
+		}
+		return order
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same schedule produced different grant orders:\n%v\n%v", a, b)
+	}
+}
+
+// TestFairQueueTenantQueueBound fills one tenant's queue to its bound
+// and requires the overflow to shed with the typed overload error,
+// charged to that tenant, while a second tenant still enqueues freely.
+func TestFairQueueTenantQueueBound(t *testing.T) {
+	s, _, _ := newTestServer(t, 1, func(c *Config) {
+		c.TenantWeights = map[string]float64{"full": 1, "ok": 1}
+		c.MaxInFlightTotal = 2
+		c.MaxQueuePerTenant = 4
+	})
+	registerFake(t, s, "k")
+	h := newFairHarness(s)
+	h.saturate()
+	for i := 0; i < 4; i++ {
+		h.enqueue(t, "full", "k")
+	}
+	s.mu.Lock()
+	e := s.entries["k"]
+	ts := s.tenantLocked("full")
+	_, reason, err := s.fair.enqueueLocked(s, context.Background(), e, ts)
+	s.mu.Unlock()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow enqueue error = %v, want ErrOverloaded", err)
+	}
+	if reason != "tenant_queue_full" {
+		t.Errorf("overflow shed reason = %q, want tenant_queue_full", reason)
+	}
+	h.enqueue(t, "ok", "k") // the other tenant's lane is unaffected
+}
+
+// TestFairQueueConcurrentInvoke exercises the full Invoke path with two
+// tenants racing through the fair queue (run under -race). Every
+// request must complete, and the per-tenant accounting must balance.
+func TestFairQueueConcurrentInvoke(t *testing.T) {
+	s, _, _ := newTestServer(t, 2, func(c *Config) {
+		c.TenantWeights = map[string]float64{"a": 3, "b": 1}
+		c.MaxInFlightTotal = 4
+		c.MaxQueuePerTenant = 128
+	})
+	registerFake(t, s, "k")
+	const perTenant = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perTenant)
+	for _, tenant := range []string{"a", "b"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				req := &kernels.Request{Tenant: tenant}
+				if _, _, err := s.Invoke(context.Background(), "k", req); err != nil {
+					errs <- fmt.Errorf("tenant %s: %w", tenant, err)
+				}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if !st.FairQueueing {
+		t.Error("Stats.FairQueueing = false with tenant weights configured")
+	}
+	for _, tenant := range []string{"a", "b"} {
+		ts, ok := st.PerTenant[tenant]
+		if !ok {
+			t.Fatalf("Stats.PerTenant missing tenant %q (have %v)", tenant, st.PerTenant)
+		}
+		if ts.Admitted != perTenant {
+			t.Errorf("tenant %s admitted %d, want %d", tenant, ts.Admitted, perTenant)
+		}
+		if ts.InFlight != 0 || ts.Queued != 0 {
+			t.Errorf("tenant %s left residue: inFlight=%d queued=%d", tenant, ts.InFlight, ts.Queued)
+		}
+	}
+	if w := st.PerTenant["a"].Weight; w != 3 {
+		t.Errorf("tenant a weight %v, want 3", w)
+	}
+}

@@ -18,6 +18,20 @@ type KindHealth struct {
 	OpenBreakers int `json:"openBreakers"`
 }
 
+// TenantHealth is the per-tenant slice of a Health summary: enough for
+// cluster routing to skip a member one tenant has saturated without
+// shipping the full stats document in every heartbeat.
+type TenantHealth struct {
+	// InFlight counts the tenant's admitted invocations executing now;
+	// Queued counts its invocations waiting in fair-queue flows.
+	InFlight int `json:"inFlight,omitempty"`
+	Queued   int `json:"queued,omitempty"`
+	// Saturated reports the tenant is at its in-flight cap or queue
+	// bound on this host — a new request for it would queue behind a
+	// full backlog or shed outright.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
 // Health is the compact, routing-oriented view of a server. The cluster
 // control plane gossips it between nodes so peers can skip hosts that
 // are draining, closed, or have no eligible device for a kernel's kind.
@@ -34,6 +48,9 @@ type Health struct {
 	Kinds map[string]KindHealth `json:"kinds,omitempty"`
 	// Kernels lists the registered kernel names, sorted.
 	Kernels []string `json:"kernels,omitempty"`
+	// Tenants maps tenant name to its load summary; only tenants with
+	// live load or a saturated bound are listed, keeping gossip small.
+	Tenants map[string]TenantHealth `json:"tenants,omitempty"`
 }
 
 // Health returns the server's current routing-oriented health summary.
@@ -64,6 +81,21 @@ func (s *Server) Health() Health {
 		h.Shed += s.kernelMet(e).shedTotal()
 	}
 	sort.Strings(h.Kernels)
+	for name, t := range s.tenants {
+		th := TenantHealth{
+			InFlight: t.inFlight,
+			Queued:   t.queued,
+			Saturated: (s.cfg.MaxInFlightPerTenant > 0 && t.inFlight >= s.cfg.MaxInFlightPerTenant) ||
+				(s.cfg.MaxQueuePerTenant > 0 && t.queued >= s.cfg.MaxQueuePerTenant),
+		}
+		if th.InFlight == 0 && th.Queued == 0 && !th.Saturated {
+			continue
+		}
+		if h.Tenants == nil {
+			h.Tenants = make(map[string]TenantHealth)
+		}
+		h.Tenants[name] = th
+	}
 	return h
 }
 

@@ -27,11 +27,22 @@ const (
 	metricCacheHits    = "kaas_artifact_cache_hits_total"
 	metricCacheMisses  = "kaas_artifact_cache_misses_total"
 	metricPreWarms     = "kaas_prewarms_total"
+
+	metricTenantAdmitted = "kaas_tenant_invocations_total"
+	metricTenantShed     = "kaas_tenant_shed_total"
+	metricTenantInFlight = "kaas_tenant_in_flight"
+	metricTenantQueued   = "kaas_tenant_queued"
+	metricTenantLatency  = "kaas_tenant_latency_seconds"
 )
 
 // shedReasons enumerates the admission-control rejection reasons used as
-// the reason label on kaas_shed_total.
-var shedReasons = []string{"in_flight_cap", "queue_full", "deadline", "draining"}
+// the reason label on kaas_shed_total and kaas_tenant_shed_total. A
+// reason not listed here is silently dropped by shed(), so new rejection
+// paths must register their label.
+var shedReasons = []string{
+	"in_flight_cap", "queue_full", "deadline", "draining",
+	"capacity_lost", "tenant_in_flight_cap", "tenant_queue_full",
+}
 
 // registerHelp attaches HELP text to the server's metric families once
 // per registry.
@@ -54,6 +65,11 @@ func registerHelp(reg *metrics.Registry) {
 	reg.Help(metricCacheHits, "Cold starts that found the kernel's compiled artifact cached, per kernel.")
 	reg.Help(metricCacheMisses, "Cold starts that paid JIT compilation, per kernel.")
 	reg.Help(metricPreWarms, "Runners booted speculatively by the pre-warm predictor, per kernel.")
+	reg.Help(metricTenantAdmitted, "Invocations admitted per tenant.")
+	reg.Help(metricTenantShed, "Invocations rejected by admission control, per tenant and reason.")
+	reg.Help(metricTenantInFlight, "Invocations currently being served, per tenant.")
+	reg.Help(metricTenantQueued, "Invocations waiting in fair-queue flows, per tenant.")
+	reg.Help(metricTenantLatency, "Modeled invocation latency per tenant.")
 }
 
 // kernelMetrics caches one kernel's metric instances so the invocation
@@ -138,6 +154,47 @@ func (km *kernelMetrics) shed(reason string) {
 func (km *kernelMetrics) shedTotal() uint64 {
 	var n uint64
 	for _, c := range km.sheds {
+		n += c.Value()
+	}
+	return n
+}
+
+// tenantMetrics caches one tenant's metric instances, following the
+// kernelMetrics pattern: built lazily, updated with single atomic
+// operations on the invocation hot path.
+type tenantMetrics struct {
+	admitted *metrics.Counter
+	inFlight *metrics.Gauge
+	queued   *metrics.Gauge
+	latency  *metrics.Histogram
+	sheds    map[string]*metrics.Counter // by rejection reason
+}
+
+func newTenantMetrics(reg *metrics.Registry, tenant string) *tenantMetrics {
+	tm := &tenantMetrics{
+		admitted: reg.Counter(metricTenantAdmitted, "tenant", tenant),
+		inFlight: reg.Gauge(metricTenantInFlight, "tenant", tenant),
+		queued:   reg.Gauge(metricTenantQueued, "tenant", tenant),
+		latency:  reg.Histogram(metricTenantLatency, "tenant", tenant),
+		sheds:    make(map[string]*metrics.Counter, len(shedReasons)),
+	}
+	for _, reason := range shedReasons {
+		tm.sheds[reason] = reg.Counter(metricTenantShed, "tenant", tenant, "reason", reason)
+	}
+	return tm
+}
+
+// shed counts one admission-control rejection under its reason label.
+func (tm *tenantMetrics) shed(reason string) {
+	if c, ok := tm.sheds[reason]; ok {
+		c.Inc()
+	}
+}
+
+// shedTotal sums rejections across all reasons.
+func (tm *tenantMetrics) shedTotal() uint64 {
+	var n uint64
+	for _, c := range tm.sheds {
 		n += c.Value()
 	}
 	return n

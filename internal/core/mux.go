@@ -321,7 +321,7 @@ func (s *muxSession) serveInvoke(msg *wire.Message) {
 	defer func() { <-s.sem }()
 	id := msg.Header.StreamID
 
-	req := &kernels.Request{Params: kernels.Params(msg.Header.Params)}
+	req := &kernels.Request{Params: kernels.Params(msg.Header.Params), Tenant: msg.Header.Tenant}
 	switch {
 	case msg.Header.ShmKey != "":
 		if s.t.regions == nil {

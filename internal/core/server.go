@@ -156,6 +156,40 @@ type Config struct {
 	// counters, gauges, and latency histograms. Nil creates a private
 	// registry, readable through Server.Metrics.
 	Metrics *metrics.Registry
+	// TenantWeights assigns relative fair-share weights to tenants for
+	// weighted fair dispatch; tenants not listed (and the "default"
+	// tenant legacy peers map to) get weight 1. Setting any tenant knob
+	// replaces the flat FCFS admission gate with per-tenant/per-kernel
+	// flow queues (see fairness.go).
+	TenantWeights map[string]float64
+	// MaxInFlightPerTenant caps invocations one tenant may have admitted
+	// concurrently; excess requests queue in the tenant's flows (or shed
+	// when no queue bound is configured). 0 disables the cap.
+	MaxInFlightPerTenant int
+	// MaxQueuePerTenant bounds how many invocations one tenant may have
+	// queued awaiting fair dispatch; the excess is shed with
+	// ErrOverloaded charged to that tenant. 0 leaves the queue unbounded.
+	MaxQueuePerTenant int
+	// StickinessBound caps how many consecutive dispatches may bypass
+	// strict virtual-finish order in favor of a flow with warm runners.
+	// 0 means the default (4) when fair queueing is enabled; negative
+	// disables stickiness.
+	StickinessBound int
+	// DisableFairQueueing forces the flat FCFS admission gate even when
+	// tenant knobs are set — the baseline arm of the fairness benchmark
+	// and the anti-neutering scenario check.
+	DisableFairQueueing bool
+}
+
+// fairQueueingEnabled reports whether the tenant-aware dispatch layer
+// should engage: any tenant knob is set and the explicit FCFS override
+// is not.
+func (c Config) fairQueueingEnabled() bool {
+	if c.DisableFairQueueing {
+		return false
+	}
+	return len(c.TenantWeights) > 0 || c.MaxInFlightPerTenant > 0 ||
+		c.MaxQueuePerTenant > 0 || c.StickinessBound > 0
 }
 
 // Server is the KaaS control plane for one host.
@@ -176,6 +210,8 @@ type Server struct {
 	mu         sync.Mutex
 	cond       *sync.Cond // broadcast when inFlight reaches 0 (and on Close)
 	entries    map[string]*entry
+	tenants    map[string]*tenantState
+	fair       *fairQueue // nil when fair queueing is not enabled
 	libInit    map[accel.Kind]bool
 	runnersOn  map[string]int // device ID -> runner count
 	runnerSeq  int
@@ -287,6 +323,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.KeepAlive.SweepEvery <= 0 {
 		cfg.KeepAlive.SweepEvery = cfg.KeepAlive.Idle
 	}
+	if cfg.fairQueueingEnabled() && cfg.StickinessBound == 0 {
+		cfg.StickinessBound = defaultStickinessBound
+	}
 	registerHelp(cfg.Metrics)
 	s := &Server{
 		cfg:       cfg,
@@ -294,8 +333,12 @@ func New(cfg Config) (*Server, error) {
 		reg:       cfg.Metrics,
 		devMet:    make(map[string]*deviceMetrics),
 		entries:   make(map[string]*entry),
+		tenants:   make(map[string]*tenantState),
 		libInit:   make(map[accel.Kind]bool),
 		runnersOn: make(map[string]int),
+	}
+	if cfg.fairQueueingEnabled() {
+		s.fair = newFairQueue()
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -452,6 +495,10 @@ func (s *Server) Kernels() []string {
 // accumulates into the returned report.
 func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) (*kernels.Response, *Report, error) {
 	wallStart := time.Now()
+	tenant := DefaultTenant
+	if req != nil {
+		tenant = NormalizeTenant(req.Tenant)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -462,29 +509,52 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		s.mu.Unlock()
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownKernel, name)
 	}
-	if reason, err := s.admitLocked(ctx, e); err != nil {
-		s.mu.Unlock()
-		if reason != "" {
-			s.kernelMet(e).shed(reason)
-			s.cfg.Logger.Warn("invocation shed",
-				"kernel", name, "reason", reason)
-		}
-		return nil, nil, err
-	}
-	s.inFlight++
-	e.inFlight++
-	s.observeArrivalLocked(e)
+	t := s.tenantLocked(tenant)
 	kind := e.kernel.Kind()
-	s.mu.Unlock()
+
+	var queued time.Duration
+	if s.fair != nil {
+		w, reason, err := s.fair.enqueueLocked(s, ctx, e, t)
+		s.mu.Unlock()
+		if err != nil {
+			if reason != "" {
+				s.shedObserved(e, t, reason)
+			}
+			return nil, nil, err
+		}
+		if err := w.await(ctx, s, e, t); err != nil {
+			return nil, nil, err
+		}
+		queued = w.waited
+	} else {
+		if reason, err := s.admitLocked(ctx, e); err != nil {
+			s.mu.Unlock()
+			if reason != "" {
+				s.shedObserved(e, t, reason)
+			}
+			return nil, nil, err
+		}
+		s.admitOneLocked(e, t)
+		s.mu.Unlock()
+	}
 
 	met := s.kernelMet(e)
+	tm := s.tenantMet(t)
 	met.invocations.Inc()
+	tm.admitted.Inc()
 	met.inFlight.Inc()
+	tm.inFlight.Inc()
 	defer func() {
 		met.inFlight.Dec()
+		tm.inFlight.Dec()
 		s.mu.Lock()
 		s.inFlight--
 		e.inFlight--
+		t.inFlight--
+		if s.fair != nil {
+			// A slot freed: hand it to the fair dispatcher.
+			s.fair.dispatchLocked(s)
+		}
 		if s.inFlight == 0 {
 			s.cond.Broadcast() // wake Drain waiters
 		}
@@ -495,6 +565,7 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		InvocationID: fmt.Sprintf("inv-%d", s.invSeq.Add(1)),
 		Kernel:       name,
 	}
+	report.Breakdown.Queue += queued
 	// One attempt per device of the kind on top of the first, so a
 	// flapping device cannot keep an invocation bouncing forever.
 	maxAttempts := 1 + len(s.cfg.Host.DevicesByKind(kind))
@@ -503,7 +574,7 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 	var err error
 	for attempt := 1; ; attempt++ {
 		report.Attempts = attempt
-		resp, err = s.invokeOnce(ctx, e, req, report)
+		resp, err = s.invokeOnce(ctx, e, t, req, report)
 		if err == nil || ctx.Err() != nil {
 			break
 		}
@@ -535,6 +606,7 @@ func (s *Server) Invoke(ctx context.Context, name string, req *kernels.Request) 
 		return nil, nil, err
 	}
 	met.observe(report.Cold, report.CachedCold, report.Breakdown)
+	tm.latency.Observe(report.Breakdown.Total())
 	s.observeWallTime(e, report.Cold, time.Since(wallStart))
 	return resp, report, nil
 }
@@ -745,11 +817,23 @@ func (s *Server) estimateWaitLocked(e *entry) time.Duration {
 
 // invokeOnce performs one placement attempt of an invocation,
 // accumulating modeled time into the report.
-func (s *Server) invokeOnce(ctx context.Context, e *entry, req *kernels.Request, report *Report) (*kernels.Response, error) {
+func (s *Server) invokeOnce(ctx context.Context, e *entry, t *tenantState, req *kernels.Request, report *Report) (*kernels.Response, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrServerClosed
+	}
+	// Dispatch-time capacity recheck: admission compared the kernel's
+	// backlog against healthy capacity when the invocation arrived, but a
+	// breaker can open (or every device of the kind fail) while it sat
+	// queued. Re-reading the capacity here keeps a mid-queue breaker open
+	// from piling admitted work onto a kernel with zero eligible devices;
+	// the shed is typed and charged like any other admission rejection.
+	if s.cfg.MaxQueuePerKernel > 0 && s.healthyCapacityLocked(e) == 0 {
+		s.mu.Unlock()
+		s.shedObserved(e, t, "capacity_lost")
+		return nil, fmt.Errorf("%w: kernel %q lost every eligible %s device after admission",
+			ErrOverloaded, e.name, e.kernel.Kind())
 	}
 	// Snapshot the implementation: ReplaceKernel may swap e.kernel while
 	// this invocation is in flight.
@@ -1336,6 +1420,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	if s.fair != nil {
+		// Queued waiters are not in flight and would never be granted
+		// once draining; reject them now so Drain cannot hang on them.
+		s.fair.flushLocked(s, ErrDraining)
+	}
 	s.cfg.Logger.Info("server draining", "in_flight", s.inFlight)
 	s.mu.Unlock()
 
@@ -1373,6 +1462,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.fair != nil {
+		s.fair.flushLocked(s, ErrServerClosed)
+	}
 	if s.cancel != nil {
 		s.cancel() // abort in-flight pre-warm boots
 	}

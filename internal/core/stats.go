@@ -76,6 +76,24 @@ type KernelStats struct {
 	PhasesWarm, PhasesCold, PhasesCachedCold map[string]time.Duration
 }
 
+// TenantStats is the per-tenant slice of a Stats snapshot.
+type TenantStats struct {
+	// Weight is the tenant's fair-share weight in weighted fair dispatch
+	// (1 when unconfigured).
+	Weight float64
+	// Admitted counts invocations admitted for this tenant.
+	Admitted uint64
+	// Shed counts invocations rejected by admission control and charged
+	// to this tenant (its own caps, queue bounds, or deadline expiry
+	// while queued).
+	Shed uint64
+	// InFlight is the number of the tenant's invocations being served
+	// right now; Queued is how many wait in its fair-queue flows.
+	InFlight, Queued int
+	// Latency summarizes the tenant's modeled invocation latency.
+	Latency LatencySummary
+}
+
 // DeviceStats is the per-device slice of a Stats snapshot.
 type DeviceStats struct {
 	// Kind is the device's accelerator kind name.
@@ -139,6 +157,13 @@ type Stats struct {
 	PerKernel map[string]KernelStats
 	// PerDevice holds per-device occupancy and utilization.
 	PerDevice map[string]DeviceStats
+	// PerTenant holds per-tenant admission counters and latency
+	// summaries for every tenant that has invoked the server. Empty
+	// until a request arrives (legacy callers appear as "default").
+	PerTenant map[string]TenantStats
+	// FairQueueing reports whether the tenant-aware weighted fair
+	// dispatch layer is active.
+	FairQueueing bool
 	// ArtifactCache snapshots the compiled-kernel cache, or nil when the
 	// server runs without one.
 	ArtifactCache *artifact.Stats
@@ -157,6 +182,19 @@ func (s *Server) Stats() Stats {
 		RunnersPerDevice: make(map[string]int, len(s.runnersOn)),
 		PerKernel:        make(map[string]KernelStats, len(s.entries)),
 		PerDevice:        make(map[string]DeviceStats),
+		PerTenant:        make(map[string]TenantStats, len(s.tenants)),
+		FairQueueing:     s.fair != nil,
+	}
+	for name, t := range s.tenants {
+		tm := s.tenantMet(t)
+		st.PerTenant[name] = TenantStats{
+			Weight:   t.weight,
+			Admitted: tm.admitted.Value(),
+			Shed:     tm.shedTotal(),
+			InFlight: t.inFlight,
+			Queued:   t.queued,
+			Latency:  summarize(tm.latency),
+		}
 	}
 	for name, e := range s.entries {
 		st.Runners += len(e.runners)

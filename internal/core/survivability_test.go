@@ -609,3 +609,37 @@ func TestUnavailableWhenEveryBreakerOpen(t *testing.T) {
 		t.Errorf("ErrUnavailable took %v, want immediate", elapsed)
 	}
 }
+
+// TestCapacityLostAfterAdmission: the queue-bound admission formula
+// (inFlight >= healthy + bound) happily admits work when healthy
+// capacity is zero — a backlog of zero always sits under the bound — so
+// capacity that vanished before (or while) an invocation queued used to
+// slip through admission with nowhere to run. The dispatch-time
+// capacity recheck must shed such invocations with the typed overload
+// error, counted like any other admission rejection. Regression test
+// for the capacity-snapshot bug.
+func TestCapacityLostAfterAdmission(t *testing.T) {
+	s, host, _ := newTestServer(t, 1, func(c *Config) {
+		c.BreakerThreshold = 1
+		c.BreakerOpenTimeout = time.Hour // modeled: never recovers in-test
+		c.MaxQueuePerKernel = 4
+	})
+	k := &fakeKernel{name: "k", kind: accel.GPU, cost: stdCost()}
+	if err := s.Register(k); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// The only GPU dies: healthy capacity is 0, yet the queue-bound
+	// formula still admits (0 in flight < 0 capacity + 4 bound).
+	host.Devices()[0].Fail()
+	_, _, err := s.Invoke(context.Background(), "k", nil)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("invoke after capacity loss err = %v, want ErrOverloaded", err)
+	}
+	st := s.Stats()
+	if st.PerKernel["k"].Shed == 0 {
+		t.Error("capacity-lost rejection was not counted as a shed")
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight accounting leaked: %d after shed", st.InFlight)
+	}
+}

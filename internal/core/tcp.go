@@ -425,7 +425,9 @@ func (t *TCPServer) watchPeer(sc *serverConn, cancel context.CancelFunc) (stop f
 }
 
 func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
-	req := &kernels.Request{Params: kernels.Params(msg.Header.Params)}
+	// Legacy (pre-tenant) peers leave Tenant empty; the server maps that
+	// to the deterministic "default" tenant at admission.
+	req := &kernels.Request{Params: kernels.Params(msg.Header.Params), Tenant: msg.Header.Tenant}
 	switch {
 	case msg.Header.ShmKey != "":
 		if t.regions == nil {

@@ -295,3 +295,49 @@ func TestMonteCarloName(t *testing.T) {
 		t.Fatalf("Monte Carlo kernel is %q, update the test", name)
 	}
 }
+
+// TestLegacyPeerMapsToDefaultTenant: a pre-tenant peer cannot send the
+// Tenant header field, and a tenant-aware peer may send any name. Both
+// must land in per-tenant accounting under deterministic keys — the
+// legacy invocation under "default", never under "" — so mixed-version
+// clusters do not split queues and metrics between two spellings of the
+// same tenant.
+func TestLegacyPeerMapsToDefaultTenant(t *testing.T) {
+	srv, tcp, _ := startTCP(t)
+	if err := srv.Register(kernels.NewMonteCarlo()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	conn := dialWire(t, tcp.Addr())
+	// A legacy frame: no Tenant field at all.
+	legacy := &wire.Message{
+		Type:   wire.MsgInvoke,
+		Header: wire.Header{Kernel: "mci", Params: map[string]float64{"n": 5000}},
+	}
+	// A tenant-aware frame from the same connection.
+	tagged := &wire.Message{
+		Type:   wire.MsgInvoke,
+		Header: wire.Header{Kernel: "mci", Params: map[string]float64{"n": 5000}, Tenant: "acme"},
+	}
+	for i, msg := range []*wire.Message{legacy, tagged} {
+		if err := wire.Write(conn, msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		reply, err := wire.Read(conn)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if reply.Type != wire.MsgResult {
+			t.Fatalf("reply %d = %s (%s), want result", i, reply.Type, reply.Header.Error)
+		}
+	}
+	st := srv.Stats()
+	if _, ok := st.PerTenant[""]; ok {
+		t.Error(`Stats.PerTenant contains the "" key — legacy tenants are not normalized`)
+	}
+	if got := st.PerTenant[DefaultTenant].Admitted; got != 1 {
+		t.Errorf("default tenant admitted %d, want 1 (the legacy frame)", got)
+	}
+	if got := st.PerTenant["acme"].Admitted; got != 1 {
+		t.Errorf("tenant acme admitted %d, want 1 (the tagged frame)", got)
+	}
+}

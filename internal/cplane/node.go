@@ -84,6 +84,10 @@ type Gossip struct {
 	// adopt library kernels they are missing, propagating registrations
 	// cluster-wide without a coordinator.
 	Kernels []string `json:"kernels,omitempty"`
+	// Tenants maps tenant name to the sender's per-tenant load summary
+	// (only tenants with live load or a saturated bound are listed), so
+	// routers can skip members a tenant has already saturated.
+	Tenants map[string]core.TenantHealth `json:"tenants,omitempty"`
 	// Peers lists the wire addresses of the members the sender knows,
 	// so membership converges transitively: a node that joins one seed
 	// is introduced to the whole cluster within a heartbeat round.
@@ -114,6 +118,8 @@ type Member struct {
 	OpenBreakers map[string]int `json:"openBreakers,omitempty"`
 	// Kernels mirrors the member's last gossiped kernel names.
 	Kernels []string `json:"kernels,omitempty"`
+	// Tenants mirrors the member's last gossiped per-tenant load.
+	Tenants map[string]core.TenantHealth `json:"tenants,omitempty"`
 	// Downs counts alive→down transitions observed for this member.
 	Downs uint64 `json:"downs,omitempty"`
 	// Ups counts down→alive transitions (including first admission).
@@ -485,6 +491,7 @@ func (n *Node) localGossip() *Gossip {
 	g.Draining = h.Draining || h.Closed
 	g.InFlight = h.InFlight
 	g.Kernels = h.Kernels
+	g.Tenants = h.Tenants
 	for kind, kh := range h.Kinds {
 		if kh.Eligible > 0 {
 			if g.Eligible == nil {
@@ -531,6 +538,7 @@ func (n *Node) Members() []Member {
 			Eligible:     p.last.Eligible,
 			OpenBreakers: p.last.OpenBreakers,
 			Kernels:      p.last.Kernels,
+			Tenants:      p.last.Tenants,
 			Downs:        p.downs,
 			Ups:          p.ups,
 			Beats:        p.beats,
@@ -561,6 +569,7 @@ func (n *Node) selfMember() *Member {
 		Draining: h.Draining || h.Closed,
 		InFlight: h.InFlight,
 		Kernels:  h.Kernels,
+		Tenants:  h.Tenants,
 	}
 	for kind, kh := range h.Kinds {
 		if kh.Eligible > 0 {

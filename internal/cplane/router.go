@@ -47,6 +47,9 @@ type RouterStats struct {
 	BudgetExhausted uint64 `json:"budgetExhausted"`
 	// Unroutable counts invocations that found no eligible node.
 	Unroutable uint64 `json:"unroutable"`
+	// TenantSkips counts picks that bypassed a member because the
+	// invoking tenant had saturated it (per gossiped tenant health).
+	TenantSkips uint64 `json:"tenantSkips,omitempty"`
 }
 
 // Router dispatches invocations across the cluster using the health
@@ -62,6 +65,7 @@ type Router struct {
 	failedOver      atomic.Uint64
 	budgetExhausted atomic.Uint64
 	unroutable      atomic.Uint64
+	tenantSkips     atomic.Uint64
 
 	mu       sync.Mutex
 	clients  map[string]*client.Client
@@ -102,6 +106,7 @@ func (r *Router) Stats() RouterStats {
 		FailedOver:      r.failedOver.Load(),
 		BudgetExhausted: r.budgetExhausted.Load(),
 		Unroutable:      r.unroutable.Load(),
+		TenantSkips:     r.tenantSkips.Load(),
 	}
 }
 
@@ -135,11 +140,19 @@ func (r *Router) Register(ctx context.Context, kernel string) error {
 // Invoke dispatches one invocation, failing over across members until
 // it succeeds, the candidates run out, or the retry budget does.
 func (r *Router) Invoke(ctx context.Context, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
+	return r.InvokeTenant(ctx, "", kernel, params, data)
+}
+
+// InvokeTenant is Invoke with a tenant identity: the tenant rides the
+// wire header for server-side fair queueing, and the pick prefers
+// members the tenant has not saturated (per gossiped tenant health),
+// falling back to saturated ones only when no other candidate exists.
+func (r *Router) InvokeTenant(ctx context.Context, tenant, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
 	kind := kindOf(kernel)
 	tried := make(map[string]bool)
 	var lastErr error
 	for hop := 0; ; hop++ {
-		m, ok := r.pick(kernel, kind, tried)
+		m, ok := r.pick(tenant, kernel, kind, tried)
 		if !ok {
 			if lastErr != nil {
 				return nil, lastErr
@@ -157,7 +170,7 @@ func (r *Router) Invoke(ctx context.Context, kernel string, params kernels.Param
 			r.redispatches.Add(1)
 		}
 		tried[m.Addr] = true
-		res, err := r.dispatch(ctx, m.Addr, kernel, params, data)
+		res, err := r.dispatch(ctx, m.Addr, tenant, kernel, params, data)
 		if err == nil {
 			if r.cfg.Budget != nil {
 				r.cfg.Budget.Credit()
@@ -182,11 +195,11 @@ func (r *Router) Invoke(ctx context.Context, kernel string, params kernels.Param
 
 // dispatch runs one attempt on the member at addr, tracking per-member
 // in-flight load for the least-loaded pick.
-func (r *Router) dispatch(ctx context.Context, addr, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
+func (r *Router) dispatch(ctx context.Context, addr, tenant, kernel string, params kernels.Params, data []byte) (*client.Result, error) {
 	c := r.clientFor(addr)
 	r.addInflight(addr, 1)
 	defer r.addInflight(addr, -1)
-	return c.InvokeContext(ctx, kernel, params, data)
+	return c.InvokeTenantContext(ctx, tenant, kernel, params, data)
 }
 
 // redispatchable decides whether a failed attempt may move to another
@@ -207,27 +220,47 @@ func (r *Router) redispatchable(err error) bool {
 // pick selects the untried member with the least router-local in-flight
 // load among those that are alive, not draining, serve the kernel, and
 // have an eligible device of its kind. Ties break by node name so
-// routing is deterministic.
-func (r *Router) pick(kernel, kind string, tried map[string]bool) (Member, bool) {
+// routing is deterministic. Members the invoking tenant has saturated
+// (per gossiped tenant health) are skipped on a first pass and only
+// reconsidered when no unsaturated candidate exists — a saturated
+// member would queue or shed the tenant's request, but it still beats
+// no member at all.
+func (r *Router) pick(tenant, kernel, kind string, tried map[string]bool) (Member, bool) {
 	members := r.cfg.Node.Members()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	best := -1
 	bestLoad := 0
-	for i, m := range members {
-		if m.Addr == "" || tried[m.Addr] || !m.Alive || m.Draining {
-			continue
+	skippedSaturated := false
+	for pass := 0; pass < 2 && best == -1; pass++ {
+		for i, m := range members {
+			if m.Addr == "" || tried[m.Addr] || !m.Alive || m.Draining {
+				continue
+			}
+			if !containsString(m.Kernels, kernel) {
+				continue
+			}
+			if kind != "" && m.Eligible[kind] == 0 {
+				continue
+			}
+			if pass == 0 && tenant != "" && m.Tenants[tenant].Saturated {
+				skippedSaturated = true
+				continue
+			}
+			load := r.inflight[m.Addr]
+			if best == -1 || load < bestLoad ||
+				(load == bestLoad && m.Node < members[best].Node) {
+				best, bestLoad = i, load
+			}
 		}
-		if !containsString(m.Kernels, kernel) {
-			continue
+		if pass == 0 && best != -1 && skippedSaturated {
+			// Bypassed at least one saturated member in favor of an
+			// unsaturated one (the fallback pass, by contrast, uses
+			// saturated members and counts nothing).
+			r.tenantSkips.Add(1)
 		}
-		if kind != "" && m.Eligible[kind] == 0 {
-			continue
-		}
-		load := r.inflight[m.Addr]
-		if best == -1 || load < bestLoad ||
-			(load == bestLoad && m.Node < members[best].Node) {
-			best, bestLoad = i, load
+		if !skippedSaturated {
+			break // second pass could not add candidates
 		}
 	}
 	if best == -1 {

@@ -64,6 +64,10 @@ func (p Params) Clone() Params {
 type Request struct {
 	Params Params
 	Data   []byte
+	// Tenant names the invoking tenant for fair queueing. Empty means
+	// the caller did not identify itself; the server normalizes that to
+	// its default tenant.
+	Tenant string
 }
 
 // Response is a kernel result: named scalar outputs plus an optional raw

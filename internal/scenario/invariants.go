@@ -88,6 +88,9 @@ type Record struct {
 	Latency time.Duration
 	// Err holds the error text for non-OK outcomes (diagnostics only).
 	Err string
+	// Tenant is the normalized tenant of the trace event, so per-tenant
+	// invariants can split outcomes by who offered the work.
+	Tenant string
 }
 
 // RunData is everything the invariant checker may inspect about a
@@ -455,6 +458,121 @@ func (c CacheWarmed) Check(d *RunData) error {
 	}
 	if hits < c.MinHits {
 		return fmt.Errorf("artifact cache hit %d cold starts (missed %d), want at least %d hits", hits, misses, c.MinHits)
+	}
+	return nil
+}
+
+// tenantRecords splits d.Records by the named (normalized) tenant.
+func (d *RunData) tenantRecords(tenant string) []Record {
+	tenant = core.NormalizeTenant(tenant)
+	var out []Record
+	for _, r := range d.Records {
+		if core.NormalizeTenant(r.Tenant) == tenant {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TenantMinSuccess asserts that at least Fraction of one tenant's
+// invocations succeeded. Noisy-neighbor scenarios use it on the victim
+// tenants: fair queueing must preserve their share of capacity while an
+// aggressor floods the server.
+type TenantMinSuccess struct {
+	Tenant   string
+	Fraction float64
+}
+
+// Name implements Invariant.
+func (t TenantMinSuccess) Name() string {
+	return fmt.Sprintf("tenant-min-success(%s,%.0f%%)", t.Tenant, 100*t.Fraction)
+}
+
+// Check implements Invariant.
+func (t TenantMinSuccess) Check(d *RunData) error {
+	recs := d.tenantRecords(t.Tenant)
+	if len(recs) == 0 {
+		return fmt.Errorf("tenant %q issued no invocations", t.Tenant)
+	}
+	ok := 0
+	for _, r := range recs {
+		if r.Outcome == OutcomeOK {
+			ok++
+		}
+	}
+	if got := float64(ok) / float64(len(recs)); got < t.Fraction {
+		return fmt.Errorf("tenant %q success rate %.1f%% (%d/%d) below the %.1f%% floor",
+			t.Tenant, 100*got, ok, len(recs), 100*t.Fraction)
+	}
+	return nil
+}
+
+// TenantBoundedP99 asserts one tenant's successful invocations kept a
+// bounded 99th-percentile wall latency — the victim-side half of the
+// noisy-neighbor contract: an aggressor's backlog must not inflate the
+// victims' tail beyond the bound.
+type TenantBoundedP99 struct {
+	Tenant string
+	Max    time.Duration
+}
+
+// Name implements Invariant.
+func (t TenantBoundedP99) Name() string {
+	return fmt.Sprintf("tenant-p99-under(%s,%v)", t.Tenant, t.Max)
+}
+
+// Check implements Invariant.
+func (t TenantBoundedP99) Check(d *RunData) error {
+	var ok []time.Duration
+	for _, r := range d.tenantRecords(t.Tenant) {
+		if r.Outcome == OutcomeOK {
+			ok = append(ok, r.Latency)
+		}
+	}
+	if len(ok) == 0 {
+		return fmt.Errorf("tenant %q has no successful invocations to measure", t.Tenant)
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	if p := ok[rankIndex(len(ok), 0.99)]; p > t.Max {
+		return fmt.Errorf("tenant %q p99 %v exceeds bound %v", t.Tenant, p, t.Max)
+	}
+	return nil
+}
+
+// ShedsChargedTo asserts that at least MinShare of all shed outcomes
+// were charged to the named tenant — the isolation half of the
+// noisy-neighbor contract: the aggressor that offered the excess load
+// absorbs the sheds, instead of spreading them across the victims.
+// Vacuously passes when the run shed nothing.
+type ShedsChargedTo struct {
+	Tenant   string
+	MinShare float64
+}
+
+// Name implements Invariant.
+func (s ShedsChargedTo) Name() string {
+	return fmt.Sprintf("sheds-charged-to(%s,>=%.0f%%)", s.Tenant, 100*s.MinShare)
+}
+
+// Check implements Invariant.
+func (s ShedsChargedTo) Check(d *RunData) error {
+	total, charged := 0, 0
+	tenant := core.NormalizeTenant(s.Tenant)
+	for _, r := range d.Records {
+		if r.Outcome != OutcomeShed {
+			continue
+		}
+		total++
+		if core.NormalizeTenant(r.Tenant) == tenant {
+			charged++
+		}
+	}
+	if total == 0 {
+		return nil // nothing shed, nothing to charge
+	}
+	if got := float64(charged) / float64(total); got < s.MinShare {
+		return fmt.Errorf("tenant %q was charged %.1f%% of sheds (%d/%d), want at least %.1f%%",
+			s.Tenant, 100*got, charged, total, 100*s.MinShare)
 	}
 	return nil
 }

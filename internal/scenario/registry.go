@@ -330,6 +330,62 @@ var registry = map[string]Spec{
 		},
 	},
 
+	"noisy-neighbor": {
+		Name: "noisy-neighbor",
+		Description: "one aggressor tenant offers ~10x the victims' load into a saturated server; weighted fair queueing " +
+			"must preserve the victims' success rate and tail latency while the sheds land on the aggressor",
+		Transport: TransportInProcess,
+		Trace: TraceSpec{
+			// Inter-arrivals are hundreds of modeled milliseconds so the
+			// open-loop replay can pace them in wall time (at the test
+			// time scale that is ~200µs between timer fires, comfortably
+			// above timer overhead even under the race detector). Tighter
+			// spacing collapses into a machine-speed flood that lands
+			// before the first cold start finishes, and then only queue
+			// structure — not scheduling — decides the outcomes.
+			Events: 650,
+			Arrivals: ArrivalSpec{
+				Kind: "poisson",
+				Mean: 400 * time.Millisecond,
+			},
+			// The aggressor draws ~10x the weight of either victim, so
+			// ~10/12 of the trace is its flood. Per-request device time is
+			// 3-5 modeled seconds, so the aggressor's ~2.1/s offered rate
+			// saturates its own in-flight cap while each victim's ~0.2/s
+			// sits far below its fair third of capacity — fairness must
+			// keep the victims whole.
+			Mix: []KernelMix{
+				{Kernel: "mci", Weight: 10, MinN: 3e11, MaxN: 5e11, Tenant: "aggressor"},
+				{Kernel: "mci", Weight: 1, MinN: 3e11, MaxN: 5e11, Tenant: "victim-a"},
+				{Kernel: "mci", Weight: 1, MinN: 3e11, MaxN: 5e11, Tenant: "victim-b"},
+			},
+		},
+		MaxConcurrent:    64,
+		MaxInFlightTotal: 8,
+		// Per-tenant bounds do the isolating: the aggressor pins its
+		// in-flight cap, overflows its own queue bound, and absorbs the
+		// sheds, while the victims' thin streams fit inside their caps.
+		// Weights are equal — the point is per-tenant flow queues, not a
+		// privileged victim. The anti-neutering test runs this same spec
+		// with DisableFairQueueing: the flat gate sheds whoever arrives at
+		// a full server, so the victim floors and the aggressor's shed
+		// share must fail there.
+		TenantWeights:        map[string]float64{"aggressor": 1, "victim-a": 1, "victim-b": 1},
+		MaxInFlightPerTenant: 4,
+		MaxQueuePerTenant:    8,
+		StickinessBound:      4,
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			OutcomesIn{Allowed: []Outcome{OutcomeOK, OutcomeShed}},
+			TenantMinSuccess{Tenant: "victim-a", Fraction: 0.95},
+			TenantMinSuccess{Tenant: "victim-b", Fraction: 0.95},
+			TenantBoundedP99{Tenant: "victim-a", Max: 10 * time.Second},
+			TenantBoundedP99{Tenant: "victim-b", Max: 10 * time.Second},
+			ShedsChargedTo{Tenant: "aggressor", MinShare: 0.9},
+		},
+	},
+
 	"diurnal-scale-to-zero": {
 		Name: "diurnal-scale-to-zero",
 		Description: "sparse diurnal trace against scale-to-zero, the compiled-artifact cache, and predictive pre-warm; " +

@@ -69,6 +69,20 @@ type Spec struct {
 	// MaxInFlightTotal and MaxQueuePerKernel configure admission
 	// control (0 = uncapped).
 	MaxInFlightTotal, MaxQueuePerKernel int
+	// TenantWeights enables weighted fair queueing across the trace's
+	// tenants (absent tenants get weight 1).
+	TenantWeights map[string]float64
+	// MaxInFlightPerTenant and MaxQueuePerTenant bound each tenant's
+	// concurrent and queued load (0 = uncapped); the excess is shed with
+	// OVERLOADED charged to the offending tenant.
+	MaxInFlightPerTenant, MaxQueuePerTenant int
+	// StickinessBound caps consecutive warm-runner fairness bypasses
+	// (0 = core default, negative disables stickiness).
+	StickinessBound int
+	// DisableFairQueueing forces the flat FCFS admission path even with
+	// tenant knobs set — the anti-neutering check runs the noisy-neighbor
+	// scenario with this on and expects its invariants to fail.
+	DisableFairQueueing bool
 	// BreakerThreshold and BreakerOpenTimeout configure the device
 	// circuit breakers (0 = core defaults).
 	BreakerThreshold   int
@@ -272,7 +286,7 @@ func RunTrace(ctx context.Context, spec Spec, trace Trace, seed int64, scale flo
 		err := h.invoke(ictx, e)
 		d := time.Since(t0)
 		cancel()
-		rec := Record{Index: i, Outcome: Classify(err), Latency: d}
+		rec := Record{Index: i, Outcome: Classify(err), Latency: d, Tenant: core.NormalizeTenant(e.Tenant)}
 		if err != nil {
 			rec.Err = err.Error()
 		}
@@ -414,12 +428,17 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 		cache = artifact.NewCache(spec.ArtifactCacheBytes)
 	}
 	srv, err := core.New(core.Config{
-		Clock:              clock,
-		Host:               host,
-		MaxInFlightTotal:   spec.MaxInFlightTotal,
-		MaxQueuePerKernel:  spec.MaxQueuePerKernel,
-		BreakerThreshold:   spec.BreakerThreshold,
-		BreakerOpenTimeout: spec.BreakerOpenTimeout,
+		Clock:                clock,
+		Host:                 host,
+		MaxInFlightTotal:     spec.MaxInFlightTotal,
+		MaxQueuePerKernel:    spec.MaxQueuePerKernel,
+		TenantWeights:        spec.TenantWeights,
+		MaxInFlightPerTenant: spec.MaxInFlightPerTenant,
+		MaxQueuePerTenant:    spec.MaxQueuePerTenant,
+		StickinessBound:      spec.StickinessBound,
+		DisableFairQueueing:  spec.DisableFairQueueing,
+		BreakerThreshold:     spec.BreakerThreshold,
+		BreakerOpenTimeout:   spec.BreakerOpenTimeout,
 		KeepAlive: core.KeepAlive{
 			Idle:        spec.KeepAliveIdle,
 			SweepEvery:  spec.KeepAliveSweep,
@@ -455,6 +474,7 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 			_, _, err := srv.Invoke(ctx, e.Kernel, &kernels.Request{
 				Params: kernels.Params{"n": e.N},
 				Data:   make([]byte, e.Payload),
+				Tenant: e.Tenant,
 			})
 			return err
 		}
@@ -503,10 +523,29 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 	c := client.Dial(tcp.Addr(), opts...)
 	h.cleanup = append(h.cleanup, c.Close)
 	h.invoke = func(ctx context.Context, e Event) error {
-		_, err := c.InvokeContext(ctx, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
+		_, err := c.InvokeTenantContext(ctx, e.Tenant, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
 		return err
 	}
 	return h, nil
+}
+
+// tenantOptions translates the spec's fairness knobs into platform
+// options for the multi-host transports.
+func tenantOptions(spec Spec) []kaas.Option {
+	var opts []kaas.Option
+	if len(spec.TenantWeights) > 0 {
+		opts = append(opts, kaas.WithTenantWeights(spec.TenantWeights))
+	}
+	if spec.MaxInFlightPerTenant > 0 || spec.MaxQueuePerTenant > 0 {
+		opts = append(opts, kaas.WithTenantLimits(spec.MaxInFlightPerTenant, spec.MaxQueuePerTenant))
+	}
+	if spec.StickinessBound != 0 {
+		opts = append(opts, kaas.WithStickinessBound(spec.StickinessBound))
+	}
+	if spec.DisableFairQueueing {
+		opts = append(opts, kaas.WithoutFairQueueing())
+	}
+	return opts
 }
 
 // buildCluster assembles the federated transport: Hosts platforms with
@@ -528,6 +567,7 @@ func buildCluster(spec Spec, names []string, clock vclock.Clock, scale float64) 
 			kaas.WithBreaker(spec.BreakerThreshold, spec.BreakerOpenTimeout),
 			kaas.WithoutResultComputation(),
 		}
+		opts = append(opts, tenantOptions(spec)...)
 		if spec.KeepAliveIdle > 0 {
 			opts = append(opts, kaas.WithKeepAlive(spec.KeepAliveIdle, spec.KeepAliveSweep))
 		}
@@ -601,6 +641,7 @@ func buildNodes(spec Spec, names []string, clock vclock.Clock, scale float64) (*
 			// the rest of the mesh.
 			kaas.WithClusterNode(fmt.Sprintf("node%d", i), seeds...),
 		}
+		opts = append(opts, tenantOptions(spec)...)
 		p, err := kaas.New(opts...)
 		if err != nil {
 			h.close()
@@ -670,7 +711,7 @@ func buildNodes(spec Spec, names []string, clock vclock.Clock, scale float64) (*
 	}
 	h.failover = router.Stats
 	h.invoke = func(ctx context.Context, e Event) error {
-		_, err := router.Invoke(ctx, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
+		_, err := router.InvokeTenant(ctx, e.Tenant, e.Kernel, kernels.Params{"n": e.N}, make([]byte, e.Payload))
 		return err
 	}
 	return h, nil

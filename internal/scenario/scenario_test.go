@@ -119,6 +119,39 @@ func TestScenarioFailingInvariantFailsRun(t *testing.T) {
 	}
 }
 
+// TestScenarioNoisyNeighborAntiNeutering reruns the noisy-neighbor spec
+// with fair queueing disabled and requires the per-tenant invariants to
+// FAIL: the flat admission gate sheds whoever arrives at a full server,
+// so the victims lose their success floors and the aggressor no longer
+// absorbs ~all of the sheds. If this run passes, the scenario has been
+// neutered — it no longer proves that WFQ is doing the isolating.
+func TestScenarioNoisyNeighborAntiNeutering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anti-neutering run skipped in short mode")
+	}
+	spec, err := Lookup("noisy-neighbor")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	spec.DisableFairQueueing = true
+	res, err := Run(context.Background(), spec, 1, testScale)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Passed {
+		t.Fatalf("noisy-neighbor passed with fair queueing disabled (counts: %v) — the scenario no longer proves isolation", res.Counts)
+	}
+	var tenantFailure bool
+	for _, v := range res.Verdicts {
+		if !v.Pass && (strings.HasPrefix(v.Invariant, "tenant-") || strings.HasPrefix(v.Invariant, "sheds-charged-to")) {
+			tenantFailure = true
+		}
+	}
+	if !tenantFailure {
+		t.Error("no per-tenant invariant failed under FCFS — the floors are too loose to detect the regression")
+	}
+}
+
 // TestScenarioCancel aborts a run mid-replay and requires a prompt,
 // typed return instead of a hang.
 func TestScenarioCancel(t *testing.T) {
@@ -267,6 +300,32 @@ func TestInvariantsDetectViolations(t *testing.T) {
 			d.Stats[0].PreWarms = 1
 		}, true},
 		{"pre-warmed-never-fired", PreWarmed{Min: 1}, nil, false},
+		{"tenant-min-success-ok", TenantMinSuccess{Tenant: "victim", Fraction: 0.9}, func(d *RunData) {
+			d.Records[0].Tenant = "victim"
+			d.Records[1].Tenant = "victim"
+			d.Records[3].Tenant = "noisy"
+		}, true},
+		{"tenant-min-success-starved", TenantMinSuccess{Tenant: "victim", Fraction: 0.9}, func(d *RunData) {
+			d.Records[0].Tenant = "victim"
+			d.Records[3].Tenant = "victim" // the shed lands on the victim: 1/2
+		}, false},
+		{"tenant-min-success-absent-tenant", TenantMinSuccess{Tenant: "ghost", Fraction: 0.5}, nil, false},
+		{"tenant-min-success-default-normalized", TenantMinSuccess{Tenant: "", Fraction: 0.7}, nil, true},
+		{"tenant-p99-ok", TenantBoundedP99{Tenant: "victim", Max: time.Second}, func(d *RunData) {
+			d.Records[0].Tenant = "victim"
+			d.Records[1].Tenant = "victim"
+		}, true},
+		{"tenant-p99-stall", TenantBoundedP99{Tenant: "victim", Max: time.Second}, func(d *RunData) {
+			d.Records[2].Tenant = "victim"
+			d.Records[2].Latency = time.Minute
+		}, false},
+		{"sheds-charged-ok", ShedsChargedTo{Tenant: "noisy", MinShare: 0.9}, func(d *RunData) {
+			d.Records[3].Tenant = "noisy" // the only shed
+		}, true},
+		{"sheds-charged-spread", ShedsChargedTo{Tenant: "noisy", MinShare: 0.9}, nil, false},
+		{"sheds-charged-vacuous", ShedsChargedTo{Tenant: "noisy", MinShare: 0.9}, func(d *RunData) {
+			d.Records[3].Outcome = OutcomeOK // nothing shed, nothing to charge
+		}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -20,6 +20,10 @@ type Event struct {
 	Kernel  string        `json:"kernel"`
 	N       float64       `json:"n"`
 	Payload int           `json:"payload"`
+	// Tenant names the invoking tenant (empty = the server's default
+	// tenant), so multi-tenant scenarios can interleave competing
+	// workloads in one trace.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Trace is a time-ordered invocation schedule.
@@ -52,7 +56,7 @@ func (t Trace) Duration() time.Duration {
 func (t Trace) Fingerprint() string {
 	h := fnv.New64a()
 	for _, e := range t {
-		fmt.Fprintf(h, "%d|%s|%g|%d;", e.At.Milliseconds(), e.Kernel, e.N, e.Payload)
+		fmt.Fprintf(h, "%d|%s|%g|%d|%s;", e.At.Milliseconds(), e.Kernel, e.N, e.Payload, e.Tenant)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -68,6 +72,9 @@ type KernelMix struct {
 	MaxN float64 `json:"max_n,omitempty"`
 	// Payload is the in-band payload size in bytes (0 = none).
 	Payload int `json:"payload,omitempty"`
+	// Tenant stamps events drawn from this entry with a tenant identity
+	// (empty = the server's default tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // TraceSpec describes a synthetic trace: how many events, their arrival
@@ -120,7 +127,7 @@ func Synthesize(spec TraceSpec, seed int64) (Trace, error) {
 		if m.MaxN > m.MinN {
 			n = m.MinN + rng.Float64()*(m.MaxN-m.MinN)
 		}
-		trace = append(trace, Event{At: at, Kernel: m.Kernel, N: n, Payload: m.Payload})
+		trace = append(trace, Event{At: at, Kernel: m.Kernel, N: n, Payload: m.Payload, Tenant: m.Tenant})
 	}
 	return trace, nil
 }
@@ -139,12 +146,14 @@ func drawMix(mix []KernelMix, total float64, rng *rand.Rand) KernelMix {
 
 // ParseCSV reads a trace from CSV text, one event per line:
 //
-//	offset_ms,kernel,n,payload_bytes
+//	offset_ms,kernel,n,payload_bytes[,tenant]
 //
-// Blank lines and lines starting with '#' are ignored; a header line
-// beginning with "offset" is skipped. Offsets must be non-decreasing (the
-// open-loop replay contract), so externally recorded traces are validated
-// at load time instead of failing mid-replay.
+// The fifth field is optional and names the invoking tenant (absent or
+// empty = the server's default tenant), so recorded multi-tenant traces
+// round-trip. Blank lines and lines starting with '#' are ignored; a
+// header line beginning with "offset" is skipped. Offsets must be
+// non-decreasing (the open-loop replay contract), so externally recorded
+// traces are validated at load time instead of failing mid-replay.
 func ParseCSV(r io.Reader) (Trace, error) {
 	var trace Trace
 	sc := bufio.NewScanner(r)
@@ -159,8 +168,8 @@ func ParseCSV(r io.Reader) (Trace, error) {
 			continue // header
 		}
 		fields := strings.Split(text, ",")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("scenario: trace line %d: want 4 fields offset_ms,kernel,n,payload, got %d", line, len(fields))
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("scenario: trace line %d: want 4 or 5 fields offset_ms,kernel,n,payload[,tenant], got %d", line, len(fields))
 		}
 		offMS, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
 		if err != nil || offMS < 0 {
@@ -178,11 +187,16 @@ func ParseCSV(r io.Reader) (Trace, error) {
 		if err != nil || payload < 0 {
 			return nil, fmt.Errorf("scenario: trace line %d: bad payload %q", line, fields[3])
 		}
+		var tenant string
+		if len(fields) == 5 {
+			tenant = strings.TrimSpace(fields[4])
+		}
 		trace = append(trace, Event{
 			At:      time.Duration(offMS * float64(time.Millisecond)),
 			Kernel:  kernel,
 			N:       n,
 			Payload: payload,
+			Tenant:  tenant,
 		})
 	}
 	if err := sc.Err(); err != nil {

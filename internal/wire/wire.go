@@ -184,6 +184,11 @@ var (
 type Header struct {
 	// Kernel is the kernel name for register/invoke.
 	Kernel string `json:"kernel,omitempty"`
+	// Tenant identifies the invoking tenant for fair queueing on
+	// MsgInvoke. Legacy (pre-tenant) peers omit it; servers map the empty
+	// string to the deterministic "default" tenant so mixed-version
+	// clusters do not split accounting between "" and "default".
+	Tenant string `json:"tenant,omitempty"`
 	// Kind is the device kind name for register.
 	Kind string `json:"kind,omitempty"`
 	// Params are the invocation parameters.

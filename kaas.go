@@ -184,6 +184,12 @@ type config struct {
 	breakerThreshold   int
 	breakerOpenTimeout time.Duration
 
+	tenantWeights        map[string]float64
+	maxInFlightPerTenant int
+	maxQueuePerTenant    int
+	stickinessBound      int
+	disableFairQueueing  bool
+
 	artifactCacheBytes int64
 	keepAlive          core.KeepAlive
 
@@ -355,6 +361,50 @@ func WithAdmissionLimits(maxInFlightTotal, maxQueuePerKernel int) Option {
 	}
 }
 
+// WithTenantWeights enables weighted fair queueing across tenants:
+// under saturation each tenant's throughput converges to its weight's
+// share of capacity. Tenants absent from the map (including the
+// "default" tenant unidentified clients map to) get weight 1;
+// non-positive weights are treated as 1.
+func WithTenantWeights(weights map[string]float64) Option {
+	return func(c *config) {
+		if c.tenantWeights == nil {
+			c.tenantWeights = make(map[string]float64, len(weights))
+		}
+		for t, w := range weights {
+			c.tenantWeights[t] = w
+		}
+	}
+}
+
+// WithTenantLimits bounds each tenant's load: at most maxInFlight of a
+// tenant's invocations execute concurrently, and at most maxQueue wait
+// in its fair-queue flows — excess is shed with ErrOverloaded charged
+// to that tenant, so one noisy tenant's backlog cannot displace others.
+// Zero for either limit disables it.
+func WithTenantLimits(maxInFlight, maxQueue int) Option {
+	return func(c *config) {
+		c.maxInFlightPerTenant = maxInFlight
+		c.maxQueuePerTenant = maxQueue
+	}
+}
+
+// WithStickinessBound tunes warm-runner stickiness in fair dispatch: up
+// to bound consecutive grants may bypass strict fairness order in favor
+// of a flow whose kernel already holds a warm runner with free
+// capacity, after which the strictly-fair flow is served regardless.
+// Zero keeps the default (4); negative disables stickiness.
+func WithStickinessBound(bound int) Option {
+	return func(c *config) { c.stickinessBound = bound }
+}
+
+// WithoutFairQueueing forces the flat FCFS admission path even when
+// tenant weights or limits are configured. Benchmark harnesses use it
+// as the comparison baseline; production configurations should not.
+func WithoutFairQueueing() Option {
+	return func(c *config) { c.disableFairQueueing = true }
+}
+
 // WithBreaker tunes the per-device circuit breakers: threshold
 // consecutive device failures open a device's breaker (excluding it from
 // placement), and after openTimeout of modeled time one probe invocation
@@ -452,6 +502,11 @@ func New(opts ...Option) (*Platform, error) {
 		Artifacts:            artifacts,
 		MaxInFlightTotal:     cfg.maxInFlightTotal,
 		MaxQueuePerKernel:    cfg.maxQueuePerKernel,
+		TenantWeights:        cfg.tenantWeights,
+		MaxInFlightPerTenant: cfg.maxInFlightPerTenant,
+		MaxQueuePerTenant:    cfg.maxQueuePerTenant,
+		StickinessBound:      cfg.stickinessBound,
+		DisableFairQueueing:  cfg.disableFairQueueing,
 		BreakerThreshold:     cfg.breakerThreshold,
 		BreakerOpenTimeout:   cfg.breakerOpenTimeout,
 		DisableCompute:       cfg.disableResult,
@@ -528,6 +583,13 @@ func (p *Platform) RegisterByName(name string) error {
 // Invoke calls a registered kernel in process.
 func (p *Platform) Invoke(ctx context.Context, name string, params Params, data []byte) (*Response, *Report, error) {
 	return p.server.Invoke(ctx, name, &kernels.Request{Params: params, Data: data})
+}
+
+// InvokeTenant calls a registered kernel in process on behalf of the
+// named tenant, so in-process callers participate in fair queueing like
+// remote peers. An empty tenant maps to the server's default tenant.
+func (p *Platform) InvokeTenant(ctx context.Context, tenant, name string, params Params, data []byte) (*Response, *Report, error) {
+	return p.server.Invoke(ctx, name, &kernels.Request{Params: params, Data: data, Tenant: tenant})
 }
 
 // Kernels lists the registered kernel names.
