@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart bench-failover bench-fairness scenario-ci scenario-json ci clean
+.PHONY: all build vet test race fuzz faultcheck lint vuln bench-json bench-coldstart bench-failover bench-fairness bench-dataplane scenario-ci scenario-json ci clean
 
 all: build
 
@@ -87,6 +87,15 @@ bench-failover:
 # The run fails unless WFQ materially improves the victims' tail.
 bench-fairness:
 	$(GO) run ./cmd/kaasbench -fairness 650 -fairness-out BENCH_PR9.json
+
+# Regenerate the committed data-plane report: the zero-copy out-of-band
+# sweep (alloc/op per payload size must stay under a flat budget) and
+# the micro-batch window matrix (batched dispatches must coalesce and
+# device utilization must not drop below the unbatched arm). On hosts
+# without shared-memory support the sweep reports the reason and exits
+# cleanly — clients there fall back to in-band transfer transparently.
+bench-dataplane:
+	$(GO) run ./cmd/kaasbench -oob -seed 1 -oob-out BENCH_PR10.json
 
 ci: vet build test race fuzz scenario-ci
 

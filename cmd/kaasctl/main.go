@@ -283,6 +283,15 @@ func printVerboseStats(w io.Writer, st *core.Stats) error {
 		fmt.Fprintf(w, "artifact cache: %d entries (%s of %s)  hits: %d  misses: %d  seeded: %d  evictions: %d\n",
 			ac.Entries, formatBytes(ac.UsedBytes), formatBytes(ac.BudgetBytes), ac.Hits, ac.Misses, ac.Seeded, ac.Evictions)
 	}
+	if dp := st.DataPlane; dp.OOBInvocations > 0 || dp.LeaseGrants > 0 || dp.ArenaCapacity > 0 {
+		fmt.Fprintf(w, "data plane: oob invocations: %d (%s)  in-band: %s  leases: %d active (%s granted, %d grants, %d reuses, %d revoked)\n",
+			dp.OOBInvocations, formatBytes(int64(dp.OOBBytes)), formatBytes(int64(dp.InBandBytes)),
+			dp.ActiveLeases, formatBytes(dp.LeaseBytesGranted), dp.LeaseGrants, dp.LeaseReuses, dp.LeaseRevocations)
+	}
+	if st.Batching {
+		fmt.Fprintf(w, "batching: %d invocations in %d device dispatches\n",
+			st.DataPlane.BatchedInvocations, st.DataPlane.BatchDispatches)
+	}
 	fmt.Fprintln(w)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

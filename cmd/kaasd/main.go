@@ -98,6 +98,10 @@ func run(args []string, ready ...chan<- string) error {
 	tenantMaxInFlight := fs.Int("tenant-max-inflight", 0, "per-tenant in-flight cap under fair queueing (0 = unlimited)")
 	tenantMaxQueue := fs.Int("tenant-max-queue", 0, "per-tenant fair-queue depth bound; overflow is shed and charged to the tenant (0 = unlimited)")
 	stickinessBound := fs.Int("stickiness-bound", 0, "max consecutive warm-runner sticky dispatches before strict fair order is forced (0 = default, negative = disable stickiness)")
+	oob := fs.Bool("oob", false, "enable the zero-copy out-of-band data plane (pooled tensor arena, leased windows)")
+	arenaBytes := fs.Int64("arena-bytes", 0, "tensor arena byte budget with -oob (0 = default 256 MiB)")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce same-kernel invocations arriving within this modeled-time window into one device dispatch (0 = off)")
+	batchMax := fs.Int("batch-max", 0, "max invocations per coalesced dispatch with -batch-window (0 = default 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +147,18 @@ func run(args []string, ready ...chan<- string) error {
 	}
 	if *stickinessBound != 0 {
 		popts = append(popts, kaas.WithStickinessBound(*stickinessBound))
+	}
+	if *arenaBytes > 0 && !*oob {
+		return fmt.Errorf("-arena-bytes requires -oob")
+	}
+	if *oob {
+		popts = append(popts, kaas.WithOutOfBand(*arenaBytes))
+	}
+	if *batchMax > 0 && *batchWindow <= 0 {
+		return fmt.Errorf("-batch-max requires -batch-window")
+	}
+	if *batchWindow > 0 {
+		popts = append(popts, kaas.WithBatching(*batchWindow, *batchMax))
 	}
 	if *join != "" && *nodeName == "" {
 		return fmt.Errorf("-join requires -node-name")

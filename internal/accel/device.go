@@ -375,3 +375,31 @@ func (c *Context) Exec(ctx context.Context, work float64) (time.Duration, error)
 	}
 	return d + c.device.profile.LaunchOverhead, nil
 }
+
+// ExecBatch launches the given work units as one coalesced kernel
+// dispatch: the device pays LaunchOverhead once for the whole batch
+// instead of once per member, then runs the summed work on the compute
+// fabric. This is the modeled win of server-side micro-batching — N
+// same-kernel invocations amortize a single launch. It returns the
+// modeled batch time (including the single launch overhead).
+func (c *Context) ExecBatch(ctx context.Context, works []float64) (time.Duration, error) {
+	if err := c.checkLive(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, w := range works {
+		if w < 0 {
+			return 0, fmt.Errorf("accel: negative work %v", w)
+		}
+		total += w
+	}
+	if len(works) == 0 {
+		return 0, nil
+	}
+	c.device.clock.Sleep(c.device.profile.LaunchOverhead)
+	d, err := c.device.compute.Run(ctx, total)
+	if err != nil {
+		return d, fmt.Errorf("exec batch on %s: %w", c.device.id, err)
+	}
+	return d + c.device.profile.LaunchOverhead, nil
+}

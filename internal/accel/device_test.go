@@ -212,6 +212,33 @@ func TestExecDuration(t *testing.T) {
 	}
 }
 
+func TestExecBatchAmortizesLaunchOverhead(t *testing.T) {
+	d := testDevice(t, testProfile())
+	c, err := d.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer c.Release()
+
+	// Four 125-unit members at 1000/s = 500ms compute + ONE 1ms launch,
+	// where four separate Execs would pay the launch four times.
+	elapsed, err := c.ExecBatch(context.Background(), []float64{125, 125, 125, 125})
+	if err != nil {
+		t.Fatalf("ExecBatch: %v", err)
+	}
+	want := 501 * time.Millisecond
+	if math.Abs(float64(elapsed-want)) > 0.2*float64(want) {
+		t.Errorf("ExecBatch = %v, want ~%v", elapsed, want)
+	}
+
+	if _, err := c.ExecBatch(context.Background(), nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if _, err := c.ExecBatch(context.Background(), []float64{10, -1}); err == nil {
+		t.Error("negative member work accepted, want error")
+	}
+}
+
 func TestCopyDuration(t *testing.T) {
 	d := testDevice(t, testProfile())
 	c, err := d.Acquire(context.Background())

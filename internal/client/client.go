@@ -70,6 +70,18 @@ func WithShm(r *shm.Registry) Option {
 	return func(c *Client) { c.regions = r }
 }
 
+// WithArena enables the zero-copy out-of-band data plane on the
+// multiplexed transport: the client negotiates leases over windows of
+// the server's pooled tensor arena and moves invocation payloads by
+// handle — the bytes never ride the wire and the serving path reads the
+// shared window in place. The pool must be the same instance the server
+// serves (same host). Requires WithMux; connections whose server lacks
+// arena support, and leases revoked mid-flight (drain, breaker-open),
+// fall back to in-band transfer transparently.
+func WithArena(p *shm.ArenaPool) Option {
+	return func(c *Client) { c.arena = p }
+}
+
 // WithTimeout sets a default per-call deadline applied whenever the
 // caller's context has none. Zero (the default) means calls without a
 // context deadline wait forever.
@@ -158,6 +170,7 @@ type Client struct {
 	addr     string
 	link     *netshape.Link
 	regions  *shm.Registry
+	arena    *shm.ArenaPool
 	timeout  time.Duration
 	retry    RetryPolicy
 	budget   *RetryBudget

@@ -63,7 +63,7 @@ func (p *muxPool) attempt(ctx context.Context, msg *wire.Message) (reply *wire.M
 		return nil, true, err
 	}
 	p.c.metrics.attempts.Add(1)
-	reply, err = mc.roundTrip(ctx, msg)
+	reply, err = p.oobRoundTrip(ctx, mc, msg)
 	if err != nil && !fresh && isConnError(err) && ctx.Err() == nil {
 		p.c.metrics.staleConns.Add(1)
 		mc2, _, derr := p.get(ctx)
@@ -74,7 +74,7 @@ func (p *muxPool) attempt(ctx context.Context, msg *wire.Message) (reply *wire.M
 			return nil, true, derr
 		}
 		p.c.metrics.attempts.Add(1)
-		reply, err = mc2.roundTrip(ctx, msg)
+		reply, err = p.oobRoundTrip(ctx, mc2, msg)
 	}
 	if err != nil {
 		return nil, true, err
@@ -83,6 +83,20 @@ func (p *muxPool) attempt(ctx context.Context, msg *wire.Message) (reply *wire.M
 		return nil, true, rerr
 	}
 	return reply, true, nil
+}
+
+// oobRoundTrip routes one request over mc, taking the zero-copy leased
+// path when the out-of-band arena is configured and the request carries
+// an in-band payload. Anything the lease path cannot serve — no arena on
+// the server, budget full, lease revoked mid-flight — falls back to the
+// plain in-band round trip transparently.
+func (p *muxPool) oobRoundTrip(ctx context.Context, mc *muxConn, msg *wire.Message) (*wire.Message, error) {
+	if p.c.arena != nil && msg.Type == wire.MsgInvoke && len(msg.Body) > 0 && msg.Header.ShmKey == "" {
+		if reply, used, err := mc.invokeLeased(ctx, msg); used {
+			return reply, err
+		}
+	}
+	return mc.roundTrip(ctx, msg)
 }
 
 // get returns a live shared connection, dialing and handshaking one if
@@ -195,6 +209,10 @@ type muxConn struct {
 
 	failOnce sync.Once
 
+	// leases caches this connection's granted arena windows for the
+	// zero-copy out-of-band path (WithArena).
+	leases *leasePool
+
 	mu      sync.Mutex
 	failErr error
 	pending map[uint64]chan *wire.Message
@@ -207,6 +225,7 @@ func newMuxConn(c *Client, conn net.Conn) *muxConn {
 		conn:    conn,
 		writeCh: make(chan *wire.Message, 64),
 		dead:    make(chan struct{}),
+		leases:  newLeasePool(),
 		pending: make(map[uint64]chan *wire.Message),
 	}
 	go m.readLoop()
@@ -224,7 +243,9 @@ func (m *muxConn) isDead() bool {
 	}
 }
 
-// fail marks the connection dead exactly once, waking every waiter.
+// fail marks the connection dead exactly once, waking every waiter and
+// dropping the connection's arena-lease pins (the server revokes its
+// side of each lease when it observes the disconnect).
 func (m *muxConn) fail(err error) {
 	m.failOnce.Do(func() {
 		m.mu.Lock()
@@ -232,6 +253,7 @@ func (m *muxConn) fail(err error) {
 		m.mu.Unlock()
 		close(m.dead)
 		m.conn.Close()
+		m.leases.releaseAll()
 	})
 }
 
@@ -281,6 +303,13 @@ func (m *muxConn) readLoop() {
 		if err != nil {
 			m.fail(fmt.Errorf("client: read reply: %w", err))
 			return
+		}
+		if msg.Type == wire.MsgLeaseRevoke {
+			// Unsolicited server notice (drain, breaker-open): stop using
+			// the window; the next payload goes in-band or over a fresh
+			// lease.
+			m.leases.revoked(msg.Header.LeaseID)
+			continue
 		}
 		m.mu.Lock()
 		ch := m.pending[msg.Header.StreamID]

@@ -33,6 +33,13 @@ const (
 	metricTenantInFlight = "kaas_tenant_in_flight"
 	metricTenantQueued   = "kaas_tenant_queued"
 	metricTenantLatency  = "kaas_tenant_latency_seconds"
+
+	metricBatchDispatches    = "kaas_batch_dispatches_total"
+	metricBatchedInvocations = "kaas_batched_invocations_total"
+	metricBatchSize          = "kaas_batch_size_total"
+	metricOOBInvocations     = "kaas_oob_invocations_total"
+	metricOOBBytes           = "kaas_oob_bytes_total"
+	metricInBandBytes        = "kaas_inband_bytes_total"
 )
 
 // shedReasons enumerates the admission-control rejection reasons used as
@@ -70,6 +77,28 @@ func registerHelp(reg *metrics.Registry) {
 	reg.Help(metricTenantInFlight, "Invocations currently being served, per tenant.")
 	reg.Help(metricTenantQueued, "Invocations waiting in fair-queue flows, per tenant.")
 	reg.Help(metricTenantLatency, "Modeled invocation latency per tenant.")
+	reg.Help(metricBatchDispatches, "Coalesced device dispatches issued by the micro-batcher.")
+	reg.Help(metricBatchedInvocations, "Invocations carried by coalesced device dispatches.")
+	reg.Help(metricBatchSize, "Dispatched batches by batch-size bucket.")
+	reg.Help(metricOOBInvocations, "Invocations whose payload arrived out-of-band through an arena lease.")
+	reg.Help(metricOOBBytes, "Payload bytes moved by lease handle (never copied on the serving path).")
+	reg.Help(metricInBandBytes, "Payload bytes copied through the wire protocol in-band.")
+}
+
+// dataPlaneMetrics caches the data-plane counters so the invocation hot
+// path updates them with single atomic operations.
+type dataPlaneMetrics struct {
+	oobInvocations *metrics.Counter
+	oobBytes       *metrics.Counter
+	inbandBytes    *metrics.Counter
+}
+
+func newDataPlaneMetrics(reg *metrics.Registry) *dataPlaneMetrics {
+	return &dataPlaneMetrics{
+		oobInvocations: reg.Counter(metricOOBInvocations),
+		oobBytes:       reg.Counter(metricOOBBytes),
+		inbandBytes:    reg.Counter(metricInBandBytes),
+	}
 }
 
 // kernelMetrics caches one kernel's metric instances so the invocation

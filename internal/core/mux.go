@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"kaas/internal/kernels"
+	"kaas/internal/shm"
 	"kaas/internal/wire"
 )
 
@@ -69,6 +70,15 @@ func (t *TCPServer) serveMux(sc *serverConn) {
 	}
 	go s.writeLoop()
 	s.readLoop()
+	if t.leases != nil {
+		// Client disconnect mid-lease: every lease this connection held is
+		// revoked so its bytes return to the arena budget. No notice is
+		// sent — the peer is gone.
+		if n := t.leases.releaseOwner(s); n > 0 {
+			t.srv.Logger().Info("released arena leases on disconnect",
+				"remote", sc.RemoteAddr(), "leases", n)
+		}
+	}
 }
 
 // readLoop reads frames until the connection dies or the drain poke
@@ -98,6 +108,8 @@ func (s *muxSession) readLoop() {
 			go s.serveInvoke(msg)
 		case wire.MsgCancel:
 			s.cancelStream(msg.Header.StreamID)
+		case wire.MsgLease:
+			s.serveLease(msg)
 		case wire.MsgHello:
 			// Redundant hello on an upgraded connection: re-acknowledge.
 			s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgHelloAck, Header: wire.Header{
@@ -264,6 +276,86 @@ func (s *muxSession) cancelStream(id uint64) {
 	}
 }
 
+// serveLease negotiates one arena lease for this connection, inline (a
+// grant is a map insert, never blocking). The ack echoes the request's
+// StreamID so the client demultiplexes it like any reply. Denials carry
+// a code distinguishing "not configured" (the client disables the lease
+// path for this connection) from "no budget right now" (the client
+// simply retries on a later invocation).
+func (s *muxSession) serveLease(msg *wire.Message) {
+	id := msg.Header.StreamID
+	if s.t.leases == nil {
+		s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgLeaseAck, Header: wire.Header{
+			StreamID: id,
+			Error:    "out-of-band leases not configured",
+			Code:     wire.CodeInternal,
+		}})
+		return
+	}
+	l, err := s.t.leases.grant(s, msg.Header.LeaseBytes)
+	if err != nil {
+		s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgLeaseAck, Header: wire.Header{
+			StreamID:  id,
+			Error:     err.Error(),
+			Code:      wire.CodeUnavailable,
+			Retryable: true,
+		}})
+		return
+	}
+	s.send(&wire.Message{Version: wire.VersionMux, Type: wire.MsgLeaseAck, Header: wire.Header{
+		StreamID:   id,
+		LeaseID:    l.ID(),
+		LeaseBytes: l.Cap(),
+	}})
+}
+
+// sendLeaseRevoke pushes a lease revocation notice to the client. It
+// writes directly under the write lock rather than through the writer
+// queue: revocations fire from Drain and breaker hooks, which may run
+// while the session is tearing down, after the writer queue has closed.
+func (s *muxSession) sendLeaseRevoke(id uint64) {
+	if s.failed.Load() {
+		return
+	}
+	s.wmu.Lock()
+	err := wire.Write(s.sc.Conn, &wire.Message{
+		Version: wire.VersionMux,
+		Type:    wire.MsgLeaseRevoke,
+		Header:  wire.Header{LeaseID: id},
+	})
+	s.wmu.Unlock()
+	if err != nil {
+		s.writeFailed(err)
+	}
+}
+
+// resolveLease maps a leased invoke onto its arena window, pinning the
+// lease for the invocation's lifetime (Retain) so a concurrent revoke
+// cannot recycle the slab under a running kernel. A lease that was
+// revoked resolves to errLeaseRevoked — retryable, the client resends
+// in-band — while an ID this connection never held is an internal error.
+func (s *muxSession) resolveLease(msg *wire.Message) (*shm.Lease, error) {
+	lt := s.t.leases
+	if lt == nil {
+		return nil, errors.New("out-of-band leases not configured")
+	}
+	id := msg.Header.LeaseID
+	l, ok := lt.lookup(s, id)
+	if !ok {
+		if lt.arena.WasRevoked(id) {
+			return nil, errLeaseRevoked
+		}
+		return nil, fmt.Errorf("unknown lease %d", id)
+	}
+	if n := msg.Header.LeaseLen; n < 0 || n > l.Cap() {
+		return nil, fmt.Errorf("lease %d: payload length %d exceeds %d-byte window", id, n, l.Cap())
+	}
+	if err := l.Retain(); err != nil {
+		return nil, errLeaseRevoked
+	}
+	return l, nil
+}
+
 // serveRegister handles a registration frame inline (registrations are
 // cheap and rare; they do not occupy a stream slot).
 func (s *muxSession) serveRegister(msg *wire.Message) {
@@ -322,7 +414,22 @@ func (s *muxSession) serveInvoke(msg *wire.Message) {
 	id := msg.Header.StreamID
 
 	req := &kernels.Request{Params: kernels.Params(msg.Header.Params), Tenant: msg.Header.Tenant}
+	var lease *shm.Lease
 	switch {
+	case msg.Header.LeaseID != 0:
+		// Zero-copy out-of-band: the payload is already in the leased
+		// arena window both endpoints map — only the handle crossed the
+		// wire, and the serving path reads the window in place.
+		l, err := s.resolveLease(msg)
+		if err != nil {
+			s.sendErr(id, err)
+			return
+		}
+		defer l.Release()
+		lease = l
+		req.Data = l.Bytes()[:msg.Header.LeaseLen]
+		s.t.srv.dpMet.oobInvocations.Inc()
+		s.t.srv.dpMet.oobBytes.Add(uint64(msg.Header.LeaseLen))
 	case msg.Header.ShmKey != "":
 		if s.t.regions == nil {
 			s.sendErr(id, errors.New("out-of-band transfer not configured"))
@@ -336,6 +443,7 @@ func (s *muxSession) serveInvoke(msg *wire.Message) {
 		req.Data = data
 	case len(msg.Body) > 0:
 		req.Data = msg.Body
+		s.t.srv.dpMet.inbandBytes.Add(uint64(len(msg.Body)))
 	}
 
 	ctx, cancel, err := invokeContext(msg)
@@ -370,14 +478,32 @@ func (s *muxSession) serveInvoke(msg *wire.Message) {
 		DurationNanos: int64(report.Total()),
 		StreamID:      id,
 	}}
-	if msg.Header.WantShmResult && s.t.regions != nil && len(resp.Data) > 0 {
+	switch {
+	case lease != nil && len(resp.Data) > 0 && int64(len(resp.Data)) <= lease.Cap():
+		// The result rides back through the same leased window the
+		// request arrived in: one copy into shared memory, no bytes on
+		// the wire. The lease is still pinned (released after send), so a
+		// concurrent revoke cannot recycle the slab before the client —
+		// which holds its own pin — reads the result out.
+		copy(lease.Bytes(), resp.Data)
+		out.Header.LeaseID = msg.Header.LeaseID
+		out.Header.LeaseResultLen = int64(len(resp.Data))
+	case msg.Header.WantShmResult && s.t.regions != nil && len(resp.Data) > 0:
 		key, err := s.t.regions.Create(resp.Data)
 		if err != nil {
 			s.sendErr(id, err)
 			return
 		}
 		out.Header.ResultShmKey = key
-	} else {
+		s.send(out)
+		if s.failed.Load() {
+			// The session died before (or while) the reply was written:
+			// the client will never read and delete the result region, so
+			// its bytes are returned to the registry budget here.
+			s.t.regions.Delete(key)
+		}
+		return
+	default:
 		out.Body = resp.Data
 	}
 	s.send(out)

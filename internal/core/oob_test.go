@@ -1,0 +1,366 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"testing"
+	"time"
+
+	"kaas/internal/accel"
+	"kaas/internal/breaker"
+	"kaas/internal/kernels"
+	"kaas/internal/shm"
+	"kaas/internal/vclock"
+	"kaas/internal/wire"
+)
+
+// dataKernel echoes its request payload back as the result payload.
+type dataKernel struct{}
+
+func (dataKernel) Name() string     { return "data" }
+func (dataKernel) Kind() accel.Kind { return accel.GPU }
+func (dataKernel) Cost(*kernels.Request) (kernels.Cost, error) {
+	return kernels.Cost{Work: 1e6, BytesIn: 1 << 10, BytesOut: 1 << 10, DeviceMemory: 1 << 16}, nil
+}
+func (dataKernel) Execute(req *kernels.Request) (*kernels.Response, error) {
+	out := make([]byte, len(req.Data))
+	copy(out, req.Data)
+	return &kernels.Response{Values: map[string]float64{"bytes": float64(len(out))}, Data: out}, nil
+}
+
+// deadWriteConn reads normally but fails every write, modeling a peer
+// whose receive side vanished while the server composes a reply.
+type deadWriteConn struct {
+	net.Conn
+}
+
+func (deadWriteConn) Write([]byte) (int, error) {
+	return 0, errors.New("connection reset by peer")
+}
+
+// startTCPArena is startTCP with the out-of-band arena enabled.
+func startTCPArena(t *testing.T, arena *shm.ArenaPool) (*Server, *TCPServer) {
+	t.Helper()
+	clock := vclock.Scaled(1000)
+	host, err := accel.NewHost(clock, "node", accel.XeonE52698, accel.TeslaP100)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(host.Close)
+	srv, err := New(Config{
+		Clock:  clock,
+		Host:   host,
+		Logger: slog.New(slog.NewTextHandler(&syncBuffer{}, nil)),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	tcp, err := ServeTCP(srv, "127.0.0.1:0", shm.NewRegistry(1<<30), WithArenaPool(arena))
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+	t.Cleanup(func() { tcp.Close() })
+	return srv, tcp
+}
+
+// TestShmResultRegionFreedOnDeadPeer is the regression test for the
+// legacy-path result-region leak: an invocation asking for an
+// out-of-band result whose peer dies before the reply is written must
+// return the region's bytes to the registry budget. Before the fix the
+// region stayed allocated forever — nobody would ever read and delete
+// it — and this test fails with a non-zero registry.
+func TestShmResultRegionFreedOnDeadPeer(t *testing.T) {
+	srv, tcp, _ := startTCP(t)
+	if err := srv.Register(dataKernel{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	ours, theirs := net.Pipe()
+	t.Cleanup(func() { ours.Close(); theirs.Close() })
+	sc := &serverConn{Conn: deadWriteConn{ours}}
+
+	ok := tcp.handleInvoke(sc, &wire.Message{
+		Type: wire.MsgInvoke,
+		Header: wire.Header{
+			Kernel:        "data",
+			WantShmResult: true,
+		},
+		Body: []byte("payload"),
+	})
+	if ok {
+		t.Fatal("handleInvoke reported a usable connection after a failed reply write")
+	}
+	if used := tcp.regions.Used(); used != 0 {
+		t.Fatalf("registry holds %d bytes after dead-peer reply, want 0 (result region leaked)", used)
+	}
+}
+
+// TestMuxShmResultRegionFreedOnFailedSession is the mux-path twin of the
+// dead-peer leak regression: when the session write fails while the
+// result-region reply is in flight, the region must be deleted rather
+// than stranded against the registry budget.
+func TestMuxShmResultRegionFreedOnFailedSession(t *testing.T) {
+	srv, tcp, _ := startTCP(t)
+	if err := srv.Register(dataKernel{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	ours, theirs := net.Pipe()
+	t.Cleanup(func() { ours.Close(); theirs.Close() })
+	s := &muxSession{
+		t:          tcp,
+		sc:         &serverConn{Conn: deadWriteConn{ours}},
+		writeCh:    make(chan *wire.Message, 64),
+		writerDone: make(chan struct{}),
+		sem:        make(chan struct{}, 8),
+		streams:    make(map[uint64]context.CancelFunc),
+	}
+	go s.writeLoop()
+	t.Cleanup(func() { s.finish(false) })
+
+	s.sem <- struct{}{}
+	s.wg.Add(1)
+	s.serveInvoke(&wire.Message{
+		Version: wire.VersionMux,
+		Type:    wire.MsgInvoke,
+		Header: wire.Header{
+			Kernel:        "data",
+			WantShmResult: true,
+			StreamID:      7,
+		},
+		Body: []byte("payload"),
+	})
+	if !s.failed.Load() {
+		t.Fatal("session did not observe the reply write failure")
+	}
+	if used := tcp.regions.Used(); used != 0 {
+		t.Fatalf("registry holds %d bytes after failed-session reply, want 0 (result region leaked)", used)
+	}
+}
+
+// fakeLeaseOwner records revocation notices pushed to a connection.
+type fakeLeaseOwner struct {
+	revoked chan uint64
+}
+
+func (f *fakeLeaseOwner) sendLeaseRevoke(id uint64) { f.revoked <- id }
+
+// TestDisconnectMidLeaseReturnsBudget is the regression test for the
+// arena-budget accounting on client disconnect: a connection that dies
+// while holding leases must have every lease revoked and its bytes
+// returned, or the arena budget leaks one window per crashed client.
+func TestDisconnectMidLeaseReturnsBudget(t *testing.T) {
+	arena := shm.NewArenaPool(1 << 20)
+	_, tcp := startTCPArena(t, arena)
+
+	owner := &fakeLeaseOwner{revoked: make(chan uint64, 4)}
+	if _, err := tcp.leases.grant(owner, 4096); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	if _, err := tcp.leases.grant(owner, 8192); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	if st := arena.Stats(); st.Active != 2 || st.Granted == 0 {
+		t.Fatalf("arena before disconnect = %+v, want 2 active leases", st)
+	}
+
+	if n := tcp.leases.releaseOwner(owner); n != 2 {
+		t.Fatalf("releaseOwner = %d leases, want 2", n)
+	}
+	st := arena.Stats()
+	if st.Active != 0 || st.Granted != 0 {
+		t.Fatalf("arena after disconnect = %+v, want all bytes returned to budget", st)
+	}
+	if st.Revocations != 2 {
+		t.Fatalf("revocations = %d, want 2", st.Revocations)
+	}
+	select {
+	case id := <-owner.revoked:
+		t.Fatalf("disconnect path notified the dead peer about lease %d", id)
+	default:
+	}
+
+	// The returned budget must be grantable again.
+	if _, err := tcp.leases.grant(owner, 4096); err != nil {
+		t.Fatalf("grant after release: %v", err)
+	}
+}
+
+// TestBreakerOpenRevokesLeases wires the breaker-transition hook through
+// the lease table: a device breaker opening revokes every outstanding
+// lease and pushes a MsgLeaseRevoke notice to each owner.
+func TestBreakerOpenRevokesLeases(t *testing.T) {
+	arena := shm.NewArenaPool(1 << 20)
+	srv, tcp := startTCPArena(t, arena)
+
+	owner := &fakeLeaseOwner{revoked: make(chan uint64, 4)}
+	l, err := tcp.leases.grant(owner, 4096)
+	if err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+
+	srv.onBreakerTransition("gpu0", breaker.Closed, breaker.Open)
+
+	select {
+	case id := <-owner.revoked:
+		if id != l.ID() {
+			t.Fatalf("revoke notice names lease %d, want %d", id, l.ID())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no revoke notice after breaker opened")
+	}
+	if st := arena.Stats(); st.Active != 0 || st.Granted != 0 {
+		t.Fatalf("arena after breaker-open = %+v, want all leases revoked", st)
+	}
+
+	// Half-open and close transitions must not disturb fresh leases.
+	if _, err := tcp.leases.grant(owner, 4096); err != nil {
+		t.Fatalf("grant after breaker: %v", err)
+	}
+	srv.onBreakerTransition("gpu0", breaker.Open, breaker.HalfOpen)
+	srv.onBreakerTransition("gpu0", breaker.HalfOpen, breaker.Closed)
+	if st := arena.Stats(); st.Active != 1 {
+		t.Fatalf("arena after recovery transitions = %+v, want lease untouched", st)
+	}
+}
+
+// TestDrainRevokesLeases covers the drain path: taking the endpoint out
+// of rotation withdraws every lease with notification, so clients
+// switch to in-band transfer before their connections close.
+func TestDrainRevokesLeases(t *testing.T) {
+	arena := shm.NewArenaPool(1 << 20)
+	_, tcp := startTCPArena(t, arena)
+
+	owner := &fakeLeaseOwner{revoked: make(chan uint64, 4)}
+	if _, err := tcp.leases.grant(owner, 4096); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tcp.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case <-owner.revoked:
+	case <-time.After(time.Second):
+		t.Fatal("no revoke notice on drain")
+	}
+	if st := arena.Stats(); st.Active != 0 || st.Granted != 0 {
+		t.Fatalf("arena after drain = %+v, want all leases revoked", st)
+	}
+}
+
+// TestServeLeaseOverWire exercises the lease negotiation frames over a
+// real mux connection: grant, bounded ack, and stale-lease invoke
+// answered with the retryable LEASE_REVOKED code.
+func TestServeLeaseOverWire(t *testing.T) {
+	arena := shm.NewArenaPool(1 << 20)
+	srv, tcp := startTCPArena(t, arena)
+	if err := srv.Register(dataKernel{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	conn := dialWire(t, tcp.Addr())
+	muxHandshake(t, conn)
+
+	err := wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgLease, Header: wire.Header{
+		LeaseBytes: 1 << 12, StreamID: 1,
+	}})
+	if err != nil {
+		t.Fatalf("write lease: %v", err)
+	}
+	ack, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read lease ack: %v", err)
+	}
+	if ack.Type != wire.MsgLeaseAck || ack.Header.LeaseID == 0 {
+		t.Fatalf("lease ack = %s (%s), want granted lease", ack.Type, ack.Header.Error)
+	}
+	if ack.Header.LeaseBytes < 1<<12 {
+		t.Fatalf("granted window = %d bytes, want >= %d", ack.Header.LeaseBytes, 1<<12)
+	}
+
+	// Fill the window directly (both endpoints map the same pool here)
+	// and invoke by handle.
+	l, ok := arena.Get(ack.Header.LeaseID)
+	if !ok {
+		t.Fatal("granted lease not resolvable in the shared arena")
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 1<<10)
+	copy(l.Bytes(), payload)
+	err = wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgInvoke, Header: wire.Header{
+		Kernel:   "data",
+		StreamID: 2,
+		LeaseID:  ack.Header.LeaseID,
+		LeaseLen: int64(len(payload)),
+	}})
+	if err != nil {
+		t.Fatalf("write invoke: %v", err)
+	}
+	res, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	if res.Type != wire.MsgResult {
+		t.Fatalf("reply = %s (%s), want result", res.Type, res.Header.Error)
+	}
+	if res.Header.LeaseResultLen != int64(len(payload)) {
+		t.Fatalf("result length in window = %d, want %d", res.Header.LeaseResultLen, len(payload))
+	}
+	if !bytes.Equal(l.Bytes()[:len(payload)], payload) {
+		t.Fatal("result window does not hold the echoed payload")
+	}
+
+	// Revoke behind the client's back: the same handle must now be
+	// answered with the retryable stale-lease code, not silently served.
+	arena.Revoke(ack.Header.LeaseID)
+	err = wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgInvoke, Header: wire.Header{
+		Kernel:   "data",
+		StreamID: 3,
+		LeaseID:  ack.Header.LeaseID,
+		LeaseLen: 8,
+	}})
+	if err != nil {
+		t.Fatalf("write stale invoke: %v", err)
+	}
+	stale, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read stale reply: %v", err)
+	}
+	if stale.Type != wire.MsgError || stale.Header.Code != wire.CodeLeaseRevoked {
+		t.Fatalf("stale-lease reply = %s code %q, want error %q",
+			stale.Type, stale.Header.Code, wire.CodeLeaseRevoked)
+	}
+	if !stale.Header.Retryable {
+		t.Fatal("stale-lease error not retryable; clients could not fall back in-band")
+	}
+}
+
+// TestServeLeaseDeniedWithoutArena verifies a server without an arena
+// answers lease negotiation with a permanent denial instead of an
+// unexpected-type error.
+func TestServeLeaseDeniedWithoutArena(t *testing.T) {
+	_, tcp, _ := startTCP(t)
+	conn := dialWire(t, tcp.Addr())
+	muxHandshake(t, conn)
+
+	err := wire.Write(conn, &wire.Message{Version: wire.VersionMux, Type: wire.MsgLease, Header: wire.Header{
+		LeaseBytes: 4096, StreamID: 1,
+	}})
+	if err != nil {
+		t.Fatalf("write lease: %v", err)
+	}
+	ack, err := wire.Read(conn)
+	if err != nil {
+		t.Fatalf("read lease ack: %v", err)
+	}
+	if ack.Type != wire.MsgLeaseAck || ack.Header.LeaseID != 0 || ack.Header.Code != wire.CodeInternal {
+		t.Fatalf("denial = %s lease %d code %q, want lease ack with no lease and code %q",
+			ack.Type, ack.Header.LeaseID, ack.Header.Code, wire.CodeInternal)
+	}
+}

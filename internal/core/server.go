@@ -14,6 +14,7 @@ import (
 	"kaas/internal/breaker"
 	"kaas/internal/kernels"
 	"kaas/internal/metrics"
+	"kaas/internal/shm"
 	"kaas/internal/vclock"
 )
 
@@ -179,6 +180,15 @@ type Config struct {
 	// tenant knobs are set — the baseline arm of the fairness benchmark
 	// and the anti-neutering scenario check.
 	DisableFairQueueing bool
+	// BatchWindow enables server-side micro-batching: invocations of the
+	// same kernel targeting the same device that arrive within this
+	// modeled-time window are coalesced into one device dispatch, paying
+	// the launch overhead once for the whole batch. 0 disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps how many invocations one batch may carry; a full
+	// batch dispatches immediately without waiting out the window.
+	// Default 8 when batching is enabled.
+	BatchMax int
 }
 
 // fairQueueingEnabled reports whether the tenant-aware dispatch layer
@@ -200,6 +210,18 @@ type Server struct {
 	devMet   map[string]*deviceMetrics // immutable after New
 	invSeq   atomic.Uint64
 	breakers *breaker.Set // nil when breakers are disabled
+	batcher  *batcher     // nil when micro-batching is disabled
+	dpMet    *dataPlaneMetrics
+
+	// arena is the tensor arena pool published by the TCP layer (via
+	// WithArenaPool) so Stats and WriteMetrics can report lease
+	// accounting; nil when the out-of-band data plane is off.
+	arena atomic.Pointer[shm.ArenaPool]
+
+	// hookMu guards breakerHooks; hooks run on the breaker transition
+	// path without Server.mu held.
+	hookMu       sync.Mutex
+	breakerHooks []func(device string, from, to breaker.State)
 
 	// baseCtx bounds background work (pre-warm boots); cancel fires on
 	// Close so speculative cold starts never outlive the server.
@@ -342,6 +364,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.dpMet = newDataPlaneMetrics(s.reg)
+	if cfg.BatchWindow > 0 {
+		if cfg.BatchMax <= 1 {
+			cfg.BatchMax = 8
+			s.cfg.BatchMax = 8
+		}
+		s.batcher = newBatcher(cfg.Clock, cfg.BatchWindow, cfg.BatchMax, s.baseCtx, s.reg)
+	}
 	for _, d := range append(cfg.Host.Devices(), cfg.Host.CPU()) {
 		s.devMet[d.ID()] = newDeviceMetrics(s.reg, d.ID())
 	}
@@ -371,7 +401,28 @@ func (s *Server) onBreakerTransition(dev string, from, to breaker.State) {
 	}
 	s.cfg.Logger.Warn("breaker transition",
 		"device", dev, "from", from.String(), "to", to.String())
+	s.hookMu.Lock()
+	hooks := s.breakerHooks // append-only: a snapshot is safe to iterate
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(dev, from, to)
+	}
 }
+
+// OnBreakerTransition registers fn to observe every circuit-breaker
+// state change. Hooks run synchronously on the transition path with no
+// Server locks held, so they may call back into the server but must be
+// quick. The TCP layer uses it to revoke arena leases when a device
+// breaker opens.
+func (s *Server) OnBreakerTransition(fn func(device string, from, to breaker.State)) {
+	s.hookMu.Lock()
+	s.breakerHooks = append(s.breakerHooks, fn)
+	s.hookMu.Unlock()
+}
+
+// setArena publishes the tensor arena pool backing the out-of-band data
+// plane so Stats and WriteMetrics can report its accounting.
+func (s *Server) setArena(p *shm.ArenaPool) { s.arena.Store(p) }
 
 // deviceEligibleLocked reports whether placement may consider the device:
 // it is not currently failed and its breaker would admit a request.
@@ -1232,7 +1283,15 @@ func (s *Server) serve(ctx context.Context, k kernels.Kernel, r *runner, req *ke
 	}
 	report.Breakdown.CopyIn += copyIn
 
-	execTime, err := r.dctx.Exec(ctx, cost.Work)
+	var execTime time.Duration
+	if s.batcher != nil {
+		// Micro-batching: join the forming batch for this (device, kernel)
+		// bucket and share one coalesced launch with whoever else arrives
+		// inside the window.
+		execTime, err = s.batcher.exec(ctx, batchKey{device: r.device.ID(), kernel: k.Name()}, r.dctx, cost.Work)
+	} else {
+		execTime, err = r.dctx.Exec(ctx, cost.Work)
+	}
 	if err != nil {
 		return nil, err
 	}

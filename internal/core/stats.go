@@ -128,6 +128,32 @@ type DeviceStats struct {
 	Utilization float64
 }
 
+// DataPlaneStats snapshots the out-of-band data plane and the
+// micro-batcher: lease-arena accounting, bytes moved by handle versus
+// copied in-band, and batch coalescing totals.
+type DataPlaneStats struct {
+	// OOBInvocations counts invocations whose payload arrived through an
+	// arena lease (moved by handle, zero-copy).
+	OOBInvocations uint64
+	// OOBBytes is the payload bytes moved by lease handle; InBandBytes is
+	// the payload bytes copied through the wire protocol.
+	OOBBytes, InBandBytes uint64
+	// LeaseGrants, LeaseReuses, and LeaseRevocations snapshot the arena
+	// pool's lifecycle counters (reuses are grants served from a pooled
+	// slab without allocating).
+	LeaseGrants, LeaseReuses, LeaseRevocations uint64
+	// ActiveLeases is the number of live leases; LeaseBytesGranted the
+	// bytes they hold; ArenaCapacity the pool's byte budget (0 =
+	// unlimited). All zero when no arena is configured.
+	ActiveLeases      int
+	LeaseBytesGranted int64
+	ArenaCapacity     int64
+	// BatchDispatches counts coalesced device dispatches;
+	// BatchedInvocations the invocations those dispatches carried. Both
+	// zero when batching is off.
+	BatchDispatches, BatchedInvocations uint64
+}
+
 // Stats is a snapshot of server state: the coarse totals plus per-kernel
 // latency distributions and per-device occupancy tables.
 type Stats struct {
@@ -164,6 +190,10 @@ type Stats struct {
 	// FairQueueing reports whether the tenant-aware weighted fair
 	// dispatch layer is active.
 	FairQueueing bool
+	// Batching reports whether server-side micro-batching is active.
+	Batching bool
+	// DataPlane snapshots the out-of-band data plane and micro-batcher.
+	DataPlane DataPlaneStats
 	// ArtifactCache snapshots the compiled-kernel cache, or nil when the
 	// server runs without one.
 	ArtifactCache *artifact.Stats
@@ -184,6 +214,25 @@ func (s *Server) Stats() Stats {
 		PerDevice:        make(map[string]DeviceStats),
 		PerTenant:        make(map[string]TenantStats, len(s.tenants)),
 		FairQueueing:     s.fair != nil,
+		Batching:         s.batcher != nil,
+	}
+	st.DataPlane = DataPlaneStats{
+		OOBInvocations: s.dpMet.oobInvocations.Value(),
+		OOBBytes:       s.dpMet.oobBytes.Value(),
+		InBandBytes:    s.dpMet.inbandBytes.Value(),
+	}
+	if b := s.batcher; b != nil {
+		st.DataPlane.BatchDispatches = b.dispatches.Load()
+		st.DataPlane.BatchedInvocations = b.batched.Load()
+	}
+	if p := s.arena.Load(); p != nil {
+		as := p.Stats()
+		st.DataPlane.LeaseGrants = as.Grants
+		st.DataPlane.LeaseReuses = as.Reuses
+		st.DataPlane.LeaseRevocations = as.Revocations
+		st.DataPlane.ActiveLeases = as.Active
+		st.DataPlane.LeaseBytesGranted = as.Granted
+		st.DataPlane.ArenaCapacity = as.Capacity
 	}
 	for name, t := range s.tenants {
 		tm := s.tenantMet(t)
@@ -326,6 +375,29 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		}
 		for _, d := range samples {
 			if _, err := fmt.Fprintf(w, "%s{device=%q} %g\n", f.name, d.id, f.value(d)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Lease-arena gauges are sampled live from the pool, like the device
+	// gauges above, so scrape-time accounting always matches the arena.
+	if p := s.arena.Load(); p != nil {
+		as := p.Stats()
+		leaseFamilies := []struct {
+			name, typ, help string
+			value           float64
+		}{
+			{"kaas_lease_active", "gauge", "Live arena leases.", float64(as.Active)},
+			{"kaas_lease_bytes_granted", "gauge", "Bytes held by live arena leases.", float64(as.Granted)},
+			{"kaas_lease_bytes_pooled", "gauge", "Bytes parked on the arena free lists.", float64(as.Pooled)},
+			{"kaas_lease_grants_total", "counter", "Arena leases granted.", float64(as.Grants)},
+			{"kaas_lease_reuses_total", "counter", "Lease grants served from a pooled slab without allocating.", float64(as.Reuses)},
+			{"kaas_lease_revocations_total", "counter", "Arena leases revoked.", float64(as.Revocations)},
+		}
+		for _, f := range leaseFamilies {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+				f.name, f.help, f.name, f.typ, f.name, f.value); err != nil {
 				return err
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kaas/internal/accel"
+	"kaas/internal/breaker"
 	"kaas/internal/kernels"
 	"kaas/internal/shm"
 	"kaas/internal/wire"
@@ -30,6 +31,10 @@ func errorCode(err error) (code string, retryable bool) {
 		return wire.CodeUnavailable, true
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return wire.CodeDeadlineExceeded, false
+	case errors.Is(err, errLeaseRevoked):
+		// Stale-lease invokes are retryable by design: the client drops
+		// the revoked lease and resends the same payload in-band.
+		return wire.CodeLeaseRevoked, true
 	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrNoDevice):
 		return wire.CodeUnknownKernel, false
 	default:
@@ -55,6 +60,10 @@ type TCPServer struct {
 	srv     *Server
 	ln      net.Listener
 	regions *shm.Registry
+	// arena and leases back the zero-copy out-of-band data plane on
+	// multiplexed connections (WithArenaPool); both nil when it is off.
+	arena  *shm.ArenaPool
+	leases *leaseTable
 
 	mu           sync.Mutex
 	conns        map[net.Conn]struct{}
@@ -105,22 +114,38 @@ func (t *TCPServer) maxConnStreams() int {
 	return DefaultMaxConnStreams
 }
 
+// TCPOption configures a TCPServer at construction.
+type TCPOption func(*TCPServer)
+
+// WithArenaPool enables the zero-copy out-of-band data plane: clients on
+// multiplexed connections negotiate leases over windows of this pooled
+// tensor arena and move payloads by handle instead of copying them
+// through the wire protocol. The pool must be the same instance the
+// clients map (same host). Leases are revoked — their bytes returned to
+// the pool's budget — on connection close, drain, and breaker-open.
+func WithArenaPool(p *shm.ArenaPool) TCPOption {
+	return func(t *TCPServer) {
+		t.arena = p
+		t.leases = newLeaseTable(p)
+	}
+}
+
 // ServeTCP starts accepting KaaS protocol connections on addr
 // (e.g. "127.0.0.1:0"). The optional regions registry enables out-of-band
 // payload transfer for same-host clients.
-func ServeTCP(s *Server, addr string, regions *shm.Registry) (*TCPServer, error) {
+func ServeTCP(s *Server, addr string, regions *shm.Registry, opts ...TCPOption) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: listen: %w", err)
 	}
-	return ServeTCPListener(s, ln, regions)
+	return ServeTCPListener(s, ln, regions, opts...)
 }
 
 // ServeTCPListener serves the KaaS protocol on a caller-provided
 // listener. Test and benchmark harnesses use it to interpose
 // fault-injecting listeners (see internal/faults) between clients and
 // the server.
-func ServeTCPListener(s *Server, ln net.Listener, regions *shm.Registry) (*TCPServer, error) {
+func ServeTCPListener(s *Server, ln net.Listener, regions *shm.Registry, opts ...TCPOption) (*TCPServer, error) {
 	if ln == nil {
 		return nil, fmt.Errorf("core: nil listener")
 	}
@@ -129,6 +154,25 @@ func ServeTCPListener(s *Server, ln net.Listener, regions *shm.Registry) (*TCPSe
 		ln:      ln,
 		regions: regions,
 		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.arena != nil {
+		s.setArena(t.arena)
+		// A breaker opening means the device is shedding everything: its
+		// queued tensors will not be consumed, so leased arena memory is
+		// reclaimed immediately rather than pinned behind a dead device.
+		// Clients holding revoked leases fall back to in-band transfer.
+		s.OnBreakerTransition(func(dev string, _, to breaker.State) {
+			if to != breaker.Open {
+				return
+			}
+			if n := t.leases.revokeAll(); n > 0 {
+				s.Logger().Warn("revoked arena leases on breaker open",
+					"device", dev, "leases", n)
+			}
+		})
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -180,6 +224,14 @@ func (t *TCPServer) Drain(ctx context.Context) error {
 	t.mu.Unlock()
 
 	t.ln.Close() // stop accepting
+	// Revoke every arena lease up front: draining connections may still
+	// finish their in-flight invocation, but new payloads go in-band, and
+	// the arena's bytes are back in the budget before the endpoint closes.
+	if t.leases != nil {
+		if n := t.leases.revokeAll(); n > 0 {
+			t.srv.Logger().Info("revoked arena leases for drain", "leases", n)
+		}
+	}
 	// Poke every connection out of a blocking idle read: the expired
 	// read deadline fails the read, and the handler exits silently
 	// because the server is draining. A connection inside an invocation
@@ -440,6 +492,7 @@ func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 		req.Data = data
 	case len(msg.Body) > 0:
 		req.Data = msg.Body
+		t.srv.dpMet.inbandBytes.Add(uint64(len(msg.Body)))
 	}
 
 	ctx, cancel, err := invokeContext(msg)
@@ -482,9 +535,16 @@ func (t *TCPServer) handleInvoke(sc *serverConn, msg *wire.Message) bool {
 			return t.replyErr(sc, err)
 		}
 		out.Header.ResultShmKey = key
-	} else {
-		out.Body = resp.Data
+		if !t.reply(sc, out) {
+			// The peer vanished before the reply landed: nobody will ever
+			// read (and delete) the result region, so its bytes must be
+			// returned to the registry budget here or they leak forever.
+			t.regions.Delete(key)
+			return false
+		}
+		return true
 	}
+	out.Body = resp.Data
 	return t.reply(sc, out)
 }
 

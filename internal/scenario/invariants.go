@@ -462,6 +462,50 @@ func (c CacheWarmed) Check(d *RunData) error {
 	return nil
 }
 
+// OOBServed asserts the out-of-band data plane actually carried at
+// least Min invocations: the client negotiated arena leases and moved
+// payloads by handle instead of copying them through the frame. A
+// scenario that enables OOB but whose traffic never leaves the in-band
+// path exercises nothing — this makes that loud.
+type OOBServed struct{ Min uint64 }
+
+// Name implements Invariant.
+func (o OOBServed) Name() string { return fmt.Sprintf("oob-served(>=%d)", o.Min) }
+
+// Check implements Invariant.
+func (o OOBServed) Check(d *RunData) error {
+	var served uint64
+	for _, st := range d.Stats {
+		served += st.DataPlane.OOBInvocations
+	}
+	if served < o.Min {
+		return fmt.Errorf("out-of-band path served %d invocations, want at least %d (did lease negotiation run?)", served, o.Min)
+	}
+	return nil
+}
+
+// LeasesRevoked asserts the lease-revocation path actually fired at
+// least Min times — the chaos (breaker-open, drain) reclaimed leased
+// arena windows mid-load, and the run's other invariants then prove the
+// clients absorbed it: revoked leases must degrade to in-band transfer
+// transparently, never surface as untyped copy-fallback errors.
+type LeasesRevoked struct{ Min uint64 }
+
+// Name implements Invariant.
+func (l LeasesRevoked) Name() string { return fmt.Sprintf("leases-revoked(>=%d)", l.Min) }
+
+// Check implements Invariant.
+func (l LeasesRevoked) Check(d *RunData) error {
+	var revoked uint64
+	for _, st := range d.Stats {
+		revoked += st.DataPlane.LeaseRevocations
+	}
+	if revoked < l.Min {
+		return fmt.Errorf("only %d leases were revoked, want at least %d (did the chaos reach the arena?)", revoked, l.Min)
+	}
+	return nil
+}
+
 // tenantRecords splits d.Records by the named (normalized) tenant.
 func (d *RunData) tenantRecords(tenant string) []Record {
 	tenant = core.NormalizeTenant(tenant)

@@ -253,6 +253,46 @@ var registry = map[string]Spec{
 		},
 	},
 
+	"oob-lease-revoke": {
+		Name: "oob-lease-revoke",
+		Description: "zero-copy leases over the mux while a device flaps; each breaker-open revokes the leased arena " +
+			"windows mid-load and clients must degrade to in-band transfer without surfacing a single error",
+		Transport: TransportMux,
+		MuxConns:  4,
+		OOB:       true,
+		Trace: TraceSpec{
+			Events:   1200,
+			Arrivals: ArrivalSpec{Kind: "poisson", Mean: 10 * time.Millisecond},
+			// Every event carries a payload, so every stream wants a leased
+			// window and the revocations always have victims.
+			Mix: []KernelMix{{Kernel: "mci", Weight: 1, MinN: 3e9, MaxN: 5e9, Payload: 32 << 10}},
+		},
+		BreakerThreshold:   1,
+		BreakerOpenTimeout: time.Second,
+		Chaos: Chaos{
+			// Same event-driven flap shape as mux-storm: by event 300 the
+			// mux conns hold negotiated leases, and each of the two
+			// breaker-open transitions revokes them with streams in flight.
+			Flaps: []FlapSpec{{
+				Device:     1,
+				AfterEvent: 300,
+				DownEvents: 150,
+				UpEvents:   150,
+				Schedule:   faults.FlapSchedule{Cycles: 2},
+			}},
+		},
+		Invariants: []Invariant{
+			Accounted{},
+			TypedFailures{},
+			MinSuccess{Fraction: 0.9},
+			BoundedP99{Max: 10 * time.Second},
+			BreakerRecovered{MinTransitions: 2},
+			TransitionsComplete{},
+			OOBServed{Min: 1},
+			LeasesRevoked{Min: 1},
+		},
+	},
+
 	"cluster-failover": {
 		Name:        "cluster-failover",
 		Description: "one of two federated hosts shuts down mid-load; cluster rerouting makes the loss invisible to every client",

@@ -99,6 +99,12 @@ type Spec struct {
 	// cache with this byte budget when positive, so repeat cold starts
 	// skip the modeled JIT compile (cached-cold).
 	ArtifactCacheBytes int64
+	// OOB enables the zero-copy out-of-band data plane (mux transport
+	// only): the server fronts a pooled tensor arena, the client
+	// negotiates per-stream leases, and breaker-open/drain revoke them
+	// mid-load. ArenaBytes is the arena budget (0 = 256 MiB).
+	OOB        bool
+	ArenaBytes int64
 	// Retry enables client retries (tcp transports); its Seed is
 	// re-derived from the scenario seed at run time.
 	Retry *client.RetryPolicy
@@ -488,8 +494,30 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 		h.close()
 		return nil, err
 	}
+	var (
+		tcpOpts []core.TCPOption
+		arena   *shm.ArenaPool
+	)
+	if spec.OOB {
+		// Leases ride the v2 mux; a one-shot connection has no stream to
+		// pin one to.
+		if spec.Transport != TransportMux {
+			h.close()
+			return nil, errSpec("OOB needs the mux transport, got %q", spec.Transport)
+		}
+		if ok, reason := shm.Supported(); !ok {
+			h.close()
+			return nil, errSpec("OOB data plane unavailable: %s", reason)
+		}
+		bytes := spec.ArenaBytes
+		if bytes <= 0 {
+			bytes = 256 << 20
+		}
+		arena = shm.NewArenaPool(bytes)
+		tcpOpts = append(tcpOpts, core.WithArenaPool(arena))
+	}
 	fln := faults.Wrap(ln, faults.Script())
-	tcp, err := core.ServeTCPListener(srv, fln, shm.NewRegistry(1<<30))
+	tcp, err := core.ServeTCPListener(srv, fln, shm.NewRegistry(1<<30), tcpOpts...)
 	if err != nil {
 		ln.Close()
 		h.close()
@@ -507,6 +535,9 @@ func buildServer(spec Spec, names []string, clock vclock.Clock, seed int64) (*ha
 	switch spec.Transport {
 	case TransportMux:
 		opts = append(opts, client.WithMux(spec.MuxConns))
+		if arena != nil {
+			opts = append(opts, client.WithArena(arena))
+		}
 	case TransportShaped:
 		if err := spec.BaseLink.Validate(); err != nil {
 			h.close()

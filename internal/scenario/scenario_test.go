@@ -300,6 +300,17 @@ func TestInvariantsDetectViolations(t *testing.T) {
 			d.Stats[0].PreWarms = 1
 		}, true},
 		{"pre-warmed-never-fired", PreWarmed{Min: 1}, nil, false},
+		{"oob-served-ok", OOBServed{Min: 2}, func(d *RunData) {
+			d.Stats[0].DataPlane.OOBInvocations = 2
+		}, true},
+		{"oob-served-all-inband", OOBServed{Min: 2}, func(d *RunData) {
+			d.Stats[0].DataPlane.OOBInvocations = 1
+			d.Stats[0].DataPlane.InBandBytes = 1 << 20
+		}, false},
+		{"leases-revoked-ok", LeasesRevoked{Min: 1}, func(d *RunData) {
+			d.Stats[0].DataPlane.LeaseRevocations = 2
+		}, true},
+		{"leases-revoked-never-fired", LeasesRevoked{Min: 1}, nil, false},
 		{"tenant-min-success-ok", TenantMinSuccess{Tenant: "victim", Fraction: 0.9}, func(d *RunData) {
 			d.Records[0].Tenant = "victim"
 			d.Records[1].Tenant = "victim"

@@ -1,0 +1,156 @@
+package shm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestArenaAcquireRoundsToSizeClass(t *testing.T) {
+	p := NewArenaPool(1 << 20)
+	l, err := p.Acquire(5000)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.Cap() != 8<<10 {
+		t.Errorf("Cap = %d, want %d (next power of two above 5000)", l.Cap(), 8<<10)
+	}
+	if got := int64(len(l.Bytes())); got != l.Cap() {
+		t.Errorf("len(Bytes()) = %d, want %d", got, l.Cap())
+	}
+	small, err := p.Acquire(1)
+	if err != nil {
+		t.Fatalf("Acquire small: %v", err)
+	}
+	if small.Cap() != MinLeaseBytes {
+		t.Errorf("small Cap = %d, want MinLeaseBytes %d", small.Cap(), MinLeaseBytes)
+	}
+}
+
+func TestArenaBudgetAndRevokeReturnsBytes(t *testing.T) {
+	p := NewArenaPool(16 << 10)
+	a, err := p.Acquire(8 << 10)
+	if err != nil {
+		t.Fatalf("Acquire a: %v", err)
+	}
+	if _, err := p.Acquire(8 << 10); err != nil {
+		t.Fatalf("Acquire b: %v", err)
+	}
+	// Budget is full: a third lease must be refused, not oversubscribed.
+	if _, err := p.Acquire(8 << 10); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Acquire over budget: err = %v, want ErrNoSpace", err)
+	}
+	// Revoking returns the bytes: the same acquisition now succeeds and
+	// reuses the parked slab without allocating a new one.
+	if !p.Revoke(a.ID()) {
+		t.Fatal("Revoke returned false for a live lease")
+	}
+	c, err := p.Acquire(8 << 10)
+	if err != nil {
+		t.Fatalf("Acquire after revoke: %v", err)
+	}
+	if &c.Bytes()[0] != &a.Bytes()[0] {
+		t.Error("slab was not reused after revoke")
+	}
+	st := p.Stats()
+	if st.Reuses != 1 {
+		t.Errorf("Reuses = %d, want 1", st.Reuses)
+	}
+	if st.Granted != 16<<10 || st.Pooled != 0 {
+		t.Errorf("Granted/Pooled = %d/%d, want %d/0", st.Granted, st.Pooled, 16<<10)
+	}
+}
+
+func TestArenaRevokeDeferredWhileRetained(t *testing.T) {
+	p := NewArenaPool(8 << 10)
+	l, err := p.Acquire(8 << 10)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := l.Retain(); err != nil {
+		t.Fatalf("Retain: %v", err)
+	}
+	p.Revoke(l.ID())
+	// The slab must stay pinned: a new acquisition cannot steal it.
+	if _, err := p.Acquire(8 << 10); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Acquire while pinned: err = %v, want ErrNoSpace", err)
+	}
+	if err := l.Retain(); !errors.Is(err, ErrRevoked) {
+		t.Errorf("Retain after revoke: err = %v, want ErrRevoked", err)
+	}
+	l.Release()
+	if _, err := p.Acquire(8 << 10); err != nil {
+		t.Fatalf("Acquire after last release: %v", err)
+	}
+	if !p.WasRevoked(l.ID()) {
+		t.Error("WasRevoked = false for a revoked lease")
+	}
+	if p.WasRevoked(999) {
+		t.Error("WasRevoked = true for a never-granted ID")
+	}
+}
+
+func TestArenaRevokeAll(t *testing.T) {
+	p := NewArenaPool(0)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Acquire(4 << 10); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+	}
+	ids := p.RevokeAll()
+	if len(ids) != 3 {
+		t.Fatalf("RevokeAll returned %d ids, want 3", len(ids))
+	}
+	st := p.Stats()
+	if st.Active != 0 || st.Granted != 0 || st.Revocations != 3 {
+		t.Errorf("after RevokeAll: %+v", st)
+	}
+}
+
+func TestArenaPooledSlabEviction(t *testing.T) {
+	p := NewArenaPool(8 << 10)
+	a, err := p.Acquire(8 << 10)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	p.Revoke(a.ID())
+	// The whole budget is parked as an 8 KiB slab; a 4 KiB lease must
+	// evict it rather than fail.
+	if _, err := p.Acquire(4 << 10); err != nil {
+		t.Fatalf("Acquire with pooled budget held: %v", err)
+	}
+}
+
+func TestArenaConcurrentAcquireRevoke(t *testing.T) {
+	p := NewArenaPool(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l, err := p.Acquire(4 << 10)
+				if err != nil {
+					continue
+				}
+				if err := l.Retain(); err == nil {
+					copy(l.Bytes(), "payload")
+					l.Release()
+				}
+				p.Revoke(l.ID())
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Active != 0 || st.Granted != 0 {
+		t.Errorf("leaked leases: %+v", st)
+	}
+}
+
+func TestSupported(t *testing.T) {
+	ok, detail := Supported()
+	if !ok || detail == "" {
+		t.Errorf("Supported() = %v, %q; the simulated arena is always available", ok, detail)
+	}
+}

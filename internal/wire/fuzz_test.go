@@ -39,6 +39,31 @@ func seedFrames(t testing.TB) [][]byte {
 		{Type: MsgHello, Header: Header{MuxVersion: VersionMux}},
 		{Version: VersionMux, Type: MsgHelloAck, Header: Header{MuxVersion: VersionMux, MaxStreams: 64}},
 		{Version: VersionMux, Type: MsgCancel, Header: Header{StreamID: 42}},
+		// Out-of-band data plane (version 2): lease negotiation, grant,
+		// revocation, and a leased invoke whose payload travels by handle
+		// (empty body, LeaseID + LeaseLen in the header).
+		{Version: VersionMux, Type: MsgLease, Header: Header{StreamID: 9, LeaseBytes: 1 << 20}},
+		{Version: VersionMux, Type: MsgLeaseAck, Header: Header{StreamID: 9, LeaseID: 3, LeaseBytes: 1 << 20}},
+		{Version: VersionMux, Type: MsgLeaseAck, Header: Header{StreamID: 9, Error: "lease denied: no arena"}},
+		{Version: VersionMux, Type: MsgLeaseRevoke, Header: Header{LeaseID: 3}},
+		{Version: VersionMux, Type: MsgInvoke, Header: Header{
+			Kernel:   "mci",
+			Params:   map[string]float64{"n": 1000},
+			StreamID: 11,
+			LeaseID:  3,
+			LeaseLen: 4096,
+		}},
+		{Version: VersionMux, Type: MsgResult, Header: Header{
+			StreamID:       11,
+			LeaseID:        3,
+			LeaseResultLen: 128,
+		}},
+		// Stale/duplicate lease shapes: an invoke against a lease the
+		// server never granted, and a double grant of the same window.
+		{Version: VersionMux, Type: MsgInvoke, Header: Header{
+			Kernel: "mci", StreamID: 12, LeaseID: 999999, LeaseLen: 8,
+		}},
+		{Version: VersionMux, Type: MsgLeaseAck, Header: Header{StreamID: 13, LeaseID: 3, LeaseBytes: 1 << 20}},
 	}
 	frames := make([][]byte, 0, len(msgs))
 	for _, m := range msgs {
@@ -67,6 +92,19 @@ func FuzzRead(f *testing.F) {
 	huge := []byte{'K', 'A', 'A', 'S', Version, 1, 0, 0, 0, 2, '{', '}'}
 	huge = binary.BigEndian.AppendUint32(huge, 0xFFFFFFF0) // body length lie
 	f.Add(huge)
+	// Truncated lease frames: every prefix boundary of an encoded
+	// MsgLease/MsgLeaseAck must fail cleanly, never panic or over-read.
+	var leaseBuf bytes.Buffer
+	if err := Write(&leaseBuf, &Message{Version: VersionMux, Type: MsgLease,
+		Header: Header{StreamID: 9, LeaseBytes: 1 << 20}}); err != nil {
+		f.Fatalf("seed Write: %v", err)
+	}
+	leaseFrame := leaseBuf.Bytes()
+	for _, cut := range []int{4, 6, 10, len(leaseFrame) / 2, len(leaseFrame) - 1} {
+		if cut < len(leaseFrame) {
+			f.Add(append([]byte(nil), leaseFrame[:cut]...))
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Read(bytes.NewReader(data))

@@ -110,6 +110,23 @@ const (
 	// MsgControlAck returns the control-plane reply payload for a
 	// MsgControl request.
 	MsgControlAck
+	// MsgLease asks the server for a window into its pooled tensor arena
+	// (Header.LeaseBytes requested capacity) so later invocations on the
+	// same connection can pass payloads by handle instead of in the frame
+	// body. Sent only on multiplexed (version 2) connections; the reply is
+	// matched by Header.StreamID like any other stream.
+	MsgLease
+	// MsgLeaseAck grants a lease: Header.LeaseID names the window and
+	// Header.LeaseBytes its granted capacity. A denial carries
+	// Header.Error instead, and the client falls back to in-band
+	// transfer without surfacing a failure.
+	MsgLeaseAck
+	// MsgLeaseRevoke withdraws a granted lease (Header.LeaseID), sent by
+	// the server on drain, connection teardown, or a circuit-breaker
+	// opening. The client drops the lease from its pool; invocations
+	// already in flight against it are answered with a retryable
+	// LEASE_REVOKED error and resent in-band.
+	MsgLeaseRevoke
 )
 
 // String returns the message type name.
@@ -143,6 +160,12 @@ func (t MsgType) String() string {
 		return "control"
 	case MsgControlAck:
 		return "control-ack"
+	case MsgLease:
+		return "lease"
+	case MsgLeaseAck:
+		return "lease-ack"
+	case MsgLeaseRevoke:
+		return "lease-revoke"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -168,6 +191,11 @@ const (
 	CodeUnknownKernel = "UNKNOWN_KERNEL"
 	// CodeInternal: any other server-side failure. Not retryable.
 	CodeInternal = "INTERNAL"
+	// CodeLeaseRevoked: the invocation referenced an arena lease the
+	// server has since revoked (drain, breaker-open, or connection
+	// cleanup). Retryable — the client resends the same request in-band
+	// (or under a fresh lease) without surfacing an error to the caller.
+	CodeLeaseRevoked = "LEASE_REVOKED"
 )
 
 // Errors returned by frame decoding.
@@ -245,6 +273,21 @@ type Header struct {
 	// MaxStreams advertises, on MsgHelloAck, how many concurrent streams
 	// the server will serve per connection before applying backpressure.
 	MaxStreams int `json:"maxStreams,omitempty"`
+	// LeaseID names an arena lease: the granted window on MsgLeaseAck,
+	// the revoked window on MsgLeaseRevoke, and — on MsgInvoke — the
+	// window holding the input payload (out-of-band transfer over the
+	// mux; zero means the payload is in the body or named by ShmKey).
+	LeaseID uint64 `json:"leaseID,omitempty"`
+	// LeaseBytes is the requested (MsgLease) or granted (MsgLeaseAck)
+	// capacity of an arena lease in bytes.
+	LeaseBytes int64 `json:"leaseBytes,omitempty"`
+	// LeaseLen is the length of the input payload within the leased
+	// window on a MsgInvoke that carries LeaseID.
+	LeaseLen int64 `json:"leaseLen,omitempty"`
+	// LeaseResultLen, on MsgResult, is the length of the output payload
+	// the server wrote back into the invocation's leased window. Zero
+	// means the result (if any) is in the frame body.
+	LeaseResultLen int64 `json:"leaseResultLen,omitempty"`
 }
 
 // Message is one protocol frame.

@@ -172,6 +172,8 @@ func TestMsgTypeString(t *testing.T) {
 		{MsgList, "list"}, {MsgListResult, "list-result"},
 		{MsgStats, "stats"}, {MsgStatsResult, "stats-result"},
 		{MsgHello, "hello"}, {MsgHelloAck, "hello-ack"}, {MsgCancel, "cancel"},
+		{MsgControl, "control"}, {MsgControlAck, "control-ack"},
+		{MsgLease, "lease"}, {MsgLeaseAck, "lease-ack"}, {MsgLeaseRevoke, "lease-revoke"},
 		{MsgType(200), "msgtype(200)"},
 	} {
 		if got := tt.mt.String(); got != tt.want {
@@ -253,6 +255,63 @@ func TestCancelFrameRoundTrip(t *testing.T) {
 	}
 	if got.Type != MsgCancel || got.Header.StreamID != 42 {
 		t.Errorf("got %+v", got)
+	}
+}
+
+func TestLeaseFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	// Request, grant, a leased invoke (payload by handle, empty body),
+	// the result pointing back into the window, and a revocation.
+	frames := []*Message{
+		{Version: VersionMux, Type: MsgLease, Header: Header{StreamID: 9, LeaseBytes: 1 << 20}},
+		{Version: VersionMux, Type: MsgLeaseAck, Header: Header{StreamID: 9, LeaseID: 3, LeaseBytes: 1 << 20}},
+		{Version: VersionMux, Type: MsgInvoke, Header: Header{
+			Kernel: "mci", StreamID: 11, LeaseID: 3, LeaseLen: 4096,
+		}},
+		{Version: VersionMux, Type: MsgResult, Header: Header{
+			StreamID: 11, LeaseID: 3, LeaseResultLen: 128,
+		}},
+		{Version: VersionMux, Type: MsgLeaseRevoke, Header: Header{LeaseID: 3}},
+	}
+	for _, msg := range frames {
+		if err := Write(&buf, msg); err != nil {
+			t.Fatalf("Write %v: %v", msg.Type, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read %v: %v", want.Type, err)
+		}
+		if got.Type != want.Type ||
+			got.Header.StreamID != want.Header.StreamID ||
+			got.Header.LeaseID != want.Header.LeaseID ||
+			got.Header.LeaseBytes != want.Header.LeaseBytes ||
+			got.Header.LeaseLen != want.Header.LeaseLen ||
+			got.Header.LeaseResultLen != want.Header.LeaseResultLen {
+			t.Errorf("%v: got %+v, want %+v", want.Type, got.Header, want.Header)
+		}
+		if len(got.Body) != 0 {
+			t.Errorf("%v: leased frame carried %d body bytes, want 0", want.Type, len(got.Body))
+		}
+	}
+}
+
+// TestLeaseFieldsIgnoredByLegacyDecode pins the compatibility contract:
+// a frame carrying the new lease header fields decodes cleanly, and a
+// header without them leaves the fields zero, so legacy peers on the
+// same server never see or need them.
+func TestLeaseFieldsIgnoredByLegacyDecode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgInvoke, Header: Header{Kernel: "mci"}, Body: []byte("x")}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Header.LeaseID != 0 || got.Header.LeaseLen != 0 || got.Header.LeaseResultLen != 0 {
+		t.Errorf("legacy frame decoded with lease fields set: %+v", got.Header)
 	}
 }
 

@@ -193,6 +193,10 @@ type config struct {
 	artifactCacheBytes int64
 	keepAlive          core.KeepAlive
 
+	arenaBytes  int64
+	batchWindow time.Duration
+	batchMax    int
+
 	clusterName    string
 	clusterPeers   []string
 	clusterBeat    time.Duration
@@ -405,6 +409,33 @@ func WithoutFairQueueing() Option {
 	return func(c *config) { c.disableFairQueueing = true }
 }
 
+// WithOutOfBand enables the zero-copy out-of-band data plane: a pooled
+// tensor arena of arenaBytes total budget is shared with same-host
+// clients, which negotiate leased windows into it and pass payloads by
+// handle instead of copying them through the wire. Zero bytes keeps a
+// 256 MiB default budget. Requires a TCP endpoint; clients created via
+// NewClient use the arena automatically.
+func WithOutOfBand(arenaBytes int64) Option {
+	return func(c *config) {
+		if arenaBytes <= 0 {
+			arenaBytes = 256 << 20
+		}
+		c.arenaBytes = arenaBytes
+	}
+}
+
+// WithBatching enables server-side micro-batching: same-kernel
+// invocations arriving within window of modeled time (or up to max per
+// batch, whichever fills first) coalesce into a single device dispatch
+// that pays the launch overhead once. max <= 1 keeps the default cap
+// of 8.
+func WithBatching(window time.Duration, max int) Option {
+	return func(c *config) {
+		c.batchWindow = window
+		c.batchMax = max
+	}
+}
+
 // WithBreaker tunes the per-device circuit breakers: threshold
 // consecutive device failures open a device's breaker (excluding it from
 // placement), and after openTimeout of modeled time one probe invocation
@@ -463,6 +494,7 @@ type Platform struct {
 	server     *core.Server
 	tcp        *core.TCPServer
 	regions    *shm.Registry
+	arena      *shm.ArenaPool
 	artifacts  *artifact.Cache
 	node       *cplane.Node
 	clientOpts []client.Option
@@ -509,6 +541,8 @@ func New(opts ...Option) (*Platform, error) {
 		DisableFairQueueing:  cfg.disableFairQueueing,
 		BreakerThreshold:     cfg.breakerThreshold,
 		BreakerOpenTimeout:   cfg.breakerOpenTimeout,
+		BatchWindow:          cfg.batchWindow,
+		BatchMax:             cfg.batchMax,
 		DisableCompute:       cfg.disableResult,
 		Logger:               cfg.logger,
 	})
@@ -524,9 +558,19 @@ func New(opts ...Option) (*Platform, error) {
 		artifacts:  artifacts,
 		clientOpts: cfg.clientOptions(),
 	}
+	var tcpOpts []core.TCPOption
+	if cfg.arenaBytes > 0 {
+		if ok, reason := shm.Supported(); !ok {
+			server.Close()
+			host.Close()
+			return nil, fmt.Errorf("kaas: out-of-band data plane unavailable: %s", reason)
+		}
+		p.arena = shm.NewArenaPool(cfg.arenaBytes)
+		tcpOpts = append(tcpOpts, core.WithArenaPool(p.arena))
+	}
 	switch {
 	case cfg.listener != nil:
-		tcp, err := core.ServeTCPListener(server, cfg.listener, p.regions)
+		tcp, err := core.ServeTCPListener(server, cfg.listener, p.regions, tcpOpts...)
 		if err != nil {
 			server.Close()
 			host.Close()
@@ -534,7 +578,7 @@ func New(opts ...Option) (*Platform, error) {
 		}
 		p.tcp = tcp
 	case cfg.listenAddr != "":
-		tcp, err := core.ServeTCP(server, cfg.listenAddr, p.regions)
+		tcp, err := core.ServeTCP(server, cfg.listenAddr, p.regions, tcpOpts...)
 		if err != nil {
 			server.Close()
 			host.Close()
@@ -621,12 +665,17 @@ func (p *Platform) Addr() string {
 }
 
 // NewClient returns a TCP client for this platform's endpoint, sharing
-// its shared-memory registry so out-of-band transfer works.
+// its shared-memory registry so out-of-band transfer works. When the
+// platform runs with WithOutOfBand, the client also maps the tensor
+// arena and moves payloads by leased window automatically.
 func (p *Platform) NewClient() (*Client, error) {
 	if p.tcp == nil {
 		return nil, fmt.Errorf("kaas: platform has no TCP endpoint (use WithListenAddr)")
 	}
 	opts := append([]client.Option{client.WithShm(p.regions)}, p.clientOpts...)
+	if p.arena != nil {
+		opts = append(opts, client.WithArena(p.arena))
+	}
 	return client.Dial(p.tcp.Addr(), opts...), nil
 }
 
